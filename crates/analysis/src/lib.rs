@@ -1,0 +1,17 @@
+//! # dirtree-analysis — analytic models and the experiment harness
+//!
+//! Everything needed to regenerate the paper's tables and figures:
+//!
+//! * [`formulas`] — Table 1 message-count models and the §2 directory
+//!   memory-requirement formulas;
+//! * [`tree_capacity`] — the Table 3 recurrences and the Table 4
+//!   insertion replay for Dir<sub>i</sub>Tree₂ forests;
+//! * [`experiments`] — machine construction, workload runs, and the
+//!   normalized-execution-time grids of Figures 8–11;
+//! * [`tables`] — aligned ASCII table rendering for the bench binaries.
+
+pub mod experiments;
+pub mod report;
+pub mod formulas;
+pub mod tables;
+pub mod tree_capacity;

@@ -1,0 +1,79 @@
+//! CSV export of experiment results (for external plotting).
+
+use crate::experiments::GridCell;
+
+/// Escape one CSV field (quotes fields containing separators).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render a figure grid as CSV: one row per (protocol, node count) cell
+/// with the headline metrics.
+pub fn grid_to_csv(cells: &[GridCell]) -> String {
+    let mut out = String::from(
+        "protocol,figure_label,nodes,cycles,normalized,messages,fill_acks,\
+         invalidations,replacement_invalidations,read_misses,write_misses,\
+         read_miss_latency_mean,write_miss_latency_mean,net_bytes,\
+         max_controller_busy\n",
+    );
+    for c in cells {
+        let s = &c.outcome.stats;
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{},{},{},{},{},{},{:.3},{:.3},{},{}\n",
+            field(&c.protocol.name()),
+            field(&c.protocol.figure_label()),
+            c.nodes,
+            c.cycles,
+            c.normalized,
+            s.messages,
+            s.fill_acks,
+            s.invalidations,
+            s.replacement_invalidations,
+            s.read_misses,
+            s.write_misses,
+            s.read_miss_latency.mean(),
+            s.write_miss_latency.mean(),
+            c.outcome.net.bytes,
+            s.max_controller_busy,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::figure_grid;
+    use dirtree_core::protocol::ProtocolKind;
+    use dirtree_machine::MachineConfig;
+    use dirtree_workloads::WorkloadKind;
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cell() {
+        let cells = figure_grid(
+            WorkloadKind::Migratory { blocks: 2, rounds: 3 },
+            &[4],
+            &[
+                ProtocolKind::FullMap,
+                ProtocolKind::DirTree { pointers: 2, arity: 2 },
+            ],
+            MachineConfig::test_default,
+        );
+        let csv = grid_to_csv(&cells);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + cells.len());
+        assert!(lines[0].starts_with("protocol,figure_label,nodes,cycles"));
+        assert!(lines[1].starts_with("FullMap,fm,4,"));
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,254 @@
+//! Tables 3 and 4: how many sharers fit in a Dir<sub>i</sub>Tree₂ forest
+//! of a given height.
+//!
+//! Two independent models:
+//!
+//! * [`TreeBuilder`] replays the paper's Figure 6 insertion algorithm
+//!   (the same rules as `dirtree_core::dir::dir_tree`, reimplemented here
+//!   so the two can be cross-checked against each other);
+//! * [`n1`], [`n2`] and [`n_i`] evaluate the closed recurrences of
+//!   Table 3 and §3.
+
+/// A replay of the directory pointer state under continuous insertion.
+#[derive(Clone, Debug)]
+pub struct TreeBuilder {
+    /// `(root, level, subtree_size)` per pointer.
+    ptrs: Vec<Option<(u32, u32, u64)>>,
+    next_id: u32,
+}
+
+impl TreeBuilder {
+    pub fn new(pointers: u32) -> Self {
+        Self {
+            ptrs: vec![None; pointers as usize],
+            next_id: 1,
+        }
+    }
+
+    /// Insert the next requester; returns its id.
+    pub fn insert(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        // Case 2: free pointer.
+        if let Some(slot) = self.ptrs.iter().position(Option::is_none) {
+            self.ptrs[slot] = Some((id, 1, 1));
+            return id;
+        }
+        // Case 3: merge the maximal equal-level pair (lowest indices).
+        let mut best: Option<(u32, usize, usize)> = None;
+        for a in 0..self.ptrs.len() {
+            for b in (a + 1)..self.ptrs.len() {
+                let (la, lb) = (self.ptrs[a].unwrap().1, self.ptrs[b].unwrap().1);
+                if la == lb && best.is_none_or(|(l, ..)| la > l) {
+                    best = Some((la, a, b));
+                }
+            }
+        }
+        if let Some((level, a, b)) = best {
+            let sa = self.ptrs[a].unwrap().2;
+            let sb = self.ptrs[b].unwrap().2;
+            self.ptrs[a] = Some((id, level + 1, sa + sb + 1));
+            self.ptrs[b] = None;
+            return id;
+        }
+        // Case 4: push down the smallest-level tree.
+        let (slot, (_, level, size)) = self
+            .ptrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i, p)))
+            .min_by_key(|&(_, (_, l, _))| l)
+            .unwrap();
+        self.ptrs[slot] = Some((id, level + 1, size + 1));
+        id
+    }
+
+    /// Maximum tree level across pointers.
+    pub fn max_level(&self) -> u32 {
+        self.ptrs.iter().flatten().map(|p| p.1).max().unwrap_or(0)
+    }
+
+    /// Total sharers recorded.
+    pub fn total(&self) -> u64 {
+        self.ptrs.iter().flatten().map(|p| p.2).sum()
+    }
+
+    /// `(root, level, size)` per pointer.
+    pub fn pointers(&self) -> &[Option<(u32, u32, u64)>] {
+        &self.ptrs
+    }
+}
+
+/// Table 4: the maximum number of sharers recordable while the tallest
+/// tree is at most `level`, for a `pointers`-pointer directory, obtained
+/// by replaying insertions.
+pub fn max_nodes_at_level(pointers: u32, level: u32) -> u64 {
+    let mut b = TreeBuilder::new(pointers);
+    // Insert until the tallest tree would exceed `level`; the forest grows
+    // monotonically, so the capacity is the total just before that insert.
+    for _ in 0..2_000_000u64 {
+        let before = b.total();
+        b.insert();
+        if b.max_level() > level {
+            return before;
+        }
+    }
+    unreachable!("capacity bound not reached within 2M inserts");
+}
+
+/// Table 3 / §3 recurrences for Dir₂Tree₂:
+/// `N₁(j) = j` — the first pointer's tree is a chain.
+pub fn n1(j: u64) -> u64 {
+    j
+}
+
+/// `N₂(j) = 3 + Σ_{k=2}^{j−1} (N₁(k) + 1) = j(j+1)/2` for `j ≥ 2`
+/// (`N₂(1) = 1`).
+pub fn n2(j: u64) -> u64 {
+    match j {
+        0 => 0,
+        1 => 1,
+        _ => 3 + (2..j).map(|k| n1(k) + 1).sum::<u64>(),
+    }
+}
+
+/// §3 general recurrence for Dir_iTree₂:
+/// `N_i(j) = 2^i − 1 + Σ_{k=i}^{j−1} (N_{i−1}(k) + 1)` with `N₁(j) = j`.
+pub fn n_i(i: u32, j: u64) -> u64 {
+    if i == 1 {
+        return n1(j);
+    }
+    if j < i as u64 {
+        // Below the base height the tree is still being assembled; the
+        // recurrence's base case covers j = i.
+        return if j == 0 { 0 } else { (1u64 << j) - 1 };
+    }
+    let base = (1u64 << i) - 1;
+    base + (i as u64..j).map(|k| n_i(i - 1, k) + 1).sum::<u64>()
+}
+
+/// The paper's Table 4 reference column for a balanced binary tree
+/// (SCI tree extension / binary STP): `2^level − 1`.
+pub fn binary_tree_nodes(level: u32) -> u64 {
+    (1u64 << level) - 1
+}
+
+/// The published Table 4 rows: `(level, Dir2Tree2, Dir4Tree2, binary)`.
+pub const PAPER_TABLE4: [(u32, u64, u64, u64); 10] = [
+    (3, 9, 16, 7),
+    (4, 14, 43, 15),
+    (5, 20, 75, 31),
+    (6, 27, 99, 63),
+    (7, 35, 163, 127),
+    (8, 44, 256, 255),
+    (9, 54, 386, 511),
+    (10, 65, 562, 1023),
+    (11, 77, 794, 2047),
+    (12, 90, 1093, 4095),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recurrence_n2_simplifies_to_triangular() {
+        for j in 2..50u64 {
+            assert_eq!(n2(j), j * (j + 1) / 2, "N2({j})");
+        }
+    }
+
+    #[test]
+    fn table3_first_row_values() {
+        // Table 3: N1(1)=1, N1(2)=2, N1(3)=3; N2(1)=1, N2(2)=3, N2(3)=6.
+        assert_eq!(n1(1), 1);
+        assert_eq!(n1(2), 2);
+        assert_eq!(n1(3), 3);
+        assert_eq!(n2(1), 1);
+        assert_eq!(n2(2), 3);
+        assert_eq!(n2(3), 6);
+    }
+
+    #[test]
+    fn dir2tree2_capacity_matches_table4() {
+        for (level, d2, _, _) in PAPER_TABLE4 {
+            assert_eq!(
+                max_nodes_at_level(2, level),
+                d2,
+                "Dir2Tree2 capacity at level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn dir2tree2_replay_matches_recurrence_sum() {
+        // Total capacity at level j = N1(j) + N2(j) once both trees are at
+        // height j.
+        for j in 3..12u64 {
+            assert_eq!(max_nodes_at_level(2, j as u32), n1(j) + n2(j));
+        }
+    }
+
+    #[test]
+    fn replay_small_sequence_matches_hand_trace() {
+        // The Dir2Tree2 trace behind Table 3: ids arrive 1,2,3,...
+        let mut b = TreeBuilder::new(2);
+        for _ in 0..3 {
+            b.insert();
+        }
+        // After 3 inserts: ptr0 = (3, level 2, size 3), ptr1 = None.
+        assert_eq!(b.pointers()[0], Some((3, 2, 3)));
+        assert_eq!(b.pointers()[1], None);
+        b.insert(); // 4 -> free slot
+        assert_eq!(b.pointers()[1], Some((4, 1, 1)));
+        b.insert(); // 5 -> push down (levels 2 vs 1 differ)
+        assert_eq!(b.pointers()[1], Some((5, 2, 2)));
+        b.insert(); // 6 -> merge (levels 2, 2)
+        assert_eq!(b.pointers()[0], Some((6, 3, 6)));
+        assert_eq!(b.pointers()[1], None);
+    }
+
+    #[test]
+    fn figure5_fifteenth_insert_merges_11_and_13() {
+        let mut b = TreeBuilder::new(4);
+        for _ in 0..14 {
+            b.insert();
+        }
+        let roots: Vec<u32> = b.pointers().iter().flatten().map(|p| p.0).collect();
+        assert!(roots.contains(&9), "after 14 inserts 9 roots the big tree");
+        assert!(roots.contains(&11) && roots.contains(&13));
+        let id = b.insert();
+        assert_eq!(id, 15);
+        // 15 merged the maximal equal pair (11, 13).
+        let roots: Vec<(u32, u32)> = b.pointers().iter().flatten().map(|p| (p.0, p.1)).collect();
+        assert!(roots.iter().any(|&(r, l)| r == 15 && l == 3));
+        assert!(!roots.iter().any(|&(r, _)| r == 11 || r == 13));
+    }
+
+    #[test]
+    fn binary_reference_column() {
+        for (level, _, _, bin) in PAPER_TABLE4 {
+            assert_eq!(binary_tree_nodes(level), bin);
+        }
+    }
+
+    #[test]
+    fn deeper_forests_hold_more() {
+        for i in [1u32, 2, 4, 8] {
+            let mut prev = 0;
+            for level in 2..10 {
+                let cap = max_nodes_at_level(i, level);
+                assert!(cap > prev, "capacity must grow with level (i={i})");
+                prev = cap;
+            }
+        }
+    }
+
+    #[test]
+    fn more_pointers_hold_more() {
+        for level in 3..10 {
+            assert!(max_nodes_at_level(4, level) > max_nodes_at_level(2, level));
+            assert!(max_nodes_at_level(8, level) > max_nodes_at_level(4, level));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benchmarks over whole-machine protocol runs: how fast the
+//! simulator executes each protocol on a fixed contended workload, and
+//! the relative cost of the invalidation machinery at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dirtree_core::protocol::ProtocolKind;
+use dirtree_machine::{DriverOp, Machine, MachineConfig, ScriptDriver};
+use std::hint::black_box;
+
+fn scripts(nodes: u32) -> Vec<Vec<DriverOp>> {
+    (0..nodes as u64)
+        .map(|n| {
+            let mut ops = Vec::new();
+            for i in 0..64u64 {
+                ops.push(DriverOp::Read(i % 16));
+                if (i + n) % 8 == 0 {
+                    ops.push(DriverOp::Write(i % 16));
+                }
+            }
+            ops.push(DriverOp::Barrier(0));
+            ops
+        })
+        .collect()
+}
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_run_16procs");
+    for kind in [
+        ProtocolKind::FullMap,
+        ProtocolKind::LimitedNB { pointers: 4 },
+        ProtocolKind::LimitLess { pointers: 4 },
+        ProtocolKind::SinglyList,
+        ProtocolKind::Sci,
+        ProtocolKind::Stp { arity: 2 },
+        ProtocolKind::SciTree,
+        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::paper_default(16), kind);
+                let mut d = ScriptDriver::new(scripts(16));
+                black_box(m.run(&mut d).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_invalidation_scaling(c: &mut Criterion) {
+    // One write over P sharers: simulated write-miss latency work per
+    // protocol family (sequential vs logarithmic fan-out).
+    let mut g = c.benchmark_group("invalidation_storm_32procs");
+    for kind in [
+        ProtocolKind::FullMap,
+        ProtocolKind::Sci,
+        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let nodes = 32;
+                let mut active: Vec<(u32, Vec<DriverOp>)> = (1..30u32)
+                    .map(|k| (k, vec![DriverOp::Work(k as u64 * 2000), DriverOp::Read(0)]))
+                    .collect();
+                active.push((31, vec![DriverOp::Work(100_000), DriverOp::Write(0)]));
+                let mut m = Machine::new(MachineConfig::paper_default(nodes), kind);
+                let mut d = ScriptDriver::sparse(nodes, active);
+                black_box(m.run(&mut d).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol_runs, bench_invalidation_scaling);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks for the simulation substrate itself: event
+//! queue throughput, network routing + contention bookkeeping, cache
+//! tag-store operations, and the deterministic RNG.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dirtree_core::cache::{Cache, CacheConfig};
+use dirtree_core::types::LineState;
+use dirtree_net::{Network, NetworkConfig, Topology};
+use dirtree_sim::{EventQueue, SimRng};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter_batched(
+            || {
+                (0..1024u64)
+                    .map(|_| rng.gen_range(1_000_000))
+                    .collect::<Vec<_>>()
+            },
+            |times| {
+                let mut q = EventQueue::new();
+                let mut sorted = times.clone();
+                sorted.sort_unstable();
+                for &t in &sorted {
+                    q.push(t, t);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    for nodes in [8u32, 32, 256] {
+        g.bench_function(format!("send_contended_n{nodes}"), |b| {
+            b.iter_batched(
+                || Network::new(Topology::hypercube(nodes), NetworkConfig::default()),
+                |mut net| {
+                    let mut t = 0;
+                    for i in 0..512u32 {
+                        let src = i % nodes;
+                        let dst = (i * 7 + 3) % nodes;
+                        t = net.send(t / 2, src, dst, 16);
+                    }
+                    black_box(t)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/alloc_touch_paper_geometry", |b| {
+        b.iter_batched(
+            || Cache::new(CacheConfig::paper_default()),
+            |mut cache| {
+                for a in 0..4096u64 {
+                    cache.allocate(a);
+                    cache.set_state(a, LineState::V);
+                    cache.touch(a / 2);
+                }
+                black_box(cache.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/gen_range_1k", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc = acc.wrapping_add(rng.gen_range(1000));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_network, bench_cache, bench_rng);
+criterion_main!(benches);

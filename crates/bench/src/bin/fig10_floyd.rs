@@ -1,0 +1,14 @@
+//! **Figure 10** — normalized execution time for Floyd-Warshall on a
+//! 32-vertex random graph (the paper's exact size; no scaling needed).
+//!
+//! Run: `cargo run --release -p dirtree-bench --bin fig10_floyd`
+
+use dirtree_bench::figures::run_figure;
+use dirtree_workloads::WorkloadKind;
+
+fn main() {
+    run_figure(
+        "Figure 10",
+        WorkloadKind::Floyd { vertices: 32, seed: 1996 },
+    );
+}

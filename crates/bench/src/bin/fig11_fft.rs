@@ -1,0 +1,17 @@
+//! **Figure 11** — normalized execution time for the FFT.
+//!
+//! Default: 512 points. `--full` runs 1024 points.
+//!
+//! Run: `cargo run --release -p dirtree-bench --bin fig11_fft [-- --full]`
+
+use dirtree_bench::figures::run_figure;
+use dirtree_workloads::WorkloadKind;
+
+fn main() {
+    let w = if dirtree_bench::full_scale() {
+        WorkloadKind::Fft { points: 1024 }
+    } else {
+        WorkloadKind::Fft { points: 512 }
+    };
+    run_figure("Figure 11", w);
+}

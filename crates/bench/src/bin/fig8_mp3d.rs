@@ -1,0 +1,18 @@
+//! **Figure 8** — normalized execution time for MP3D.
+//!
+//! Default: a scaled-down run (600 particles, 4 steps). `--full` uses the
+//! paper's 3000 particles × 10 steps.
+//!
+//! Run: `cargo run --release -p dirtree-bench --bin fig8_mp3d [-- --full]`
+
+use dirtree_bench::figures::run_figure;
+use dirtree_workloads::WorkloadKind;
+
+fn main() {
+    let w = if dirtree_bench::full_scale() {
+        WorkloadKind::Mp3d { particles: 3000, steps: 10 }
+    } else {
+        WorkloadKind::Mp3d { particles: 600, steps: 4 }
+    };
+    run_figure("Figure 8", w);
+}

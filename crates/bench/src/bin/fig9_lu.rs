@@ -1,0 +1,17 @@
+//! **Figure 9** — normalized execution time for LU decomposition.
+//!
+//! Default: 48×48. `--full` uses the paper's 128×128 matrix.
+//!
+//! Run: `cargo run --release -p dirtree-bench --bin fig9_lu [-- --full]`
+
+use dirtree_bench::figures::run_figure;
+use dirtree_workloads::WorkloadKind;
+
+fn main() {
+    let w = if dirtree_bench::full_scale() {
+        WorkloadKind::Lu { n: 128 }
+    } else {
+        WorkloadKind::Lu { n: 48 }
+    };
+    run_figure("Figure 9", w);
+}

@@ -1,0 +1,57 @@
+//! Run every table, figure and ablation in sequence and write a combined
+//! report to `target/reproduction_report.txt`. The one-command
+//! reproduction of the whole paper (≈ minutes at default scale; pass
+//! `--full` for the paper's exact workload sizes).
+//!
+//! Run: `cargo run --release -p dirtree-bench --bin reproduce_all [-- --full]`
+
+use std::fmt::Write as _;
+use std::process::Command;
+
+fn main() {
+    let full = dirtree_bench::full_scale();
+    let bins: &[(&str, bool)] = &[
+        ("table1", false),
+        ("table3", false),
+        ("table4", false),
+        ("tree_shapes", false),
+        ("memory_overhead", false),
+        ("fig8_mp3d", true),
+        ("fig9_lu", true),
+        ("fig10_floyd", false),
+        ("fig11_fft", true),
+        ("sharing_profile", false),
+        ("latency_model", false),
+        ("bus_vs_cube", false),
+        ("sensitivity", false),
+        ("ablation_replacement", false),
+        ("ablation_pairing", false),
+        ("ablation_update", false),
+        ("ablation_arity", false),
+    ];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("locate binary directory");
+    let mut report = String::new();
+    for (bin, scalable) in bins {
+        eprintln!("==> {bin}");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if *scalable && full {
+            cmd.arg("--full");
+        }
+        let out = cmd.output().unwrap_or_else(|e| panic!("run {bin}: {e}"));
+        let _ = writeln!(report, "==================== {bin} ====================");
+        report.push_str(&String::from_utf8_lossy(&out.stdout));
+        if !out.status.success() {
+            let _ = writeln!(report, "[{bin} FAILED]");
+            report.push_str(&String::from_utf8_lossy(&out.stderr));
+        }
+        report.push('\n');
+    }
+    let path = std::path::Path::new("target/reproduction_report.txt");
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write(path, &report).expect("write report");
+    println!("{report}");
+    eprintln!("report written to {}", path.display());
+}

@@ -1,0 +1,60 @@
+//! Shared driver for the Figure 8–11 binaries.
+
+use dirtree_analysis::experiments::{figure_grid, render_grid};
+use dirtree_analysis::report::grid_to_csv;
+use dirtree_core::protocol::ProtocolKind;
+use dirtree_machine::MachineConfig;
+use dirtree_workloads::WorkloadKind;
+
+/// Node counts used in the paper's figures.
+pub const PAPER_SIZES: [u32; 3] = [8, 16, 32];
+
+/// Run one figure: the workload across the paper's nine protocol
+/// configurations and three machine sizes, printing normalized execution
+/// times (full-map = 1.000).
+pub fn run_figure(title: &str, workload: WorkloadKind) {
+    let protocols: Vec<ProtocolKind> = ProtocolKind::figure_set();
+    let config = MachineConfig::paper_default(8);
+    eprintln!(
+        "running {} × {} machine sizes of {} (config fingerprint {:#x}) ...",
+        protocols.len(),
+        PAPER_SIZES.len(),
+        workload.name(),
+        config.fingerprint(),
+    );
+    let t0 = std::time::Instant::now();
+    let cells = figure_grid(workload, &PAPER_SIZES, &protocols, MachineConfig::paper_default);
+    println!(
+        "{}",
+        render_grid(
+            &format!("{title} — normalized execution time ({})", workload.name()),
+            &cells,
+            &PAPER_SIZES,
+        )
+    );
+    // Machine-readable companion (for external plotting).
+    let csv_dir = std::path::Path::new("target/figures");
+    let _ = std::fs::create_dir_all(csv_dir);
+    let csv_path = csv_dir.join(format!(
+        "{}.csv",
+        workload.name().replace(['(', ')', ',', 'x'], "_")
+    ));
+    if std::fs::write(&csv_path, grid_to_csv(&cells)).is_ok() {
+        eprintln!("wrote {}", csv_path.display());
+    }
+    // Companion statistics the paper discusses qualitatively.
+    println!("protocol @32 procs: misses, msgs/op, invalidations, repl-invs, mean write-miss latency");
+    for c in cells.iter().filter(|c| c.nodes == 32) {
+        let s = &c.outcome.stats;
+        println!(
+            "  {:<12} misses={:<8} msgs/op={:<6.2} invs={:<7} repl={:<6} wlat={:.0}",
+            c.protocol.name(),
+            s.read_misses + s.write_misses,
+            s.critical_messages() as f64 / s.total_ops().max(1) as f64,
+            s.invalidations,
+            s.replacement_invalidations,
+            s.write_miss_latency.mean(),
+        );
+    }
+    eprintln!("done in {:.1?}", t0.elapsed());
+}

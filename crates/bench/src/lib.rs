@@ -1,0 +1,14 @@
+//! # dirtree-bench — experiment binaries and criterion benchmarks
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 for the
+//! index). The library part holds the shared measurement harnesses.
+
+pub mod figures;
+pub mod miss_cost;
+
+/// Parse the common `--full` flag: experiment binaries default to scaled
+/// sizes that finish in seconds and use the paper's exact sizes with
+/// `--full`.
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}

@@ -1,0 +1,463 @@
+//! Set-associative cache tag store with O(1) LRU replacement.
+//!
+//! The paper's configuration (Table 5) is a 16 KB fully-associative data
+//! cache with 8-byte blocks — 2048 lines in one set — which is the default
+//! produced by [`CacheConfig::paper_default`]. The model is a tag/state
+//! store only: block *contents* live with the workload driver, and
+//! coherence metadata (tree children, list pointers) lives with the
+//! protocol.
+//!
+//! Each set keeps an intrusive doubly-linked LRU list (index-based) plus a
+//! lazy stack of invalidated slots, so `touch` and `allocate` are O(1)
+//! even at the paper's 2048-way associativity — the victim walk only skips
+//! the rare transient line.
+
+use crate::types::{Addr, LineState};
+use dirtree_sim::FxHashMap;
+
+/// Geometry of one processor's cache.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total lines in the cache.
+    pub lines: usize,
+    /// Lines per set (== `lines` for fully associative).
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// Table 5: 16 KB, 8-byte blocks, fully associative → 2048-way, 1 set.
+    pub fn paper_default() -> Self {
+        Self {
+            lines: 2048,
+            associativity: 2048,
+        }
+    }
+
+    pub fn sets(&self) -> usize {
+        debug_assert_eq!(self.lines % self.associativity, 0);
+        self.lines / self.associativity
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Line {
+    addr: Addr,
+    state: LineState,
+    /// Intrusive LRU links (slot indices within the set).
+    prev: u32,
+    next: u32,
+}
+
+/// The outcome of allocating a line for `addr`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// The address already had a resident tag (any state).
+    AlreadyResident,
+    /// A free (or invalid) slot was used; nothing was displaced.
+    Fresh,
+    /// A valid victim was displaced; the caller must run the protocol's
+    /// replacement action for it. The victim's state is returned.
+    Evicted { victim: Addr, state: LineState },
+    /// No line could be allocated: every candidate is in a transient state.
+    /// Callers must retry later (only possible in pathological tiny-cache
+    /// configurations).
+    Stalled,
+}
+
+/// One set: slots + MRU/LRU list + lazy invalid stack.
+struct Set {
+    slots: Vec<Line>,
+    mru: u32,
+    lru: u32,
+    /// Slots whose line was invalidated (validated lazily on pop).
+    invalid: Vec<u32>,
+}
+
+impl Set {
+    fn new(assoc: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(assoc),
+            mru: NIL,
+            lru: NIL,
+            invalid: Vec::new(),
+        }
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (p, n) = {
+            let l = &self.slots[i as usize];
+            (l.prev, l.next)
+        };
+        if p != NIL {
+            self.slots[p as usize].next = n;
+        } else {
+            self.mru = n;
+        }
+        if n != NIL {
+            self.slots[n as usize].prev = p;
+        } else {
+            self.lru = p;
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        let old = self.mru;
+        {
+            let l = &mut self.slots[i as usize];
+            l.prev = NIL;
+            l.next = old;
+        }
+        if old != NIL {
+            self.slots[old as usize].prev = i;
+        } else {
+            self.lru = i;
+        }
+        self.mru = i;
+    }
+
+    fn touch(&mut self, i: u32) {
+        if self.mru != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+}
+
+/// One processor's cache.
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Set>,
+    index: FxHashMap<Addr, (u32, u32)>,
+}
+
+impl Cache {
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.lines > 0 && config.associativity > 0);
+        assert_eq!(
+            config.lines % config.associativity,
+            0,
+            "lines must be a multiple of associativity"
+        );
+        assert!(config.associativity < NIL as usize);
+        let sets = config.sets();
+        Self {
+            config,
+            sets: (0..sets).map(|_| Set::new(config.associativity)).collect(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_of(&self, addr: Addr) -> usize {
+        (addr as usize) % self.sets.len()
+    }
+
+    /// State of `addr`, or `NotPresent`.
+    pub fn state(&self, addr: Addr) -> LineState {
+        match self.index.get(&addr) {
+            Some(&(s, i)) => self.sets[s as usize].slots[i as usize].state,
+            None => LineState::NotPresent,
+        }
+    }
+
+    /// Set the state of a resident line.
+    ///
+    /// # Panics
+    /// Panics if the tag is not resident — protocols must only touch lines
+    /// that exist (invalidations for evicted lines are handled before this).
+    pub fn set_state(&mut self, addr: Addr, state: LineState) {
+        let &(s, i) = self
+            .index
+            .get(&addr)
+            .unwrap_or_else(|| panic!("set_state on non-resident line {addr:#x}"));
+        let set = &mut self.sets[s as usize];
+        let was_invalid = set.slots[i as usize].state == LineState::Iv;
+        set.slots[i as usize].state = state;
+        if state == LineState::Iv && !was_invalid {
+            set.invalid.push(i);
+        }
+    }
+
+    /// Mark `addr` most-recently-used (on every processor access).
+    pub fn touch(&mut self, addr: Addr) {
+        if let Some(&(s, i)) = self.index.get(&addr) {
+            self.sets[s as usize].touch(i);
+        }
+    }
+
+    /// Ensure a tag exists for `addr`, evicting an LRU victim if the set is
+    /// full. New lines start in `Iv`; the caller transitions them. Victims
+    /// are never transient lines.
+    pub fn allocate(&mut self, addr: Addr) -> AllocOutcome {
+        if self.index.contains_key(&addr) {
+            self.touch(addr);
+            return AllocOutcome::AlreadyResident;
+        }
+        let set_idx = self.set_of(addr);
+        let assoc = self.config.associativity;
+        let set = &mut self.sets[set_idx];
+
+        // Free capacity: grow the set.
+        if set.slots.len() < assoc {
+            let slot = set.slots.len() as u32;
+            set.slots.push(Line {
+                addr,
+                state: LineState::Iv,
+                prev: NIL,
+                next: NIL,
+            });
+            set.push_front(slot);
+            // The new line is invalid until the caller transitions it, so
+            // it is itself a legal victim for a subsequent allocation.
+            set.invalid.push(slot);
+            self.index.insert(addr, (set_idx as u32, slot));
+            return AllocOutcome::Fresh;
+        }
+
+        // Prefer a (still-)invalid slot from the lazy stack.
+        while let Some(i) = set.invalid.pop() {
+            if set.slots[i as usize].state != LineState::Iv {
+                continue; // revalidated since; stale stack entry
+            }
+            let victim_addr = set.slots[i as usize].addr;
+            self.index.remove(&victim_addr);
+            set.slots[i as usize] = Line {
+                addr,
+                state: LineState::Iv,
+                prev: set.slots[i as usize].prev,
+                next: set.slots[i as usize].next,
+            };
+            set.touch(i);
+            set.invalid.push(i); // still invalid until transitioned
+            self.index.insert(addr, (set_idx as u32, i));
+            return AllocOutcome::Fresh;
+        }
+
+        // LRU walk from the tail, skipping transient lines (rare).
+        let mut i = set.lru;
+        while i != NIL {
+            let state = set.slots[i as usize].state;
+            if matches!(state, LineState::V | LineState::E) {
+                let victim_addr = set.slots[i as usize].addr;
+                self.index.remove(&victim_addr);
+                set.slots[i as usize].addr = addr;
+                set.slots[i as usize].state = LineState::Iv;
+                set.touch(i);
+                set.invalid.push(i); // still invalid until transitioned
+                self.index.insert(addr, (set_idx as u32, i));
+                return AllocOutcome::Evicted {
+                    victim: victim_addr,
+                    state,
+                };
+            }
+            i = set.slots[i as usize].prev;
+        }
+        AllocOutcome::Stalled
+    }
+
+    /// All resident `(addr, state)` pairs (for verification).
+    pub fn resident(&self) -> impl Iterator<Item = (Addr, LineState)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.slots.iter().map(|l| (l.addr, l.state)))
+    }
+
+    /// Number of resident tags.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            lines: 4,
+            associativity: 4,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.state(10), LineState::NotPresent);
+        assert_eq!(c.allocate(10), AllocOutcome::Fresh);
+        assert_eq!(c.state(10), LineState::Iv);
+        c.set_state(10, LineState::V);
+        assert!(c.state(10).readable());
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut c = small();
+        for a in 0..4 {
+            c.allocate(a);
+            c.set_state(a, LineState::V);
+        }
+        // Touch 0 so 1 becomes LRU.
+        c.touch(0);
+        match c.allocate(100) {
+            AllocOutcome::Evicted { victim, state } => {
+                assert_eq!(victim, 1);
+                assert_eq!(state, LineState::V);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(c.state(1), LineState::NotPresent);
+        assert_eq!(c.state(100), LineState::Iv);
+    }
+
+    #[test]
+    fn invalid_lines_are_preferred_victims() {
+        let mut c = small();
+        for a in 0..4 {
+            c.allocate(a);
+            c.set_state(a, LineState::V);
+        }
+        c.set_state(2, LineState::Iv);
+        assert_eq!(c.allocate(100), AllocOutcome::Fresh);
+        assert_eq!(c.state(2), LineState::NotPresent);
+        assert_eq!(c.state(0), LineState::V);
+    }
+
+    #[test]
+    fn revalidated_lines_are_not_reclaimed() {
+        let mut c = small();
+        for a in 0..4 {
+            c.allocate(a);
+            c.set_state(a, LineState::V);
+        }
+        // Invalidate 2, then revalidate it (e.g. refetched in place).
+        c.set_state(2, LineState::Iv);
+        c.set_state(2, LineState::V);
+        c.touch(2);
+        match c.allocate(100) {
+            // Must evict the true LRU (0), not the revalidated 2.
+            AllocOutcome::Evicted { victim, .. } => assert_eq!(victim, 0),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(c.state(2), LineState::V);
+    }
+
+    #[test]
+    fn transient_lines_are_never_evicted() {
+        let mut c = small();
+        for a in 0..4 {
+            c.allocate(a);
+            c.set_state(a, LineState::RmIp);
+        }
+        assert_eq!(c.allocate(100), AllocOutcome::Stalled);
+        c.set_state(3, LineState::V);
+        match c.allocate(100) {
+            AllocOutcome::Evicted { victim, .. } => assert_eq!(victim, 3),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allocate_existing_is_already_resident() {
+        let mut c = small();
+        c.allocate(7);
+        assert_eq!(c.allocate(7), AllocOutcome::AlreadyResident);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn set_mapping_partitions_addresses() {
+        let mut c = Cache::new(CacheConfig {
+            lines: 4,
+            associativity: 2,
+        });
+        // Addresses 0 and 2 map to set 0; 1 and 3 to set 1.
+        for a in [0u64, 2, 1, 3] {
+            assert_eq!(c.allocate(a), AllocOutcome::Fresh);
+            c.set_state(a, LineState::V);
+        }
+        // 4 maps to set 0 and must evict 0 or 2, not 1 or 3.
+        match c.allocate(4) {
+            AllocOutcome::Evicted { victim, .. } => assert!(victim == 0 || victim == 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn resident_iterates_all_lines() {
+        let mut c = small();
+        c.allocate(1);
+        c.allocate(2);
+        c.set_state(2, LineState::E);
+        let mut v: Vec<_> = c.resident().collect();
+        v.sort_by_key(|&(a, _)| a);
+        assert_eq!(v, vec![(1, LineState::Iv), (2, LineState::E)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn set_state_requires_residency() {
+        let mut c = small();
+        c.set_state(99, LineState::V);
+    }
+
+    #[test]
+    fn paper_default_geometry() {
+        let cfg = CacheConfig::paper_default();
+        assert_eq!(cfg.lines, 2048);
+        assert_eq!(cfg.sets(), 1);
+    }
+
+    #[test]
+    fn streaming_far_beyond_capacity_is_stable() {
+        // O(1) replacement must keep the books straight over many epochs.
+        let mut c = Cache::new(CacheConfig {
+            lines: 64,
+            associativity: 64,
+        });
+        let mut evictions = 0;
+        for a in 0..10_000u64 {
+            match c.allocate(a) {
+                AllocOutcome::Fresh => {}
+                AllocOutcome::Evicted { .. } => evictions += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+            c.set_state(a, LineState::V);
+        }
+        assert_eq!(c.len(), 64);
+        assert_eq!(evictions, 10_000 - 64);
+        // The survivors are exactly the last 64 addresses.
+        for a in 10_000 - 64..10_000 {
+            assert_eq!(c.state(a), LineState::V, "addr {a}");
+        }
+    }
+
+    #[test]
+    fn lru_order_respected_under_mixed_touch_patterns() {
+        let mut c = small();
+        for a in 0..4 {
+            c.allocate(a);
+            c.set_state(a, LineState::V);
+        }
+        c.touch(1);
+        c.touch(3);
+        c.touch(0);
+        // LRU order now: 2 (oldest), 1, 3, 0.
+        for (new_addr, expected_victim) in [(10u64, 2u64), (11, 1), (12, 3)] {
+            match c.allocate(new_addr) {
+                AllocOutcome::Evicted { victim, .. } => assert_eq!(victim, expected_victim),
+                other => panic!("{other:?}"),
+            }
+            c.set_state(new_addr, LineState::V);
+        }
+    }
+}

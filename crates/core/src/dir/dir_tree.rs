@@ -1,0 +1,1216 @@
+//! **Dir<sub>i</sub>Tree<sub>k</sub>** — the paper's contribution (§3).
+//!
+//! The home directory keeps `i` pointers per memory block, each with a
+//! *level* counter recording the height of the tree it points at; cache
+//! blocks keep up to `k` child pointers (forward pointers only). Sharers
+//! form a forest of at most `i` near-balanced trees.
+//!
+//! **Read miss** (Figure 6), always 2 messages:
+//! 1. requester already pointed at by a directory pointer → just resupply;
+//! 2. a free pointer exists → point it at the requester, level 1;
+//! 3. two pointers have trees of equal height → both are handed to the
+//!    requester, whose cache adopts the two roots as children; the first
+//!    pointer now points at the requester (level + 1) and the second
+//!    becomes free (*tree merge*);
+//! 4. otherwise the pointer with the smallest level is handed over; its
+//!    root becomes the requester's only child (*push down*).
+//!
+//! When several equal-height pairs exist we merge the pair of **maximal**
+//! equal level: this reproduces the paper's Figure 5, where the 15th read
+//! miss adopts processors 11 and 13.
+//!
+//! **Write miss** (~log P latency): the home sends invalidations to the
+//! roots; each node forwards to its children and acknowledges its parent
+//! after its subtree acks. Even-numbered pointers additionally invalidate
+//! their odd-numbered partners, so the home collects at most `⌈i/2⌉` acks.
+//!
+//! **Replacement**: the evicted block silently kills its subtree with
+//! unacknowledged `Replace_INV` messages and never informs the home —
+//! directory pointers may go stale; invalidation handling is idempotent so
+//! every `Inv` still produces exactly one ack.
+//!
+//! ```
+//! use dirtree_core::dir::dir_tree::DirTree;
+//! use dirtree_core::protocol::{Protocol, ProtocolParams};
+//! use dirtree_core::testkit::MockCtx;
+//!
+//! // Reproduce Figure 5: after 14 read misses, the 15th requester adopts
+//! // processors 11 and 13 (the maximal equal-height pair).
+//! let mut ctx = MockCtx::new(32);
+//! let mut proto = DirTree::new(4, 2, ProtocolParams::default());
+//! for reader in 1..=15 {
+//!     ctx.read(&mut proto, reader, 0);
+//! }
+//! assert_eq!(proto.children_of(15, 0), &[11, 13]);
+//! ```
+
+use crate::ctx::{ProtoCtx, ProtoEvent};
+use crate::dir::util::{ack, AckCollectors, TxnGate};
+use crate::msg::{Msg, MsgKind};
+use crate::protocol::{ptr_bits, Protocol, ProtocolKind, ProtocolParams};
+use crate::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_sim::FxHashMap;
+
+/// A directory pointer: the root of one sharer tree and its recorded level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ptr {
+    pub node: NodeId,
+    pub level: u32,
+}
+
+#[derive(Default)]
+struct Entry {
+    dirty: bool,
+    owner: NodeId,
+    ptrs: Vec<Option<Ptr>>,
+    pending: Option<(NodeId, OpKind)>,
+    wait_acks: u32,
+    wait_wb: bool,
+    /// The pending writer was itself a recorded root: the grant will tell
+    /// it to kill its own subtree locally.
+    grant_self_root: bool,
+}
+
+/// An invalidation obligation: who to acknowledge and the pairing duty.
+struct DeferredInv {
+    from: NodeId,
+    dir: bool,
+    also: Option<NodeId>,
+}
+
+/// The Dir_iTree_k protocol.
+pub struct DirTree {
+    pointers: u32,
+    arity: u32,
+    params: ProtocolParams,
+    entries: FxHashMap<Addr, Entry>,
+    gate: TxnGate,
+    /// Cache-side child pointers (up to `arity` per line).
+    children: FxHashMap<(NodeId, Addr), Vec<NodeId>>,
+    collectors: AckCollectors,
+    /// Writeback requests that arrived while the owner was still killing
+    /// its own subtree (`WmLip`); served when it becomes exclusive.
+    pending_wb: FxHashMap<(NodeId, Addr), (OpKind, NodeId)>,
+}
+
+impl DirTree {
+    pub fn new(pointers: u32, arity: u32, params: ProtocolParams) -> Self {
+        assert!(pointers >= 1, "need at least one directory pointer");
+        assert!(arity >= 2, "cache blocks need at least two child pointers");
+        Self {
+            pointers,
+            arity,
+            params,
+            entries: FxHashMap::default(),
+            gate: TxnGate::new(),
+            children: FxHashMap::default(),
+            collectors: AckCollectors::new(),
+            pending_wb: FxHashMap::default(),
+        }
+    }
+
+    fn entry(&mut self, addr: Addr) -> &mut Entry {
+        let i = self.pointers as usize;
+        self.entries.entry(addr).or_insert_with(|| Entry {
+            ptrs: vec![None; i],
+            ..Entry::default()
+        })
+    }
+
+    /// The current forest for `addr`: `(root, level)` per non-null pointer,
+    /// in pointer-index order (for tests, analysis cross-checks, and the
+    /// tree-shape experiment).
+    pub fn forest(&self, addr: Addr) -> Vec<Option<Ptr>> {
+        self.entries
+            .get(&addr)
+            .map(|e| e.ptrs.clone())
+            .unwrap_or_else(|| vec![None; self.pointers as usize])
+    }
+
+    /// Cache-side children of `(node, addr)`.
+    pub fn children_of(&self, node: NodeId, addr: Addr) -> &[NodeId] {
+        self.children
+            .get(&(node, addr))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Collect the whole tree rooted at `root` by following child pointers
+    /// (diagnostics; cycles are guarded against).
+    pub fn subtree(&self, root: NodeId, addr: Addr) -> Vec<NodeId> {
+        let mut out = vec![root];
+        let mut i = 0;
+        while i < out.len() && out.len() < 100_000 {
+            let n = out[i];
+            for &c in self.children_of(n, addr) {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn finish_txn(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        if let Some(next) = self.gate.finish(addr) {
+            ctx.redeliver(home, next, 0);
+        }
+    }
+
+    /// Figure 6: insert `requester` into the forest, returning the roots it
+    /// must adopt as children (empty for cases 1 and 2).
+    fn insert_sharer(&mut self, ctx: &mut dyn ProtoCtx, addr: Addr, requester: NodeId) -> Vec<NodeId> {
+        let arity = self.arity as usize;
+        let e = self.entry(addr);
+        // Case 1: already recorded (e.g. silently replaced, now re-reading).
+        if e.ptrs.iter().flatten().any(|p| p.node == requester) {
+            return vec![];
+        }
+        // Case 2: a free pointer.
+        if let Some(slot) = e.ptrs.iter().position(Option::is_none) {
+            e.ptrs[slot] = Some(Ptr {
+                node: requester,
+                level: 1,
+            });
+            return vec![];
+        }
+        // Case 3: merge equal-height trees of maximal equal height. The
+        // paper always merges exactly two ("two pointers are selected");
+        // with arity k > 2 we generalize and adopt up to k equal-height
+        // roots at once (an extension; k = 2 reproduces the paper).
+        let mut best: Option<(u32, Vec<usize>)> = None; // (level, slots)
+        for a in 0..e.ptrs.len() {
+            let la = e.ptrs[a].unwrap().level;
+            if best.as_ref().is_some_and(|(l, _)| *l >= la) {
+                continue;
+            }
+            let slots: Vec<usize> = (a..e.ptrs.len())
+                .filter(|&b| e.ptrs[b].unwrap().level == la)
+                .take(arity)
+                .collect();
+            if slots.len() >= 2 {
+                best = Some((la, slots));
+            }
+        }
+        if let Some((level, slots)) = best {
+            let adopt: Vec<NodeId> = slots.iter().map(|&i| e.ptrs[i].unwrap().node).collect();
+            e.ptrs[slots[0]] = Some(Ptr {
+                node: requester,
+                level: level + 1,
+            });
+            for &i in &slots[1..] {
+                e.ptrs[i] = None;
+            }
+            ctx.note(ProtoEvent::TreeMerge);
+            return adopt;
+        }
+        // Case 4: all levels distinct — push down the smallest tree.
+        let (slot, ptr) = e
+            .ptrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i, p)))
+            .min_by_key(|&(_, p)| p.level)
+            .expect("no pointers despite full directory");
+        e.ptrs[slot] = Some(Ptr {
+            node: requester,
+            level: ptr.level + 1,
+        });
+        ctx.note(ProtoEvent::TreePushDown);
+        vec![ptr.node]
+    }
+
+    fn handle_read_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::ReadReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        if self.entry(addr).dirty {
+            let e = self.entry(addr);
+            debug_assert_ne!(e.owner, requester);
+            e.pending = Some((requester, OpKind::Read));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Read,
+                        requester,
+                    },
+                },
+            );
+        } else {
+            let adopt = self.insert_sharer(ctx, addr, requester);
+            ctx.send(
+                requester,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::ReadReply { adopt },
+                },
+            );
+            // Transaction stays open until the FillAck.
+        }
+    }
+
+    /// Send invalidations to the forest roots, skipping a root that is the
+    /// requesting writer itself — the grant tells it to kill its own
+    /// subtree locally (it holds the child pointers; an `Inv` would only
+    /// bounce back to it). Returns `(expected home acks, writer was a
+    /// recorded root)`.
+    fn invalidate_forest(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        home: NodeId,
+        addr: Addr,
+        requester: NodeId,
+    ) -> (u32, bool) {
+        let pairing = self.params.dir_tree_pairing;
+        let e = self.entries.get_mut(&addr).unwrap();
+        let self_root = e.ptrs.iter().flatten().any(|p| p.node == requester);
+        let mut expected = 0;
+        let mut sends: Vec<(NodeId, Option<NodeId>)> = Vec::new();
+        if pairing {
+            // Even-numbered roots invalidate their odd partners: the home
+            // receives at most ceil(i/2) acknowledgements.
+            let mut slot = 0;
+            while slot < e.ptrs.len() {
+                let even = e.ptrs[slot].map(|p| p.node).filter(|&n| n != requester);
+                let odd = e
+                    .ptrs
+                    .get(slot + 1)
+                    .copied()
+                    .flatten()
+                    .map(|p| p.node)
+                    .filter(|&n| n != requester);
+                match (even, odd) {
+                    (Some(a), also) => sends.push((a, also)),
+                    (None, Some(b)) => sends.push((b, None)),
+                    (None, None) => {}
+                }
+                slot += 2;
+            }
+        } else {
+            for p in e.ptrs.iter().flatten() {
+                if p.node != requester {
+                    sends.push((p.node, None));
+                }
+            }
+        }
+        for (dst, also) in sends {
+            ctx.send(
+                dst,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::Inv {
+                        also,
+                        from_dir: true,
+                    },
+                },
+            );
+            expected += 1;
+        }
+        e.ptrs.iter_mut().for_each(|p| *p = None);
+        (expected, self_root)
+    }
+
+    fn grant_write(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, writer: NodeId) {
+        let e = self.entries.get_mut(&addr).unwrap();
+        e.dirty = true;
+        e.owner = writer;
+        e.ptrs.iter_mut().for_each(|p| *p = None);
+        let kill_self_subtree = e.grant_self_root;
+        e.grant_self_root = false;
+        ctx.send(
+            writer,
+            Msg {
+                addr,
+                src: home,
+                kind: MsgKind::WriteReply { kill_self_subtree },
+            },
+        );
+        self.finish_txn(ctx, home, addr);
+    }
+
+    fn handle_write_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::WriteReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let e = self.entry(addr);
+        if e.dirty {
+            e.pending = Some((requester, OpKind::Write));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Write,
+                        requester,
+                    },
+                },
+            );
+            return;
+        }
+        let (expected, self_root) = self.invalidate_forest(ctx, home, addr, requester);
+        {
+            let e = self.entries.get_mut(&addr).unwrap();
+            e.grant_self_root = self_root;
+        }
+        if expected == 0 {
+            self.grant_write(ctx, home, addr, requester);
+        } else {
+            let e = self.entries.get_mut(&addr).unwrap();
+            e.pending = Some((requester, OpKind::Write));
+            e.wait_acks = expected;
+        }
+    }
+
+    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, src: NodeId, evict: bool) {
+        let e = self.entry(addr);
+        if e.wait_wb {
+            e.wait_wb = false;
+            let (requester, op) = e.pending.take().expect("wait_wb without pending");
+            e.dirty = false;
+            let old_owner = e.owner;
+            match op {
+                OpKind::Read => {
+                    // The downgraded owner becomes the first root; then the
+                    // requester joins through the normal insertion path.
+                    if !evict {
+                        e.ptrs[0] = Some(Ptr {
+                            node: old_owner,
+                            level: 1,
+                        });
+                    }
+                    let adopt = self.insert_sharer(ctx, addr, requester);
+                    ctx.send(
+                        requester,
+                        Msg {
+                            addr,
+                            src: home,
+                            kind: MsgKind::ReadReply { adopt },
+                        },
+                    );
+                    // Transaction stays open until the FillAck.
+                }
+                OpKind::Write => {
+                    self.grant_write(ctx, home, addr, requester);
+                }
+            }
+        } else {
+            debug_assert!(evict);
+            let e = self.entries.get_mut(&addr).unwrap();
+            debug_assert!(e.dirty && e.owner == src);
+            e.dirty = false;
+        }
+    }
+
+    fn handle_inv_ack_home(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        let e = self.entries.get_mut(&addr).expect("ack without entry");
+        debug_assert!(e.wait_acks > 0);
+        e.wait_acks -= 1;
+        if e.wait_acks == 0 {
+            let (requester, op) = e.pending.take().expect("acks without pending");
+            debug_assert_eq!(op, OpKind::Write);
+            self.grant_write(ctx, home, addr, requester);
+        }
+    }
+
+    /// Perform the invalidation of a live copy at `node`: forward to
+    /// children and any `also` partners, then ack the debts (immediately or
+    /// through a collector).
+    fn kill_copy(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        node: NodeId,
+        addr: Addr,
+        debts: Vec<DeferredInv>,
+        invalidate_line: bool,
+    ) {
+        let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+        let mut outstanding = 0;
+        for k in kids {
+            ctx.send(
+                k,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::Inv {
+                        also: None,
+                        from_dir: false,
+                    },
+                },
+            );
+            outstanding += 1;
+        }
+        for d in &debts {
+            if let Some(partner) = d.also {
+                ctx.send(
+                    partner,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::Inv {
+                            also: None,
+                            from_dir: false,
+                        },
+                    },
+                );
+                outstanding += 1;
+            }
+        }
+        if outstanding == 0 {
+            if invalidate_line {
+                ctx.set_line_state(node, addr, LineState::Iv);
+            }
+            for d in debts {
+                ack(ctx, node, addr, d.from, d.dir);
+            }
+        } else {
+            if invalidate_line {
+                ctx.set_line_state(node, addr, LineState::InvIp);
+            }
+            let mut debts = debts.into_iter();
+            let first = debts.next().expect("kill_copy with no debts");
+            self.collectors
+                .open(node, addr, first.from, first.dir, outstanding);
+            for d in debts {
+                self.collectors.absorb(node, addr, d.from, d.dir, 0);
+            }
+        }
+    }
+
+    fn handle_inv(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::Inv { also, from_dir } = msg.kind else {
+            unreachable!()
+        };
+        let debt = DeferredInv {
+            from: msg.src,
+            dir: from_dir,
+            also,
+        };
+        // A node already collecting acknowledgements answers immediately:
+        // its subtree is covered by the first invalidation path, and
+        // waiting here could deadlock on child-pointer *cycles* created by
+        // silent replacement + rejoin (A is replaced, re-reads, and adopts
+        // its own ex-ancestor). Immediate acks make every wait edge follow
+        // first-visit order, which is acyclic. A pairing duty ('also') is
+        // the one thing that must still be discharged and awaited.
+        if self.collectors.is_open(node, addr) {
+            if let Some(partner) = debt.also {
+                ctx.send(
+                    partner,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::Inv {
+                            also: None,
+                            from_dir: false,
+                        },
+                    },
+                );
+                self.collectors.absorb(node, addr, debt.from, debt.dir, 1);
+            } else {
+                ack(ctx, node, addr, debt.from, debt.dir);
+            }
+            return;
+        }
+        match ctx.line_state(node, addr) {
+            LineState::V => {
+                ctx.note(ProtoEvent::Invalidation);
+                self.kill_copy(ctx, node, addr, vec![debt], true);
+            }
+            LineState::WmIp | LineState::WmLip => {
+                // Upgrading writer: its old copy (and subtree) dies, but the
+                // line stays transient awaiting the grant.
+                self.kill_copy(ctx, node, addr, vec![debt], false);
+            }
+            LineState::InvIp => {
+                // InvIp with a closed collector cannot happen (the state is
+                // set exactly while a collector is open, and the open case
+                // returned above).
+                unreachable!("InvIp line without an open collector");
+            }
+            LineState::Iv | LineState::NotPresent | LineState::RmIp => {
+                // Stale target (or a requester whose read has not been
+                // served yet — the home holds read transactions open until
+                // the FillAck, so no fill can be in flight here): no copy,
+                // no children — but a pairing duty must still be
+                // discharged.
+                debug_assert!(self.children_of(node, addr).is_empty());
+                if let Some(partner) = debt.also {
+                    ctx.send(
+                        partner,
+                        Msg {
+                            addr,
+                            src: node,
+                            kind: MsgKind::Inv {
+                                also: None,
+                                from_dir: false,
+                            },
+                        },
+                    );
+                    self.collectors.open(node, addr, debt.from, debt.dir, 1);
+                } else {
+                    ack(ctx, node, addr, debt.from, debt.dir);
+                }
+            }
+            LineState::E => {
+                // Unreachable by construction (see module docs); be safe.
+                debug_assert!(false, "Inv reached an exclusive owner");
+                ack(ctx, node, addr, debt.from, debt.dir);
+            }
+        }
+    }
+
+    fn handle_inv_ack_cache(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr) {
+        if let Some(targets) = self.collectors.ack(node, addr) {
+            if ctx.line_state(node, addr) == LineState::InvIp {
+                ctx.set_line_state(node, addr, LineState::Iv);
+            }
+            for (to, dir) in targets {
+                if to == node && !dir {
+                    // Self-subtree kill finished: the write completes.
+                    debug_assert_eq!(ctx.line_state(node, addr), LineState::WmLip);
+                    ctx.set_line_state(node, addr, LineState::E);
+                    ctx.complete(node, addr, OpKind::Write);
+                    if let Some((for_op, requester)) = self.pending_wb.remove(&(node, addr)) {
+                        self.serve_wb_req(ctx, node, addr, for_op, requester);
+                    }
+                } else {
+                    ack(ctx, node, addr, to, dir);
+                }
+            }
+        }
+    }
+
+    /// Serve a home recall at the exclusive owner.
+    fn serve_wb_req(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        node: NodeId,
+        addr: Addr,
+        for_op: OpKind,
+        requester: NodeId,
+    ) {
+        use crate::types::LineState as S;
+        debug_assert_eq!(ctx.line_state(node, addr), S::E);
+        debug_assert!(self.children_of(node, addr).is_empty());
+        ctx.set_line_state(
+            node,
+            addr,
+            match for_op {
+                OpKind::Read => S::V,
+                OpKind::Write => S::Iv,
+            },
+        );
+        let home = ctx.home_of(addr);
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind: MsgKind::WbData { for_op, requester },
+            },
+        );
+    }
+
+    fn handle_read_reply(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::ReadReply { adopt } = msg.kind else {
+            unreachable!()
+        };
+        debug_assert_eq!(ctx.line_state(node, addr), LineState::RmIp);
+        debug_assert!(
+            self.children_of(node, addr).is_empty(),
+            "filling a line that still owns children"
+        );
+        debug_assert!(adopt.len() <= self.arity as usize);
+        if !adopt.is_empty() {
+            self.children.insert((node, addr), adopt);
+        }
+        ctx.set_line_state(node, addr, LineState::V);
+        ctx.complete(node, addr, OpKind::Read);
+        let home = ctx.home_of(addr);
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind: MsgKind::FillAck,
+            },
+        );
+    }
+
+    fn handle_replace_inv(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr) {
+        // A transient, invalid or exclusive line is no longer the copy the
+        // stale parent thought it was killing; only a live shared copy dies.
+        if ctx.line_state(node, addr) == LineState::V {
+            ctx.note(ProtoEvent::ReplacementInvalidation);
+            let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+            for k in kids {
+                ctx.send(
+                    k,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::ReplaceInv,
+                    },
+                );
+            }
+            ctx.set_line_state(node, addr, LineState::Iv);
+        }
+    }
+
+    fn handle_repl_notify(&mut self, _ctx: &mut dyn ProtoCtx, addr: Addr, src: NodeId) {
+        // Ablation policy E12: clear a stale root pointer eagerly.
+        if let Some(e) = self.entries.get_mut(&addr) {
+            for p in e.ptrs.iter_mut() {
+                if p.map(|q| q.node) == Some(src) {
+                    *p = None;
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for DirTree {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::DirTree {
+            pointers: self.pointers,
+            arity: self.arity,
+        }
+    }
+
+    fn start_miss(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, op: OpKind) {
+        let home = ctx.home_of(addr);
+        let kind = match op {
+            OpKind::Read => MsgKind::ReadReq { requester: node },
+            OpKind::Write => MsgKind::WriteReq { requester: node },
+        };
+        ctx.send(home, Msg { addr, src: node, kind });
+    }
+
+    fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        match msg.kind {
+            MsgKind::ReadReq { .. } => self.handle_read_req(ctx, node, msg),
+            MsgKind::WriteReq { .. } => self.handle_write_req(ctx, node, msg),
+            MsgKind::WbData { .. } => self.handle_wb(ctx, node, addr, msg.src, false),
+            MsgKind::WbEvict => self.handle_wb(ctx, node, addr, msg.src, true),
+            MsgKind::InvAck { dir: true } => self.handle_inv_ack_home(ctx, node, addr),
+            MsgKind::FillAck => self.finish_txn(ctx, node, addr),
+            MsgKind::InvAck { dir: false } => self.handle_inv_ack_cache(ctx, node, addr),
+            MsgKind::ReadReply { .. } => self.handle_read_reply(ctx, node, msg),
+            MsgKind::WriteReply { kill_self_subtree } => {
+                debug_assert_eq!(ctx.line_state(node, addr), LineState::WmIp);
+                let kids = if kill_self_subtree {
+                    self.children.remove(&(node, addr)).unwrap_or_default()
+                } else {
+                    // Any children the writer had were killed when the
+                    // invalidation reached it through the forest (before
+                    // its subtree acked, hence before this grant).
+                    debug_assert!(self.children_of(node, addr).is_empty());
+                    Vec::new()
+                };
+                if kids.is_empty() {
+                    ctx.set_line_state(node, addr, LineState::E);
+                    ctx.complete(node, addr, OpKind::Write);
+                } else {
+                    // Kill our own subtree before the write completes.
+                    ctx.set_line_state(node, addr, LineState::WmLip);
+                    self.collectors
+                        .open(node, addr, node, false, kids.len() as u32);
+                    for k in kids {
+                        ctx.send(
+                            k,
+                            Msg {
+                                addr,
+                                src: node,
+                                kind: MsgKind::Inv {
+                                    also: None,
+                                    from_dir: false,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+            MsgKind::Inv { .. } => self.handle_inv(ctx, node, msg),
+            MsgKind::ReplaceInv => self.handle_replace_inv(ctx, node, addr),
+            MsgKind::ReplNotify => self.handle_repl_notify(ctx, addr, msg.src),
+            MsgKind::WbReq { for_op, requester } => {
+                use crate::types::LineState as S;
+                match ctx.line_state(node, addr) {
+                    S::E => self.serve_wb_req(ctx, node, addr, for_op, requester),
+                    // Still killing our own subtree after the grant: serve
+                    // the recall once exclusive.
+                    S::WmLip => {
+                        self.pending_wb.insert((node, addr), (for_op, requester));
+                    }
+                    // Evicted: the WbEvict in flight satisfies the home.
+                    _ => {}
+                }
+            }
+            other => unreachable!("Dir_iTree_k received {other:?}"),
+        }
+    }
+
+    fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
+        match state {
+            LineState::V => {
+                let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+                for k in kids {
+                    ctx.send(
+                        k,
+                        Msg {
+                            addr,
+                            src: node,
+                            kind: MsgKind::ReplaceInv,
+                        },
+                    );
+                }
+                if !self.params.dir_tree_silent_replace {
+                    let home = ctx.home_of(addr);
+                    ctx.send(
+                        home,
+                        Msg {
+                            addr,
+                            src: node,
+                            kind: MsgKind::ReplNotify,
+                        },
+                    );
+                }
+            }
+            LineState::E => {
+                let home = ctx.home_of(addr);
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::WbEvict,
+                    },
+                );
+            }
+            other => unreachable!("evicting line in state {other:?}"),
+        }
+    }
+
+    fn dir_bits_per_mem_block(&self, nodes: u32) -> u64 {
+        // i pointers, each (node id + level) ≈ 2·log n bits, plus dirty.
+        2 * self.pointers as u64 * ptr_bits(nodes) + 1
+    }
+
+    fn cache_bits_per_line(&self, nodes: u32) -> u64 {
+        // k child pointers of log n bits, plus state.
+        self.arity as u64 * ptr_bits(nodes) + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ProtocolParams;
+    use crate::testutil::MockCtx;
+
+    fn setup(nodes: u32, pointers: u32) -> (MockCtx, DirTree) {
+        (
+            MockCtx::new(nodes),
+            DirTree::new(pointers, 2, ProtocolParams::default()),
+        )
+    }
+
+    /// Home of every address used below is node 0 (addr % nodes == 0), so
+    /// requesters 1..=15 never collide with the home.
+    const A: Addr = 0;
+
+    #[test]
+    fn read_miss_is_always_two_messages() {
+        let (mut ctx, mut p) = setup(32, 4);
+        for n in 1..=20 {
+            let mark = ctx.mark();
+            ctx.read(&mut p, n, A);
+            assert_eq!(
+                ctx.critical_since(mark),
+                2,
+                "read miss #{n} must cost exactly 2 messages (paper Table 1)"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_figure5_fifteenth_request_adopts_11_and_13() {
+        let (mut ctx, mut p) = setup(32, 4);
+        for n in 1..=14 {
+            ctx.read(&mut p, n, A);
+        }
+        // After 14 requests the maximal-equal-level pair is (11, 13).
+        ctx.read(&mut p, 15, A);
+        assert_eq!(p.children_of(15, A), &[11, 13]);
+    }
+
+    #[test]
+    fn forest_levels_follow_figure6() {
+        let (mut ctx, mut p) = setup(32, 2);
+        // Dir2Tree2 trace from Table 3: levels evolve 1,1 -> merge.
+        ctx.read(&mut p, 1, A);
+        ctx.read(&mut p, 2, A);
+        assert_eq!(
+            p.forest(A),
+            vec![
+                Some(Ptr { node: 1, level: 1 }),
+                Some(Ptr { node: 2, level: 1 })
+            ]
+        );
+        ctx.read(&mut p, 3, A); // merge: 3 adopts 1 and 2
+        assert_eq!(
+            p.forest(A),
+            vec![Some(Ptr { node: 3, level: 2 }), None]
+        );
+        assert_eq!(p.children_of(3, A), &[1, 2]);
+        ctx.read(&mut p, 4, A); // free slot
+        ctx.read(&mut p, 5, A); // push down: 5 adopts 4 (levels 2 and 1 differ)
+        assert_eq!(
+            p.forest(A),
+            vec![
+                Some(Ptr { node: 3, level: 2 }),
+                Some(Ptr { node: 5, level: 2 })
+            ]
+        );
+        assert_eq!(p.children_of(5, A), &[4]);
+        ctx.read(&mut p, 6, A); // merge 3 and 5 under 6
+        assert_eq!(
+            p.forest(A),
+            vec![Some(Ptr { node: 6, level: 3 }), None]
+        );
+        assert_eq!(p.children_of(6, A), &[3, 5]);
+    }
+
+    #[test]
+    fn rereading_when_already_recorded_does_not_restructure() {
+        let (mut ctx, mut p) = setup(32, 4);
+        for n in 1..=4 {
+            ctx.read(&mut p, n, A);
+        }
+        let forest = p.forest(A);
+        ctx.evict(&mut p, 2, A); // silent
+        ctx.read(&mut p, 2, A); // case 1: still recorded
+        assert_eq!(p.forest(A), forest, "forest unchanged by re-read");
+    }
+
+    #[test]
+    fn write_invalidates_entire_forest() {
+        let (mut ctx, mut p) = setup(32, 4);
+        for n in 1..=15 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.write(&mut p, 20, A);
+        for n in 1..=15 {
+            assert!(
+                !ctx.line_state(n, A).readable(),
+                "node {n} survived the write"
+            );
+        }
+        assert_eq!(ctx.line_state(20, A), LineState::E);
+        ctx.assert_swmr(A);
+        // Forest is empty and dirty.
+        assert!(p.forest(A).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn pairing_halves_home_acks() {
+        let (mut ctx, mut p) = setup(32, 4);
+        for n in 1..=8 {
+            ctx.read(&mut p, n, A); // fills 4 pointers, then merges
+        }
+        let mark = ctx.mark();
+        ctx.write(&mut p, 9, A);
+        let dir_acks = ctx
+            .sent_since(mark)
+            .iter()
+            .filter(|(_, m)| matches!(m.kind, MsgKind::InvAck { dir: true }))
+            .count();
+        let live_roots = 4; // after 8 inserts all four pointers are live
+        assert!(
+            dir_acks <= live_roots / 2 + 1,
+            "home saw {dir_acks} acks, pairing should bound it by ceil(roots/2)"
+        );
+    }
+
+    #[test]
+    fn no_pairing_ablation_sends_ack_per_root() {
+        let params = ProtocolParams {
+            dir_tree_pairing: false,
+            ..Default::default()
+        };
+        let mut p = DirTree::new(4, 2, params);
+        let mut ctx = MockCtx::new(32);
+        for n in 1..=8 {
+            ctx.read(&mut p, n, A);
+        }
+        let roots = p.forest(A).iter().flatten().count();
+        let mark = ctx.mark();
+        ctx.write(&mut p, 9, A);
+        let dir_acks = ctx
+            .sent_since(mark)
+            .iter()
+            .filter(|(_, m)| matches!(m.kind, MsgKind::InvAck { dir: true }))
+            .count();
+        assert_eq!(dir_acks, roots);
+    }
+
+    #[test]
+    fn silent_replacement_kills_subtree_only() {
+        let (mut ctx, mut p) = setup(32, 2);
+        for n in 1..=3 {
+            ctx.read(&mut p, n, A); // 3 is root with children {1, 2}
+        }
+        ctx.read(&mut p, 4, A);
+        ctx.evict(&mut p, 3, A); // Replace_INV kills 1 and 2 silently
+        assert!(!ctx.line_state(1, A).readable());
+        assert!(!ctx.line_state(2, A).readable());
+        assert!(ctx.line_state(4, A).readable(), "other tree untouched");
+        // Home still (staleley) points at 3; a write must still work.
+        ctx.write(&mut p, 5, A);
+        ctx.assert_swmr(A);
+        assert_eq!(ctx.holders(A), vec![5]);
+    }
+
+    #[test]
+    fn stale_root_rejoin_with_duplicate_invs_is_coherent() {
+        let (mut ctx, mut p) = setup(32, 2);
+        // Build: 3 -> {1, 2}; evict 1 silently (leaf). Home pointer still
+        // references the tree; 1 re-reads and is re-inserted elsewhere,
+        // creating a stale 3 -> 1 edge plus a fresh position for 1.
+        for n in 1..=3 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.evict(&mut p, 1, A);
+        ctx.read(&mut p, 4, A); // occupies second pointer
+        ctx.read(&mut p, 1, A); // 1 rejoins: push-down of tree 4 (levels 2 vs 1)
+        assert_eq!(p.children_of(1, A), &[4]);
+        // Now the write's invalidation visits 1 once from home (root) and
+        // once via the stale edge from 3.
+        ctx.write(&mut p, 9, A);
+        ctx.assert_swmr(A);
+        assert_eq!(ctx.holders(A), vec![9]);
+    }
+
+    #[test]
+    fn dirty_read_recall_keeps_owner_as_root() {
+        let (mut ctx, mut p) = setup(32, 4);
+        ctx.write(&mut p, 2, A);
+        ctx.read(&mut p, 5, A);
+        assert_eq!(ctx.line_state(2, A), LineState::V);
+        assert_eq!(ctx.line_state(5, A), LineState::V);
+        let forest = p.forest(A);
+        assert_eq!(forest[0], Some(Ptr { node: 2, level: 1 }));
+        assert_eq!(forest[1], Some(Ptr { node: 5, level: 1 }));
+    }
+
+    #[test]
+    fn upgrade_write_from_inside_the_forest() {
+        let (mut ctx, mut p) = setup(32, 2);
+        for n in 1..=5 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.write(&mut p, 3, A); // 3 is inside the forest (has children)
+        assert_eq!(ctx.line_state(3, A), LineState::E);
+        for n in [1, 2, 4, 5] {
+            assert!(!ctx.line_state(n, A).readable());
+        }
+        ctx.assert_swmr(A);
+        assert!(p.children_of(3, A).is_empty(), "writer's children cleared");
+    }
+
+    #[test]
+    fn exclusive_eviction_cleans_dirty_state() {
+        let (mut ctx, mut p) = setup(32, 4);
+        ctx.write(&mut p, 3, A);
+        ctx.evict(&mut p, 3, A);
+        let mark = ctx.mark();
+        ctx.read(&mut p, 4, A);
+        assert_eq!(ctx.critical_since(mark), 2, "clean read after writeback");
+    }
+
+    #[test]
+    fn repl_notify_ablation_clears_stale_pointer() {
+        let params = ProtocolParams {
+            dir_tree_silent_replace: false,
+            ..Default::default()
+        };
+        let mut p = DirTree::new(4, 2, params);
+        let mut ctx = MockCtx::new(32);
+        ctx.read(&mut p, 1, A);
+        ctx.read(&mut p, 2, A);
+        ctx.evict(&mut p, 1, A);
+        assert_eq!(p.forest(A)[0], None, "notify cleared the pointer");
+        assert_eq!(p.forest(A)[1], Some(Ptr { node: 2, level: 1 }));
+    }
+
+    #[test]
+    fn deep_forest_write_storm_many_nodes() {
+        let (mut ctx, mut p) = setup(32, 1);
+        // Dir1Tree2 degenerates to a single (chain-heavy) tree.
+        for n in 1..=25 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.write(&mut p, 30, A);
+        for n in 1..=25 {
+            assert!(!ctx.line_state(n, A).readable());
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn sequential_writers_chain_ownership() {
+        let (mut ctx, mut p) = setup(16, 4);
+        for n in 0..16 {
+            ctx.write(&mut p, n, A);
+            ctx.assert_swmr(A);
+            assert_eq!(ctx.holders(A), vec![n]);
+        }
+    }
+
+    #[test]
+    fn subtree_inspection_walks_children() {
+        let (mut ctx, mut p) = setup(32, 2);
+        for n in 1..=3 {
+            ctx.read(&mut p, n, A);
+        }
+        let t = p.subtree(3, A);
+        assert_eq!(t, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn memory_formula_matches_section3() {
+        let p = DirTree::new(4, 2, ProtocolParams::default());
+        // 2·i·log n + dirty = 2·4·5 + 1 for n = 32.
+        assert_eq!(p.dir_bits_per_mem_block(32), 41);
+        // k·log n + state = 2·5 + 3.
+        assert_eq!(p.cache_bits_per_line(32), 13);
+    }
+
+    #[test]
+    fn upgrade_by_sole_sharer_costs_two_messages() {
+        // Migratory pattern: read then write by the same node. The home
+        // skips the self-invalidation (the grant carries the subtree-kill
+        // instruction), so the upgrade costs req + grant only.
+        let (mut ctx, mut p) = setup(32, 4);
+        ctx.read(&mut p, 3, A);
+        let mark = ctx.mark();
+        ctx.write(&mut p, 3, A);
+        assert_eq!(ctx.critical_since(mark), 2, "upgrade must match full-map");
+        assert_eq!(ctx.line_state(3, A), LineState::E);
+    }
+
+    #[test]
+    fn upgrade_by_root_with_children_kills_subtree_locally() {
+        let (mut ctx, mut p) = setup(32, 2);
+        for n in 1..=3 {
+            ctx.read(&mut p, n, A); // 3 -> {1, 2}
+        }
+        assert_eq!(p.children_of(3, A), &[1, 2]);
+        let mark = ctx.mark();
+        ctx.write(&mut p, 3, A); // 3 is the sole root
+        // req + grant + 2 self-issued invs + 2 acks = 6, still cheaper
+        // than bouncing an Inv off the home.
+        assert_eq!(ctx.critical_since(mark), 6);
+        assert!(!ctx.line_state(1, A).readable());
+        assert!(!ctx.line_state(2, A).readable());
+        assert_eq!(ctx.line_state(3, A), LineState::E);
+        assert!(p.children_of(3, A).is_empty());
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn writer_as_odd_partner_is_skipped_in_pairing() {
+        let (mut ctx, mut p) = setup(32, 4);
+        ctx.read(&mut p, 5, A); // ptr0
+        ctx.read(&mut p, 7, A); // ptr1
+        let mark = ctx.mark();
+        ctx.write(&mut p, 7, A); // the odd partner upgrades
+        // Home invalidates only node 5 (no `also` back to the writer):
+        // req + inv(5) + ack + grant = 4.
+        assert_eq!(ctx.critical_since(mark), 4);
+        assert!(!ctx.line_state(5, A).readable());
+        assert_eq!(ctx.line_state(7, A), LineState::E);
+    }
+
+    #[test]
+    fn recall_during_self_subtree_kill_is_deferred() {
+        // Build 3 -> {1, 2}; 3 upgrades (self-kill in progress keeps it
+        // WmLip briefly); a reader's recall must wait for exclusivity.
+        // With the mock's synchronous delivery the window closes inside
+        // run(), so this exercises the pending_wb bookkeeping end-to-end.
+        let (mut ctx, mut p) = setup(32, 2);
+        for n in 1..=3 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.write(&mut p, 3, A);
+        ctx.read(&mut p, 9, A); // dirty recall from 3
+        assert_eq!(ctx.line_state(3, A), LineState::V);
+        assert_eq!(ctx.line_state(9, A), LineState::V);
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn arity_four_merges_up_to_four_trees() {
+        let mut p = DirTree::new(4, 4, ProtocolParams::default());
+        let mut ctx = MockCtx::new(32);
+        for n in 1..=4 {
+            ctx.read(&mut p, n, A); // fill the four pointers, level 1 each
+        }
+        ctx.read(&mut p, 5, A); // 4-way merge: 5 adopts all four
+        assert_eq!(p.children_of(5, A), &[1, 2, 3, 4]);
+        let forest = p.forest(A);
+        assert_eq!(forest[0], Some(Ptr { node: 5, level: 2 }));
+        assert!(forest[1..].iter().all(Option::is_none));
+        // Coherence still holds through the wider tree.
+        ctx.write(&mut p, 9, A);
+        for n in 1..=5 {
+            assert!(!ctx.line_state(n, A).readable());
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn arity_two_merge_is_unchanged_by_the_generalization() {
+        // The k = 2 behaviour must stay exactly the paper's (Figure 5).
+        let (mut ctx, mut p) = setup(32, 4);
+        for n in 1..=15 {
+            ctx.read(&mut p, n, A);
+        }
+        assert_eq!(p.children_of(15, A), &[11, 13]);
+    }
+
+    #[test]
+    fn interleaved_reads_and_writes_converge() {
+        let (mut ctx, mut p) = setup(32, 4);
+        for round in 0..4 {
+            for n in 1..=10 {
+                ctx.read(&mut p, n, A);
+            }
+            ctx.write(&mut p, round, A);
+            ctx.assert_swmr(A);
+            assert_eq!(ctx.holders(A), vec![round]);
+        }
+    }
+}

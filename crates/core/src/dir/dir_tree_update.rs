@@ -1,0 +1,596 @@
+//! Dir<sub>i</sub>Tree<sub>k</sub> with **update** writes — the variant
+//! §3 of the paper mentions ("either an invalidation or an update
+//! protocol") but does not evaluate.
+//!
+//! Reads build the same pointer forest as the invalidation variant
+//! (identical Figure 6 insertion). A write, however, pushes the new value
+//! *down the trees* with `Update` messages (paired even→odd like the
+//! invalidations) and every copy stays valid; there is no exclusive state,
+//! so every write — including repeated writes by the same processor — is
+//! a full home transaction. Good for producer/consumer sharing, terrible
+//! for private read-modify-write data: measurable with the
+//! `ablation_update` binary.
+//!
+//! The home applies the value to memory when it processes the write, so
+//! memory is always current and reads are always served by the home in 2
+//! messages; there are no dirty recalls at all.
+
+use crate::ctx::{ProtoCtx, ProtoEvent};
+use crate::dir::util::{AckCollectors, TxnGate};
+use crate::msg::{Msg, MsgKind};
+use crate::protocol::{ptr_bits, Protocol, ProtocolKind, ProtocolParams};
+use crate::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_sim::FxHashMap;
+
+use super::dir_tree::Ptr;
+
+#[derive(Default)]
+struct Entry {
+    ptrs: Vec<Option<Ptr>>,
+    pending_writer: Option<NodeId>,
+    wait_acks: u32,
+}
+
+/// The update-write Dir_iTree_k variant.
+pub struct DirTreeUpdate {
+    pointers: u32,
+    arity: u32,
+    params: ProtocolParams,
+    entries: FxHashMap<Addr, Entry>,
+    gate: TxnGate,
+    children: FxHashMap<(NodeId, Addr), Vec<NodeId>>,
+    collectors: AckCollectors,
+}
+
+impl DirTreeUpdate {
+    pub fn new(pointers: u32, arity: u32, params: ProtocolParams) -> Self {
+        assert!(pointers >= 1);
+        assert!(arity >= 2);
+        Self {
+            pointers,
+            arity,
+            params,
+            entries: FxHashMap::default(),
+            gate: TxnGate::new(),
+            children: FxHashMap::default(),
+            collectors: AckCollectors::new(),
+        }
+    }
+
+    fn entry(&mut self, addr: Addr) -> &mut Entry {
+        let i = self.pointers as usize;
+        self.entries.entry(addr).or_insert_with(|| Entry {
+            ptrs: vec![None; i],
+            ..Entry::default()
+        })
+    }
+
+    pub fn forest(&self, addr: Addr) -> Vec<Option<Ptr>> {
+        self.entries
+            .get(&addr)
+            .map(|e| e.ptrs.clone())
+            .unwrap_or_else(|| vec![None; self.pointers as usize])
+    }
+
+    pub fn children_of(&self, node: NodeId, addr: Addr) -> &[NodeId] {
+        self.children
+            .get(&(node, addr))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn finish_txn(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        if let Some(next) = self.gate.finish(addr) {
+            ctx.redeliver(home, next, 0);
+        }
+    }
+
+    /// Figure 6 insertion (same rules as the invalidation variant).
+    fn insert_sharer(&mut self, ctx: &mut dyn ProtoCtx, addr: Addr, requester: NodeId) -> Vec<NodeId> {
+        let e = self.entry(addr);
+        if e.ptrs.iter().flatten().any(|p| p.node == requester) {
+            return vec![];
+        }
+        if let Some(slot) = e.ptrs.iter().position(Option::is_none) {
+            e.ptrs[slot] = Some(Ptr {
+                node: requester,
+                level: 1,
+            });
+            return vec![];
+        }
+        let mut best: Option<(u32, usize, usize)> = None;
+        for a in 0..e.ptrs.len() {
+            for b in (a + 1)..e.ptrs.len() {
+                let (la, lb) = (e.ptrs[a].unwrap().level, e.ptrs[b].unwrap().level);
+                if la == lb && best.is_none_or(|(l, ..)| la > l) {
+                    best = Some((la, a, b));
+                }
+            }
+        }
+        if let Some((level, a, b)) = best {
+            let ra = e.ptrs[a].unwrap().node;
+            let rb = e.ptrs[b].unwrap().node;
+            e.ptrs[a] = Some(Ptr {
+                node: requester,
+                level: level + 1,
+            });
+            e.ptrs[b] = None;
+            ctx.note(ProtoEvent::TreeMerge);
+            return vec![ra, rb];
+        }
+        let (slot, ptr) = e
+            .ptrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i, p)))
+            .min_by_key(|&(_, p)| p.level)
+            .expect("no pointers despite full directory");
+        e.ptrs[slot] = Some(Ptr {
+            node: requester,
+            level: ptr.level + 1,
+        });
+        ctx.note(ProtoEvent::TreePushDown);
+        vec![ptr.node]
+    }
+
+    fn handle_read_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::ReadReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let adopt = self.insert_sharer(ctx, addr, requester);
+        ctx.send(
+            requester,
+            Msg {
+                addr,
+                src: home,
+                kind: MsgKind::ReadReply { adopt },
+            },
+        );
+        // Open until FillAck.
+    }
+
+    /// Send updates to the (pre-insertion) forest roots; returns expected
+    /// ack count.
+    fn update_forest(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) -> u32 {
+        let pairing = self.params.dir_tree_pairing;
+        let e = self.entries.get_mut(&addr).unwrap();
+        let mut expected = 0;
+        let mut send_to: Vec<(NodeId, Option<NodeId>)> = Vec::new();
+        if pairing {
+            let mut slot = 0;
+            while slot < e.ptrs.len() {
+                let even = e.ptrs[slot].map(|p| p.node);
+                let odd = e.ptrs.get(slot + 1).copied().flatten().map(|p| p.node);
+                match (even, odd) {
+                    (Some(a), also) => send_to.push((a, also)),
+                    (None, Some(b)) => send_to.push((b, None)),
+                    (None, None) => {}
+                }
+                slot += 2;
+            }
+        } else {
+            for p in e.ptrs.iter().flatten() {
+                send_to.push((p.node, None));
+            }
+        }
+        for (dst, also) in send_to {
+            ctx.send(
+                dst,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::Update {
+                        also,
+                        from_dir: true,
+                    },
+                },
+            );
+            expected += 1;
+        }
+        expected
+    }
+
+    fn grant(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, writer: NodeId) {
+        // Insert the writer as a sharer (it keeps a valid copy).
+        let adopt = self.insert_sharer(ctx, addr, writer);
+        ctx.send(
+            writer,
+            Msg {
+                addr,
+                src: home,
+                kind: MsgKind::UpdateGrant { adopt },
+            },
+        );
+        self.finish_txn(ctx, home, addr);
+    }
+
+    fn handle_write_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::WriteReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        self.entry(addr); // ensure the directory entry exists
+        let expected = self.update_forest(ctx, home, addr);
+        if expected == 0 {
+            self.grant(ctx, home, addr, requester);
+        } else {
+            let e = self.entries.get_mut(&addr).unwrap();
+            e.pending_writer = Some(requester);
+            e.wait_acks = expected;
+        }
+    }
+
+    fn handle_update(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::Update { also, from_dir } = msg.kind else {
+            unreachable!()
+        };
+        if self.collectors.is_open(node, addr) {
+            // Already collecting: answer immediately except for a pairing
+            // duty, which must be forwarded and awaited (see dir_tree.rs
+            // for the cycle-freedom argument).
+            if let Some(partner) = also {
+                ctx.send(
+                    partner,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::Update {
+                            also: None,
+                            from_dir: false,
+                        },
+                    },
+                );
+                self.collectors.absorb(node, addr, msg.src, from_dir, 1);
+            } else {
+                ctx.send(
+                    msg.src,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::UpdateAck { dir: from_dir },
+                    },
+                );
+            }
+            return;
+        }
+        // Forward to children (kept — nothing is invalidated) and the
+        // pairing partner; the copy itself is refreshed in place.
+        let kids: Vec<NodeId> = self.children_of(node, addr).to_vec();
+        let mut outstanding = 0;
+        let live = ctx.line_state(node, addr) == LineState::V;
+        if live {
+            ctx.note(ProtoEvent::Invalidation); // counted as "copies touched"
+        }
+        if live || ctx.line_state(node, addr) == LineState::WmIp {
+            for k in kids {
+                ctx.send(
+                    k,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::Update {
+                            also: None,
+                            from_dir: false,
+                        },
+                    },
+                );
+                outstanding += 1;
+            }
+        }
+        if let Some(partner) = also {
+            ctx.send(
+                partner,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::Update {
+                        also: None,
+                        from_dir: false,
+                    },
+                },
+            );
+            outstanding += 1;
+        }
+        if outstanding == 0 {
+            ctx.send(
+                msg.src,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::UpdateAck { dir: from_dir },
+                },
+            );
+        } else {
+            self.collectors
+                .open(node, addr, msg.src, from_dir, outstanding);
+        }
+    }
+
+    fn handle_update_ack_cache(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr) {
+        if let Some(targets) = self.collectors.ack(node, addr) {
+            for (to, dir) in targets {
+                ctx.send(
+                    to,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::UpdateAck { dir },
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_update_ack_home(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        let e = self.entries.get_mut(&addr).expect("ack without entry");
+        debug_assert!(e.wait_acks > 0);
+        e.wait_acks -= 1;
+        if e.wait_acks == 0 {
+            let writer = e.pending_writer.take().expect("acks without writer");
+            self.grant(ctx, home, addr, writer);
+        }
+    }
+}
+
+impl Protocol for DirTreeUpdate {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::DirTreeUpdate {
+            pointers: self.pointers,
+            arity: self.arity,
+        }
+    }
+
+    fn is_update(&self) -> bool {
+        true
+    }
+
+    fn start_miss(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, op: OpKind) {
+        let home = ctx.home_of(addr);
+        let kind = match op {
+            OpKind::Read => MsgKind::ReadReq { requester: node },
+            OpKind::Write => MsgKind::WriteReq { requester: node },
+        };
+        ctx.send(home, Msg { addr, src: node, kind });
+    }
+
+    fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        match msg.kind {
+            MsgKind::ReadReq { .. } => self.handle_read_req(ctx, node, msg),
+            MsgKind::WriteReq { .. } => self.handle_write_req(ctx, node, msg),
+            MsgKind::FillAck => self.finish_txn(ctx, node, addr),
+            MsgKind::UpdateAck { dir: true } => self.handle_update_ack_home(ctx, node, addr),
+            MsgKind::UpdateAck { dir: false } => self.handle_update_ack_cache(ctx, node, addr),
+            MsgKind::Update { .. } => self.handle_update(ctx, node, msg),
+            MsgKind::ReadReply { adopt } => {
+                debug_assert_eq!(ctx.line_state(node, addr), LineState::RmIp);
+                debug_assert!(self.children_of(node, addr).is_empty());
+                if !adopt.is_empty() {
+                    self.children.insert((node, addr), adopt);
+                }
+                ctx.set_line_state(node, addr, LineState::V);
+                ctx.complete(node, addr, OpKind::Read);
+                let home = ctx.home_of(addr);
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::FillAck,
+                    },
+                );
+            }
+            MsgKind::UpdateGrant { adopt } => {
+                debug_assert_eq!(ctx.line_state(node, addr), LineState::WmIp);
+                if !adopt.is_empty() {
+                    let slot = self.children.entry((node, addr)).or_default();
+                    for a in adopt {
+                        if !slot.contains(&a) && a != node {
+                            slot.push(a);
+                        }
+                    }
+                }
+                // The writer keeps a *valid* (not exclusive) copy.
+                ctx.set_line_state(node, addr, LineState::V);
+                ctx.complete(node, addr, OpKind::Write);
+            }
+            MsgKind::ReplaceInv => {
+                if ctx.line_state(node, addr) == LineState::V {
+                    ctx.note(ProtoEvent::ReplacementInvalidation);
+                    let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+                    for k in kids {
+                        ctx.send(
+                            k,
+                            Msg {
+                                addr,
+                                src: node,
+                                kind: MsgKind::ReplaceInv,
+                            },
+                        );
+                    }
+                    ctx.set_line_state(node, addr, LineState::Iv);
+                }
+            }
+            MsgKind::ReplNotify => {
+                if let Some(e) = self.entries.get_mut(&addr) {
+                    for p in e.ptrs.iter_mut() {
+                        if p.map(|q| q.node) == Some(msg.src) {
+                            *p = None;
+                        }
+                    }
+                }
+            }
+            other => unreachable!("Dir_iTree_k(update) received {other:?}"),
+        }
+    }
+
+    fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
+        match state {
+            LineState::V => {
+                let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+                for k in kids {
+                    ctx.send(
+                        k,
+                        Msg {
+                            addr,
+                            src: node,
+                            kind: MsgKind::ReplaceInv,
+                        },
+                    );
+                }
+                if !self.params.dir_tree_silent_replace {
+                    let home = ctx.home_of(addr);
+                    ctx.send(
+                        home,
+                        Msg {
+                            addr,
+                            src: node,
+                            kind: MsgKind::ReplNotify,
+                        },
+                    );
+                }
+            }
+            // No exclusive state exists; memory is always current.
+            other => unreachable!("evicting line in state {other:?}"),
+        }
+    }
+
+    fn dir_bits_per_mem_block(&self, nodes: u32) -> u64 {
+        2 * self.pointers as u64 * ptr_bits(nodes)
+    }
+
+    fn cache_bits_per_line(&self, nodes: u32) -> u64 {
+        self.arity as u64 * ptr_bits(nodes) + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MockCtx;
+
+    const A: Addr = 0;
+
+    fn setup(nodes: u32) -> (MockCtx, DirTreeUpdate) {
+        (
+            MockCtx::new(nodes),
+            DirTreeUpdate::new(4, 2, ProtocolParams::default()),
+        )
+    }
+
+    /// An update-protocol write via the mock (the MockCtx `write` helper
+    /// asserts E, which does not exist here).
+    fn do_write(ctx: &mut MockCtx, p: &mut DirTreeUpdate, node: u32) {
+        let before = ctx.completed.len();
+        ctx.begin_miss(p, node, A, OpKind::Write);
+        ctx.run(p);
+        assert!(
+            ctx.completed[before..].contains(&(node, A, OpKind::Write)),
+            "write by {node} did not complete"
+        );
+        assert_eq!(ctx.line_state(node, A), LineState::V, "writer stays valid");
+    }
+
+    #[test]
+    fn read_misses_cost_two_messages_like_invalidate_variant() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=10 {
+            let mark = ctx.mark();
+            ctx.read(&mut p, n, A);
+            assert_eq!(ctx.critical_since(mark), 2);
+        }
+    }
+
+    #[test]
+    fn writes_leave_all_copies_valid() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=6 {
+            ctx.read(&mut p, n, A);
+        }
+        do_write(&mut ctx, &mut p, 9);
+        for n in 1..=6 {
+            assert_eq!(
+                ctx.line_state(n, A),
+                LineState::V,
+                "update must not kill node {n}"
+            );
+        }
+        assert_eq!(ctx.holders(A).len(), 7, "writer joins the sharers");
+    }
+
+    #[test]
+    fn forest_shape_matches_invalidation_variant() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=14 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.read(&mut p, 15, A);
+        assert_eq!(p.children_of(15, A), &[11, 13], "Figure 5 shape preserved");
+    }
+
+    #[test]
+    fn every_sharer_receives_every_update() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=8 {
+            ctx.read(&mut p, n, A);
+        }
+        let mark = ctx.mark();
+        do_write(&mut ctx, &mut p, 4); // writer inside the forest
+        let updates = ctx
+            .sent_since(mark)
+            .iter()
+            .filter(|(_, m)| matches!(m.kind, MsgKind::Update { .. }))
+            .count();
+        assert_eq!(updates, 8, "one update per recorded sharer");
+    }
+
+    #[test]
+    fn repeated_writes_by_same_node_each_pay_a_transaction() {
+        let (mut ctx, mut p) = setup(32);
+        do_write(&mut ctx, &mut p, 3);
+        let mark = ctx.mark();
+        do_write(&mut ctx, &mut p, 3);
+        // req + self-update + ack + grant: the no-E price.
+        assert!(ctx.critical_since(mark) >= 4);
+    }
+
+    #[test]
+    fn silent_replacement_then_update_is_safe() {
+        // Two pointers so the third read merges: 3 -> {1, 2}.
+        let mut p = DirTreeUpdate::new(2, 2, ProtocolParams::default());
+        let mut ctx = MockCtx::new(32);
+        for n in 1..=3 {
+            ctx.read(&mut p, n, A);
+        }
+        assert_eq!(p.children_of(3, A), &[1, 2]);
+        ctx.evict(&mut p, 3, A); // kills 1 and 2 silently
+        do_write(&mut ctx, &mut p, 5);
+        assert!(!ctx.line_state(1, A).readable());
+        assert!(!ctx.line_state(2, A).readable());
+        assert_eq!(ctx.line_state(5, A), LineState::V);
+    }
+
+    #[test]
+    fn pairing_bounds_home_acks() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=8 {
+            ctx.read(&mut p, n, A);
+        }
+        let mark = ctx.mark();
+        do_write(&mut ctx, &mut p, 9);
+        let home_acks = ctx
+            .sent_since(mark)
+            .iter()
+            .filter(|(_, m)| matches!(m.kind, MsgKind::UpdateAck { dir: true }))
+            .count();
+        assert!(home_acks <= 2, "pairing should bound home acks, got {home_acks}");
+    }
+}

@@ -1,0 +1,443 @@
+//! Full-map directory protocol (Dir<sub>n</sub>NB), §2.1A of the paper.
+//!
+//! Each memory block keeps one presence bit per node plus a dirty bit. Read
+//! misses cost 2 messages; a write miss invalidating `P` sharers costs
+//! `2P + 2` messages, all serialized through the home. Directory overhead is
+//! `n` bits per block (`B·n²` machine-wide), the scalability problem the
+//! paper attacks.
+
+use crate::ctx::ProtoCtx;
+use crate::dir::util::{FlatCacheSide, NodeSet, TxnGate};
+use crate::msg::{Msg, MsgKind};
+use crate::protocol::{Protocol, ProtocolKind};
+use crate::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_sim::FxHashMap;
+
+#[derive(Default)]
+struct Entry {
+    dirty: bool,
+    owner: NodeId,
+    sharers: Option<NodeSet>,
+    /// Requester granted once the outstanding writeback / acks arrive.
+    pending: Option<(NodeId, OpKind)>,
+    wait_acks: u32,
+    wait_wb: bool,
+}
+
+impl Entry {
+    fn sharers(&mut self, nodes: u32) -> &mut NodeSet {
+        self.sharers.get_or_insert_with(|| NodeSet::new(nodes))
+    }
+}
+
+/// The Dir_nNB full bit-map directory protocol.
+pub struct FullMap {
+    entries: FxHashMap<Addr, Entry>,
+    gate: TxnGate,
+    cache: FlatCacheSide,
+}
+
+impl FullMap {
+    pub fn new() -> Self {
+        Self {
+            entries: FxHashMap::default(),
+            gate: TxnGate::new(),
+            cache: FlatCacheSide::new(),
+        }
+    }
+
+    fn finish_txn(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        if let Some(next) = self.gate.finish(addr) {
+            ctx.redeliver(home, next, 0);
+        }
+    }
+
+    fn grant_write(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, writer: NodeId) {
+        let e = self.entries.get_mut(&addr).unwrap();
+        e.dirty = true;
+        e.owner = writer;
+        if let Some(s) = e.sharers.as_mut() {
+            s.clear();
+        }
+        ctx.send(
+            writer,
+            Msg {
+                addr,
+                src: home,
+                kind: MsgKind::WriteReply { kill_self_subtree: false },
+            },
+        );
+        self.finish_txn(ctx, home, addr);
+    }
+
+    fn handle_read_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::ReadReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let nodes = ctx.num_nodes();
+        let e = self.entries.entry(addr).or_default();
+        if e.dirty {
+            debug_assert_ne!(e.owner, requester, "owner re-reading implies lost WbEvict");
+            e.pending = Some((requester, OpKind::Read));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Read,
+                        requester,
+                    },
+                },
+            );
+        } else {
+            e.sharers(nodes).insert(requester);
+            ctx.send(
+                requester,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::ReadReply { adopt: vec![] },
+                },
+            );
+            // Transaction stays open until the FillAck.
+        }
+    }
+
+    fn handle_write_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::WriteReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let e = self.entries.entry(addr).or_default();
+        if e.dirty {
+            e.pending = Some((requester, OpKind::Write));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Write,
+                        requester,
+                    },
+                },
+            );
+            return;
+        }
+        let targets: Vec<NodeId> = e
+            .sharers
+            .as_ref()
+            .map(|s| s.iter().filter(|&n| n != requester).collect())
+            .unwrap_or_default();
+        if targets.is_empty() {
+            self.grant_write(ctx, home, addr, requester);
+        } else {
+            e.pending = Some((requester, OpKind::Write));
+            e.wait_acks = targets.len() as u32;
+            e.sharers.as_mut().unwrap().clear();
+            for t in targets {
+                ctx.send(
+                    t,
+                    Msg {
+                        addr,
+                        src: home,
+                        kind: MsgKind::Inv {
+                            also: None,
+                            from_dir: true,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, src: NodeId, evict: bool) {
+        let e = self.entries.entry(addr).or_default();
+        if e.wait_wb {
+            // The recall (or a racing eviction writeback) resolves the
+            // pending transaction.
+            e.wait_wb = false;
+            let (requester, op) = e.pending.take().expect("wait_wb without pending");
+            e.dirty = false;
+            let old_owner = e.owner;
+            let nodes = ctx.num_nodes();
+            match op {
+                OpKind::Read => {
+                    let s = e.sharers(nodes);
+                    s.clear();
+                    if !evict {
+                        s.insert(old_owner);
+                    }
+                    s.insert(requester);
+                    ctx.send(
+                        requester,
+                        Msg {
+                            addr,
+                            src: home,
+                            kind: MsgKind::ReadReply { adopt: vec![] },
+                        },
+                    );
+                    // Transaction stays open until the FillAck.
+                }
+                OpKind::Write => {
+                    self.grant_write(ctx, home, addr, requester);
+                }
+            }
+        } else {
+            // Spontaneous eviction writeback of the owner.
+            debug_assert!(evict);
+            debug_assert!(e.dirty && e.owner == src);
+            e.dirty = false;
+            if let Some(s) = e.sharers.as_mut() {
+                s.clear();
+            }
+        }
+    }
+
+    fn handle_inv_ack(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        let e = self.entries.get_mut(&addr).expect("ack without entry");
+        debug_assert!(e.wait_acks > 0, "unexpected InvAck");
+        e.wait_acks -= 1;
+        if e.wait_acks == 0 {
+            let (requester, op) = e.pending.take().expect("acks without pending grant");
+            debug_assert_eq!(op, OpKind::Write);
+            self.grant_write(ctx, home, addr, requester);
+        }
+    }
+}
+
+impl Default for FullMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for FullMap {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::FullMap
+    }
+
+    fn start_miss(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, op: OpKind) {
+        let home = ctx.home_of(addr);
+        let kind = match op {
+            OpKind::Read => MsgKind::ReadReq { requester: node },
+            OpKind::Write => MsgKind::WriteReq { requester: node },
+        };
+        ctx.send(home, Msg { addr, src: node, kind });
+    }
+
+    fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        match msg.kind {
+            MsgKind::ReadReq { .. } => self.handle_read_req(ctx, node, msg),
+            MsgKind::WriteReq { .. } => self.handle_write_req(ctx, node, msg),
+            MsgKind::WbData { .. } => self.handle_wb(ctx, node, addr, msg.src, false),
+            MsgKind::WbEvict => self.handle_wb(ctx, node, addr, msg.src, true),
+            MsgKind::InvAck { dir: true } => self.handle_inv_ack(ctx, node, addr),
+            MsgKind::FillAck => self.finish_txn(ctx, node, addr),
+            MsgKind::ReadReply { .. } => self.cache.read_fill(ctx, node, addr),
+            MsgKind::WriteReply { .. } => self.cache.write_fill(ctx, node, addr),
+            MsgKind::Inv { from_dir, .. } => self.cache.inv(ctx, node, addr, msg.src, from_dir),
+            MsgKind::WbReq { for_op, requester } => {
+                self.cache.wb_req(ctx, node, addr, for_op, requester)
+            }
+            other => unreachable!("full-map received {other:?}"),
+        }
+    }
+
+    fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
+        match state {
+            // Clean copies are dropped silently; the stale presence bit
+            // costs at most one harmless future invalidation.
+            LineState::V => {}
+            LineState::E => {
+                let home = ctx.home_of(addr);
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::WbEvict,
+                    },
+                );
+            }
+            other => unreachable!("evicting line in state {other:?}"),
+        }
+    }
+
+    fn dir_bits_per_mem_block(&self, nodes: u32) -> u64 {
+        // presence bits + dirty bit
+        nodes as u64 + 1
+    }
+
+    fn cache_bits_per_line(&self, nodes: u32) -> u64 {
+        let _ = nodes;
+        3 // state encoding only
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MockCtx;
+
+    fn setup(nodes: u32) -> (MockCtx, FullMap) {
+        (MockCtx::new(nodes), FullMap::new())
+    }
+
+    #[test]
+    fn read_miss_costs_two_messages() {
+        let (mut ctx, mut p) = setup(8);
+        let mark = ctx.mark();
+        ctx.read(&mut p, 3, 100);
+        assert_eq!(ctx.critical_since(mark), 2, "paper Table 1: read miss = 2");
+        assert_eq!(ctx.line_state(3, 100), LineState::V);
+    }
+
+    #[test]
+    fn write_miss_with_p_sharers_costs_2p_plus_2() {
+        let (mut ctx, mut p) = setup(16);
+        let addr = 200;
+        for n in 0..5 {
+            ctx.read(&mut p, n, addr);
+        }
+        let mark = ctx.mark();
+        ctx.write(&mut p, 9, addr);
+        // P = 5 sharers: req + 5 inv + 5 ack + grant = 2P + 2 = 12.
+        assert_eq!(ctx.critical_since(mark), 12);
+        ctx.assert_swmr(addr);
+        assert_eq!(ctx.holders(addr), vec![9]);
+    }
+
+    #[test]
+    fn writer_in_sharers_is_not_invalidated() {
+        let (mut ctx, mut p) = setup(8);
+        let addr = 8; // home = 0
+        ctx.read(&mut p, 1, addr);
+        ctx.read(&mut p, 2, addr);
+        let mark = ctx.mark();
+        ctx.write(&mut p, 1, addr); // upgrade
+        // req + 1 inv + 1 ack + grant = 4 messages (P = 1 other sharer).
+        assert_eq!(ctx.critical_since(mark), 4);
+        assert_eq!(ctx.line_state(1, addr), LineState::E);
+        assert_eq!(ctx.line_state(2, addr), LineState::Iv);
+    }
+
+    #[test]
+    fn read_of_dirty_block_recalls_owner() {
+        let (mut ctx, mut p) = setup(8);
+        let addr = 17;
+        ctx.write(&mut p, 2, addr);
+        let mark = ctx.mark();
+        ctx.read(&mut p, 5, addr);
+        // req + wbreq + wbdata + reply = 4 messages.
+        assert_eq!(ctx.critical_since(mark), 4);
+        assert_eq!(ctx.line_state(2, addr), LineState::V, "owner downgrades");
+        assert_eq!(ctx.line_state(5, addr), LineState::V);
+        ctx.assert_swmr(addr);
+    }
+
+    #[test]
+    fn write_of_dirty_block_transfers_ownership() {
+        let (mut ctx, mut p) = setup(8);
+        let addr = 33;
+        ctx.write(&mut p, 2, addr);
+        ctx.write(&mut p, 6, addr);
+        assert_eq!(ctx.line_state(2, addr), LineState::Iv);
+        assert_eq!(ctx.line_state(6, addr), LineState::E);
+        ctx.assert_swmr(addr);
+    }
+
+    #[test]
+    fn exclusive_eviction_writes_back() {
+        let (mut ctx, mut p) = setup(8);
+        let addr = 42;
+        ctx.write(&mut p, 3, addr);
+        ctx.evict(&mut p, 3, addr);
+        // A later read must be served clean (2 messages, no recall).
+        let mark = ctx.mark();
+        ctx.read(&mut p, 4, addr);
+        assert_eq!(ctx.critical_since(mark), 2);
+    }
+
+    #[test]
+    fn silent_clean_eviction_then_stale_inv_is_harmless() {
+        let (mut ctx, mut p) = setup(8);
+        let addr = 50;
+        ctx.read(&mut p, 1, addr);
+        ctx.read(&mut p, 2, addr);
+        ctx.evict(&mut p, 1, addr); // silent: home still thinks 1 shares
+        ctx.write(&mut p, 5, addr); // sends inv to both 1 and 2
+        assert_eq!(ctx.line_state(5, addr), LineState::E);
+        ctx.assert_swmr(addr);
+    }
+
+    #[test]
+    fn rereading_after_silent_eviction_works() {
+        let (mut ctx, mut p) = setup(8);
+        let addr = 60;
+        ctx.read(&mut p, 1, addr);
+        ctx.evict(&mut p, 1, addr);
+        let mark = ctx.mark();
+        ctx.read(&mut p, 1, addr);
+        assert_eq!(ctx.critical_since(mark), 2);
+        assert_eq!(ctx.line_state(1, addr), LineState::V);
+    }
+
+    #[test]
+    fn many_sharers_all_invalidated() {
+        let (mut ctx, mut p) = setup(32);
+        let addr = 7;
+        for n in 0..32 {
+            ctx.read(&mut p, n, addr);
+        }
+        ctx.write(&mut p, 0, addr);
+        for n in 1..32 {
+            assert!(!ctx.line_state(n, addr).readable(), "node {n} kept a copy");
+        }
+        assert_eq!(ctx.line_state(0, addr), LineState::E);
+    }
+
+    #[test]
+    fn directory_bits_are_n_plus_one() {
+        let p = FullMap::new();
+        assert_eq!(p.dir_bits_per_mem_block(64), 65);
+    }
+
+    #[test]
+    fn sequential_write_chain_is_coherent() {
+        let (mut ctx, mut p) = setup(8);
+        let addr = 11;
+        for n in 0..8 {
+            ctx.write(&mut p, n, addr);
+            ctx.assert_swmr(addr);
+            assert_eq!(ctx.holders(addr), vec![n]);
+        }
+    }
+
+    #[test]
+    fn interleaved_read_write_mix_maintains_swmr() {
+        let (mut ctx, mut p) = setup(8);
+        let addr = 13;
+        ctx.read(&mut p, 0, addr);
+        ctx.read(&mut p, 1, addr);
+        ctx.write(&mut p, 2, addr);
+        ctx.read(&mut p, 3, addr);
+        ctx.read(&mut p, 4, addr);
+        ctx.write(&mut p, 0, addr);
+        ctx.assert_swmr(addr);
+        assert_eq!(ctx.holders(addr), vec![0]);
+    }
+}

@@ -1,0 +1,415 @@
+//! LimitLESS<sub>i</sub> — software-extended limited directory (Chaiken,
+//! Kubiatowicz & Agarwal, ASPLOS 1991; §2.1B of the paper).
+//!
+//! `i` hardware pointers per block behave like Dir<sub>i</sub>NB while they
+//! suffice. On overflow, the home processor traps into software and stores
+//! the extra pointers in ordinary memory, so sharing information is never
+//! lost — but every trap occupies the home controller for
+//! `sw_trap_cycles`, and a write to an overflowed block pays a software
+//! walk over the spilled pointers: the "(P − i) software handler delay" of
+//! the paper's Table 1.
+
+use crate::ctx::{ProtoCtx, ProtoEvent};
+use crate::dir::util::{FlatCacheSide, TxnGate};
+use crate::msg::{Msg, MsgKind};
+use crate::protocol::{ptr_bits, Protocol, ProtocolKind};
+use crate::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_sim::{Cycle, FxHashMap};
+
+#[derive(Default)]
+struct Entry {
+    dirty: bool,
+    owner: NodeId,
+    hw: Vec<NodeId>,
+    sw: Vec<NodeId>,
+    pending: Option<(NodeId, OpKind)>,
+    wait_acks: u32,
+    wait_wb: bool,
+}
+
+/// The LimitLESS_i protocol.
+pub struct LimitLess {
+    pointers: u32,
+    trap_cycles: Cycle,
+    entries: FxHashMap<Addr, Entry>,
+    gate: TxnGate,
+    cache: FlatCacheSide,
+}
+
+impl LimitLess {
+    pub fn new(pointers: u32, trap_cycles: Cycle) -> Self {
+        assert!(pointers >= 1);
+        Self {
+            pointers,
+            trap_cycles,
+            entries: FxHashMap::default(),
+            gate: TxnGate::new(),
+            cache: FlatCacheSide::new(),
+        }
+    }
+
+    fn finish_txn(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        if let Some(next) = self.gate.finish(addr) {
+            ctx.redeliver(home, next, 0);
+        }
+    }
+
+    fn grant_write(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, writer: NodeId) {
+        let e = self.entries.get_mut(&addr).unwrap();
+        e.dirty = true;
+        e.owner = writer;
+        e.hw.clear();
+        e.sw.clear();
+        ctx.send(
+            writer,
+            Msg {
+                addr,
+                src: home,
+                kind: MsgKind::WriteReply { kill_self_subtree: false },
+            },
+        );
+        self.finish_txn(ctx, home, addr);
+    }
+
+    fn handle_read_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::ReadReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let pointers = self.pointers as usize;
+        let trap = self.trap_cycles;
+        let e = self.entries.entry(addr).or_default();
+        if e.dirty {
+            debug_assert_ne!(e.owner, requester);
+            e.pending = Some((requester, OpKind::Read));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Read,
+                        requester,
+                    },
+                },
+            );
+            return;
+        }
+        if !e.hw.contains(&requester) && !e.sw.contains(&requester) {
+            if e.hw.len() < pointers {
+                e.hw.push(requester);
+            } else {
+                // Pointer overflow: trap to software, spill to memory.
+                e.sw.push(requester);
+                ctx.note(ProtoEvent::SoftwareTrap);
+                ctx.occupy(home, trap);
+            }
+        }
+        ctx.send(
+            requester,
+            Msg {
+                addr,
+                src: home,
+                kind: MsgKind::ReadReply { adopt: vec![] },
+            },
+        );
+        // Transaction stays open until the FillAck.
+    }
+
+    fn handle_write_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::WriteReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let trap = self.trap_cycles;
+        let e = self.entries.entry(addr).or_default();
+        if e.dirty {
+            e.pending = Some((requester, OpKind::Write));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Write,
+                        requester,
+                    },
+                },
+            );
+            return;
+        }
+        let spilled = e.sw.len() as u64;
+        let targets: Vec<NodeId> = e
+            .hw
+            .iter()
+            .chain(e.sw.iter())
+            .copied()
+            .filter(|&n| n != requester)
+            .collect();
+        if spilled > 0 {
+            // Software walk over the spilled pointers: the paper's
+            // "(P − i) software handler delay".
+            ctx.note(ProtoEvent::SoftwareTrap);
+            ctx.occupy(home, trap * spilled);
+        }
+        if targets.is_empty() {
+            self.grant_write(ctx, home, addr, requester);
+        } else {
+            e.pending = Some((requester, OpKind::Write));
+            e.wait_acks = targets.len() as u32;
+            e.hw.clear();
+            e.sw.clear();
+            for t in targets {
+                ctx.send(
+                    t,
+                    Msg {
+                        addr,
+                        src: home,
+                        kind: MsgKind::Inv {
+                            also: None,
+                            from_dir: true,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, src: NodeId, evict: bool) {
+        let e = self.entries.entry(addr).or_default();
+        if e.wait_wb {
+            e.wait_wb = false;
+            let (requester, op) = e.pending.take().expect("wait_wb without pending");
+            e.dirty = false;
+            let old_owner = e.owner;
+            match op {
+                OpKind::Read => {
+                    e.hw.clear();
+                    e.sw.clear();
+                    if !evict {
+                        e.hw.push(old_owner);
+                    }
+                    e.hw.push(requester);
+                    ctx.send(
+                        requester,
+                        Msg {
+                            addr,
+                            src: home,
+                            kind: MsgKind::ReadReply { adopt: vec![] },
+                        },
+                    );
+                    // Transaction stays open until the FillAck.
+                }
+                OpKind::Write => self.grant_write(ctx, home, addr, requester),
+            }
+        } else {
+            debug_assert!(evict);
+            debug_assert!(e.dirty && e.owner == src);
+            e.dirty = false;
+            e.hw.clear();
+            e.sw.clear();
+        }
+    }
+
+    fn handle_inv_ack(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        let e = self.entries.get_mut(&addr).expect("ack without entry");
+        debug_assert!(e.wait_acks > 0);
+        e.wait_acks -= 1;
+        if e.wait_acks == 0 {
+            let (requester, op) = e.pending.take().expect("acks without pending");
+            debug_assert_eq!(op, OpKind::Write);
+            self.grant_write(ctx, home, addr, requester);
+        }
+    }
+}
+
+impl Protocol for LimitLess {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::LimitLess {
+            pointers: self.pointers,
+        }
+    }
+
+    fn start_miss(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, op: OpKind) {
+        let home = ctx.home_of(addr);
+        let kind = match op {
+            OpKind::Read => MsgKind::ReadReq { requester: node },
+            OpKind::Write => MsgKind::WriteReq { requester: node },
+        };
+        ctx.send(home, Msg { addr, src: node, kind });
+    }
+
+    fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        match msg.kind {
+            MsgKind::ReadReq { .. } => self.handle_read_req(ctx, node, msg),
+            MsgKind::WriteReq { .. } => self.handle_write_req(ctx, node, msg),
+            MsgKind::WbData { .. } => self.handle_wb(ctx, node, addr, msg.src, false),
+            MsgKind::WbEvict => self.handle_wb(ctx, node, addr, msg.src, true),
+            MsgKind::InvAck { dir: true } => self.handle_inv_ack(ctx, node, addr),
+            MsgKind::FillAck => self.finish_txn(ctx, node, addr),
+            MsgKind::ReadReply { .. } => self.cache.read_fill(ctx, node, addr),
+            MsgKind::WriteReply { .. } => self.cache.write_fill(ctx, node, addr),
+            MsgKind::Inv { from_dir, .. } => self.cache.inv(ctx, node, addr, msg.src, from_dir),
+            MsgKind::WbReq { for_op, requester } => {
+                self.cache.wb_req(ctx, node, addr, for_op, requester)
+            }
+            other => unreachable!("LimitLESS received {other:?}"),
+        }
+    }
+
+    fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
+        match state {
+            LineState::V => {}
+            LineState::E => {
+                let home = ctx.home_of(addr);
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::WbEvict,
+                    },
+                );
+            }
+            other => unreachable!("evicting line in state {other:?}"),
+        }
+    }
+
+    fn dir_bits_per_mem_block(&self, nodes: u32) -> u64 {
+        // Hardware cost only: i pointers + dirty + trap bit. The software
+        // spill lives in ordinary memory.
+        self.pointers as u64 * ptr_bits(nodes) + 2
+    }
+
+    fn cache_bits_per_line(&self, _nodes: u32) -> u64 {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MockCtx;
+
+    const A: Addr = 0;
+
+    fn setup(nodes: u32, pointers: u32) -> (MockCtx, LimitLess) {
+        (MockCtx::new(nodes), LimitLess::new(pointers, 40))
+    }
+
+    #[test]
+    fn no_trap_within_hardware_pointers() {
+        let (mut ctx, mut p) = setup(16, 4);
+        for n in 1..=4 {
+            ctx.read(&mut p, n, A);
+        }
+        assert!(!ctx.events.contains(&ProtoEvent::SoftwareTrap));
+    }
+
+    #[test]
+    fn overflow_traps_but_keeps_precision() {
+        let (mut ctx, mut p) = setup(16, 4);
+        for n in 1..=8 {
+            ctx.read(&mut p, n, A);
+        }
+        let traps = ctx
+            .events
+            .iter()
+            .filter(|e| **e == ProtoEvent::SoftwareTrap)
+            .count();
+        assert_eq!(traps, 4, "one trap per spilled pointer");
+        // Precision retained: a write invalidates all 8.
+        ctx.write(&mut p, 9, A);
+        for n in 1..=8 {
+            assert!(!ctx.line_state(n, A).readable());
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn write_with_spill_charges_handler_occupancy() {
+        let (mut ctx, mut p) = setup(16, 4);
+        for n in 1..=8 {
+            ctx.read(&mut p, n, A);
+        }
+        let t0 = ctx.now;
+        ctx.write(&mut p, 9, A);
+        // The mock adds occupancy to `now`: 4 spilled pointers * 40 cycles
+        // must appear (plus message steps, each +1).
+        assert!(ctx.now - t0 >= 160, "software walk not charged");
+    }
+
+    #[test]
+    fn no_trap_on_rereads_of_tracked_sharers() {
+        let (mut ctx, mut p) = setup(16, 2);
+        ctx.read(&mut p, 1, A);
+        ctx.read(&mut p, 2, A);
+        ctx.read(&mut p, 3, A); // trap
+        let traps_before = ctx.events.len();
+        ctx.evict(&mut p, 3, A);
+        ctx.read(&mut p, 3, A); // already in sw list: no new trap
+        assert_eq!(ctx.events.len(), traps_before);
+    }
+
+    #[test]
+    fn dirty_paths_match_full_map_semantics() {
+        let (mut ctx, mut p) = setup(16, 2);
+        ctx.write(&mut p, 1, A);
+        ctx.read(&mut p, 2, A);
+        assert_eq!(ctx.line_state(1, A), LineState::V);
+        ctx.write(&mut p, 3, A);
+        ctx.assert_swmr(A);
+        assert_eq!(ctx.holders(A), vec![3]);
+    }
+
+    #[test]
+    fn spilled_sharer_upgrade_invalidates_everyone_else() {
+        let (mut ctx, mut p) = setup(16, 2);
+        for n in 1..=6 {
+            ctx.read(&mut p, n, A); // 3..6 spilled to software
+        }
+        ctx.write(&mut p, 5, A); // a spilled sharer upgrades
+        assert_eq!(ctx.line_state(5, A), LineState::E);
+        for n in [1, 2, 3, 4, 6] {
+            assert!(!ctx.line_state(n, A).readable(), "node {n} survived");
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn eviction_then_reread_hits_software_list_without_new_trap() {
+        let (mut ctx, mut p) = setup(16, 1);
+        ctx.read(&mut p, 1, A);
+        ctx.read(&mut p, 2, A); // trap: spill 2
+        let traps_before = ctx
+            .events
+            .iter()
+            .filter(|e| **e == ProtoEvent::SoftwareTrap)
+            .count();
+        ctx.evict(&mut p, 2, A);
+        ctx.read(&mut p, 2, A); // already recorded in software
+        let traps_after = ctx
+            .events
+            .iter()
+            .filter(|e| **e == ProtoEvent::SoftwareTrap)
+            .count();
+        assert_eq!(traps_before, traps_after);
+    }
+
+    #[test]
+    fn hardware_bits_exclude_software_spill() {
+        let p = LimitLess::new(4, 40);
+        assert_eq!(p.dir_bits_per_mem_block(32), 4 * 5 + 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! Directory protocol implementations.
+//!
+//! * [`dir_tree`] — **the paper's contribution**, Dir<sub>i</sub>Tree<sub>k</sub>;
+//! * [`full_map`], [`limited`], [`limitless`] — bit-map family baselines;
+//! * [`singly`], [`sci`] — linked-list baselines;
+//! * [`stp`], [`sci_tree`] — tree-structured baselines;
+//! * [`snoop`] — the §1 snooping-MSI bus baseline;
+//! * [`util`] — shared building blocks (per-block transaction gate,
+//!   invalidation-ack collector).
+
+pub mod dir_tree;
+pub mod dir_tree_update;
+pub mod full_map;
+pub mod limited;
+pub mod limitless;
+pub mod sci;
+pub mod sci_tree;
+pub mod singly;
+pub mod snoop;
+pub mod stp;
+pub mod util;

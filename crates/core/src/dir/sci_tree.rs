@@ -1,0 +1,949 @@
+//! SCI tree extension, IEEE P1596.2 (Johnson, 1993; §2.2 of the paper) —
+//! Dir₂Tree₂ with an AVL-balanced sharing tree.
+//!
+//! Sharers form an AVL tree keyed by node id. A read miss descends the
+//! tree hop-by-hop to the insertion point (the paper's "4 to 2·log P"
+//! read-miss cost) and every rebalancing rotation costs pointer fix-up
+//! messages; a write miss invalidates down the balanced tree in
+//! logarithmic time; a replacement is an AVL delete with its own fix-up
+//! traffic — the "high replacement overhead" of Table 2.
+//!
+//! As with STP, the home holds the authoritative tree as a simulation
+//! convenience; all structural changes are still paid for in messages,
+//! and structural fix-ups are acknowledged before the enclosing home
+//! transaction closes so invalidation walks never observe a half-applied
+//! rotation.
+
+use crate::ctx::{ProtoCtx, ProtoEvent};
+use crate::dir::util::{ack, AckCollectors, TxnGate};
+use crate::msg::{Msg, MsgKind};
+use crate::protocol::{ptr_bits, Protocol, ProtocolKind};
+use crate::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_sim::FxHashMap;
+
+/// A node of the home-side AVL tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct AvlN {
+    l: Option<NodeId>,
+    r: Option<NodeId>,
+    h: i32,
+}
+
+/// An AVL tree of node ids (the sharing set).
+#[derive(Default, Clone)]
+pub struct Avl {
+    nodes: FxHashMap<NodeId, AvlN>,
+    root: Option<NodeId>,
+}
+
+impl Avl {
+    fn h(&self, n: Option<NodeId>) -> i32 {
+        n.map_or(0, |id| self.nodes[&id].h)
+    }
+
+    fn update(&mut self, id: NodeId) {
+        let n = self.nodes[&id];
+        let h = 1 + self.h(n.l).max(self.h(n.r));
+        self.nodes.get_mut(&id).unwrap().h = h;
+    }
+
+    fn balance_factor(&self, id: NodeId) -> i32 {
+        let n = self.nodes[&id];
+        self.h(n.l) - self.h(n.r)
+    }
+
+    fn rotate_right(&mut self, y: NodeId) -> NodeId {
+        let x = self.nodes[&y].l.expect("rotate_right without left child");
+        let t2 = self.nodes[&x].r;
+        self.nodes.get_mut(&y).unwrap().l = t2;
+        self.nodes.get_mut(&x).unwrap().r = Some(y);
+        self.update(y);
+        self.update(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: NodeId) -> NodeId {
+        let y = self.nodes[&x].r.expect("rotate_left without right child");
+        let t2 = self.nodes[&y].l;
+        self.nodes.get_mut(&x).unwrap().r = t2;
+        self.nodes.get_mut(&y).unwrap().l = Some(x);
+        self.update(x);
+        self.update(y);
+        y
+    }
+
+    fn rebalance(&mut self, id: NodeId) -> NodeId {
+        self.update(id);
+        let bf = self.balance_factor(id);
+        if bf > 1 {
+            let l = self.nodes[&id].l.unwrap();
+            if self.balance_factor(l) < 0 {
+                let new_l = self.rotate_left(l);
+                self.nodes.get_mut(&id).unwrap().l = Some(new_l);
+            }
+            self.rotate_right(id)
+        } else if bf < -1 {
+            let r = self.nodes[&id].r.unwrap();
+            if self.balance_factor(r) > 0 {
+                let new_r = self.rotate_right(r);
+                self.nodes.get_mut(&id).unwrap().r = Some(new_r);
+            }
+            self.rotate_left(id)
+        } else {
+            id
+        }
+    }
+
+    fn insert_at(&mut self, root: Option<NodeId>, id: NodeId) -> NodeId {
+        let Some(cur) = root else {
+            self.nodes.insert(id, AvlN { l: None, r: None, h: 1 });
+            return id;
+        };
+        if id < cur {
+            let new = self.insert_at(self.nodes[&cur].l, id);
+            self.nodes.get_mut(&cur).unwrap().l = Some(new);
+        } else if id > cur {
+            let new = self.insert_at(self.nodes[&cur].r, id);
+            self.nodes.get_mut(&cur).unwrap().r = Some(new);
+        } else {
+            return cur; // already present
+        }
+        self.rebalance(cur)
+    }
+
+    pub fn insert(&mut self, id: NodeId) {
+        self.root = Some(self.insert_at(self.root, id));
+    }
+
+    fn min_id(&self, mut cur: NodeId) -> NodeId {
+        while let Some(l) = self.nodes[&cur].l {
+            cur = l;
+        }
+        cur
+    }
+
+    fn remove_at(&mut self, root: Option<NodeId>, id: NodeId) -> Option<NodeId> {
+        let cur = root?;
+        if id < cur {
+            let new = self.remove_at(self.nodes[&cur].l, id);
+            self.nodes.get_mut(&cur).unwrap().l = new;
+        } else if id > cur {
+            let new = self.remove_at(self.nodes[&cur].r, id);
+            self.nodes.get_mut(&cur).unwrap().r = new;
+        } else {
+            let n = self.nodes[&cur];
+            let replacement = match (n.l, n.r) {
+                (None, None) => {
+                    self.nodes.remove(&cur);
+                    return None;
+                }
+                (Some(l), None) => {
+                    self.nodes.remove(&cur);
+                    return Some(self.rebalance_if_present(l));
+                }
+                (None, Some(r)) => {
+                    self.nodes.remove(&cur);
+                    return Some(self.rebalance_if_present(r));
+                }
+                (Some(_), Some(r)) => {
+                    // Replace with the in-order successor's id.
+                    let succ = self.min_id(r);
+                    let new_r = self.remove_at(Some(r), succ);
+                    let old = self.nodes.remove(&cur).unwrap();
+                    self.nodes.insert(
+                        succ,
+                        AvlN {
+                            l: old.l,
+                            r: new_r,
+                            h: old.h,
+                        },
+                    );
+                    succ
+                }
+            };
+            return Some(self.rebalance(replacement));
+        }
+        Some(self.rebalance(cur))
+    }
+
+    fn rebalance_if_present(&mut self, id: NodeId) -> NodeId {
+        self.rebalance(id)
+    }
+
+    pub fn remove(&mut self, id: NodeId) {
+        self.root = self.remove_at(self.root, id);
+    }
+
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.root = None;
+    }
+
+    /// BST descent path from the root to the would-be parent of `id`.
+    pub fn descent_path(&self, id: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        let mut cur = self.root;
+        while let Some(c) = cur {
+            path.push(c);
+            cur = if id < c {
+                self.nodes[&c].l
+            } else if id > c {
+                self.nodes[&c].r
+            } else {
+                break;
+            };
+        }
+        path
+    }
+
+    /// `(node → children)` snapshot for fix-up diffing.
+    pub fn children_snapshot(&self) -> FxHashMap<NodeId, Vec<NodeId>> {
+        self.nodes
+            .iter()
+            .map(|(&id, n)| {
+                let mut c = Vec::new();
+                if let Some(l) = n.l {
+                    c.push(l);
+                }
+                if let Some(r) = n.r {
+                    c.push(r);
+                }
+                (id, c)
+            })
+            .collect()
+    }
+
+    /// Validate AVL invariants (tests/debug).
+    pub fn validate(&self) {
+        fn walk(t: &Avl, n: Option<NodeId>, lo: Option<NodeId>, hi: Option<NodeId>) -> i32 {
+            let Some(id) = n else { return 0 };
+            if let Some(lo) = lo {
+                assert!(id > lo, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(id < hi, "BST order violated");
+            }
+            let node = t.nodes[&id];
+            let hl = walk(t, node.l, lo, Some(id));
+            let hr = walk(t, node.r, Some(id), hi);
+            assert!((hl - hr).abs() <= 1, "AVL balance violated at {id}");
+            assert_eq!(node.h, 1 + hl.max(hr), "stale height at {id}");
+            node.h
+        }
+        walk(self, self.root, None, None);
+    }
+}
+
+#[derive(Default)]
+struct Entry {
+    dirty: bool,
+    owner: NodeId,
+    tree: Avl,
+    pending: Option<(NodeId, OpKind)>,
+    wait_wb: bool,
+    wait_acks: u32,
+    /// Outstanding structural fix-up acks + fill ack before txn close.
+    wait_parts: u32,
+}
+
+/// The SCI tree extension protocol.
+pub struct SciTree {
+    entries: FxHashMap<Addr, Entry>,
+    gate: TxnGate,
+    children: FxHashMap<(NodeId, Addr), Vec<NodeId>>,
+    collectors: AckCollectors,
+}
+
+impl SciTree {
+    pub fn new() -> Self {
+        Self {
+            entries: FxHashMap::default(),
+            gate: TxnGate::new(),
+            children: FxHashMap::default(),
+            collectors: AckCollectors::new(),
+        }
+    }
+
+    pub fn tree(&self, addr: Addr) -> Option<&Avl> {
+        self.entries.get(&addr).map(|e| &e.tree)
+    }
+
+    pub fn children_of(&self, node: NodeId, addr: Addr) -> &[NodeId] {
+        self.children
+            .get(&(node, addr))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn finish_txn(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        if let Some(next) = self.gate.finish(addr) {
+            ctx.redeliver(home, next, 0);
+        }
+    }
+
+    fn part_done(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        let e = self.entries.get_mut(&addr).expect("part ack without entry");
+        debug_assert!(e.wait_parts > 0, "unexpected structural ack");
+        e.wait_parts -= 1;
+        if e.wait_parts == 0 {
+            self.finish_txn(ctx, home, addr);
+        }
+    }
+
+    /// Apply a structural mutation to the home tree and broadcast the
+    /// children-map diff as fix-ups. Returns the number of fix-ups sent.
+    fn mutate_tree(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        home: NodeId,
+        addr: Addr,
+        mutate: impl FnOnce(&mut Avl),
+    ) -> u32 {
+        let e = self.entries.get_mut(&addr).unwrap();
+        let before = e.tree.children_snapshot();
+        mutate(&mut e.tree);
+        #[cfg(debug_assertions)]
+        e.tree.validate();
+        let after = e.tree.children_snapshot();
+        let mut fixups = 0;
+        let mut targets: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        for (&id, kids) in &after {
+            // A brand-new childless node needs no fix-up (its cache-side
+            // map starts empty anyway).
+            let newcomer_without_children = kids.is_empty() && !before.contains_key(&id);
+            if before.get(&id) != Some(kids) && !newcomer_without_children {
+                targets.push((id, kids.clone()));
+            }
+        }
+        for (&id, _) in before.iter().filter(|(id, _)| !after.contains_key(*id)) {
+            targets.push((id, Vec::new()));
+        }
+        // Deterministic order.
+        targets.sort_by_key(|(id, _)| *id);
+        for (id, kids) in targets {
+            ctx.send(
+                id,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::SctFixup { children: kids },
+                },
+            );
+            fixups += 1;
+        }
+        fixups
+    }
+
+    fn handle_read_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::ReadReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let e = self.entries.entry(addr).or_default();
+        if e.dirty {
+            debug_assert_ne!(e.owner, requester);
+            e.pending = Some((requester, OpKind::Read));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Read,
+                        requester,
+                    },
+                },
+            );
+            return;
+        }
+        if e.tree.is_empty() || e.tree.contains(requester) {
+            // Root insertion (or a re-read by a still-recorded node whose
+            // leave is queued): home supplies directly.
+            e.wait_parts = 1; // the FillAck
+            let fixups = self.mutate_tree(ctx, home, addr, |t| t.insert(requester));
+            let e = self.entries.get_mut(&addr).unwrap();
+            e.wait_parts += fixups;
+            ctx.send(
+                requester,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::ReadReply { adopt: vec![] },
+                },
+            );
+        } else {
+            let path = e.tree.descent_path(requester);
+            e.wait_parts = 1; // the FillAck
+            let fixups = self.mutate_tree(ctx, home, addr, |t| t.insert(requester));
+            let e = self.entries.get_mut(&addr).unwrap();
+            e.wait_parts += fixups;
+            let first = path[0];
+            ctx.send(
+                first,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::SctDescend {
+                        requester,
+                        path: path[1..].to_vec(),
+                    },
+                },
+            );
+        }
+    }
+
+    fn grant_write(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, writer: NodeId) {
+        let e = self.entries.get_mut(&addr).unwrap();
+        e.dirty = true;
+        e.owner = writer;
+        e.tree.clear();
+        ctx.send(
+            writer,
+            Msg {
+                addr,
+                src: home,
+                kind: MsgKind::WriteReply { kill_self_subtree: false },
+            },
+        );
+        self.finish_txn(ctx, home, addr);
+    }
+
+    fn handle_write_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::WriteReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let e = self.entries.entry(addr).or_default();
+        if e.dirty {
+            e.pending = Some((requester, OpKind::Write));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Write,
+                        requester,
+                    },
+                },
+            );
+            return;
+        }
+        match e.tree.root() {
+            None => self.grant_write(ctx, home, addr, requester),
+            Some(root) => {
+                e.pending = Some((requester, OpKind::Write));
+                e.wait_acks = 1;
+                e.tree.clear();
+                ctx.send(
+                    root,
+                    Msg {
+                        addr,
+                        src: home,
+                        kind: MsgKind::Inv {
+                            also: None,
+                            from_dir: true,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, evict: bool) {
+        let e = self.entries.entry(addr).or_default();
+        if e.wait_wb {
+            e.wait_wb = false;
+            let (requester, op) = e.pending.take().expect("wait_wb without pending");
+            e.dirty = false;
+            let old_owner = e.owner;
+            match op {
+                OpKind::Read => {
+                    e.tree.clear();
+                    e.wait_parts = 1;
+                    let fixups = self.mutate_tree(ctx, home, addr, |t| {
+                        if !evict {
+                            t.insert(old_owner);
+                        }
+                        t.insert(requester);
+                    });
+                    let e = self.entries.get_mut(&addr).unwrap();
+                    e.wait_parts += fixups;
+                    ctx.send(
+                        requester,
+                        Msg {
+                            addr,
+                            src: home,
+                            kind: MsgKind::ReadReply { adopt: vec![] },
+                        },
+                    );
+                }
+                OpKind::Write => self.grant_write(ctx, home, addr, requester),
+            }
+        } else {
+            debug_assert!(evict);
+            e.dirty = false;
+            e.tree.clear();
+        }
+    }
+
+    fn handle_inv(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::Inv { from_dir, .. } = msg.kind else {
+            unreachable!()
+        };
+        if self.collectors.is_open(node, addr) {
+            // Already collecting: the subtree is covered by the first
+            // invalidation path; waiting here risks ack cycles. Answer
+            // immediately (see dir_tree.rs for the acyclicity argument).
+            ack(ctx, node, addr, msg.src, from_dir);
+            return;
+        }
+        let state = ctx.line_state(node, addr);
+        let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+        match state {
+            LineState::V => {
+                ctx.note(ProtoEvent::Invalidation);
+                ctx.set_line_state(
+                    node,
+                    addr,
+                    if kids.is_empty() {
+                        LineState::Iv
+                    } else {
+                        LineState::InvIp
+                    },
+                );
+            }
+            LineState::E => unreachable!("Inv reached an exclusive owner"),
+            _ => {}
+        }
+        if kids.is_empty() {
+            ack(ctx, node, addr, msg.src, from_dir);
+        } else {
+            self.collectors
+                .open(node, addr, msg.src, from_dir, kids.len() as u32);
+            for k in kids {
+                ctx.send(
+                    k,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::Inv {
+                            also: None,
+                            from_dir: false,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_leave(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let leaver = msg.src;
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let e = self.entries.entry(addr).or_default();
+        if !e.tree.contains(leaver) {
+            self.finish_txn(ctx, home, addr);
+            return;
+        }
+        ctx.note(ProtoEvent::ReplacementInvalidation);
+        e.wait_parts = 0;
+        let fixups = self.mutate_tree(ctx, home, addr, |t| t.remove(leaver));
+        let e = self.entries.get_mut(&addr).unwrap();
+        e.wait_parts = fixups;
+        if fixups == 0 {
+            self.finish_txn(ctx, home, addr);
+        }
+    }
+
+    fn fill(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr) {
+        debug_assert_eq!(ctx.line_state(node, addr), LineState::RmIp);
+        ctx.set_line_state(node, addr, LineState::V);
+        ctx.complete(node, addr, OpKind::Read);
+        let home = ctx.home_of(addr);
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind: MsgKind::FillAck,
+            },
+        );
+    }
+}
+
+impl Default for SciTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for SciTree {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::SciTree
+    }
+
+    fn start_miss(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, op: OpKind) {
+        let home = ctx.home_of(addr);
+        let kind = match op {
+            OpKind::Read => MsgKind::ReadReq { requester: node },
+            OpKind::Write => MsgKind::WriteReq { requester: node },
+        };
+        ctx.send(home, Msg { addr, src: node, kind });
+    }
+
+    fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        match msg.kind {
+            MsgKind::ReadReq { .. } => self.handle_read_req(ctx, node, msg),
+            MsgKind::WriteReq { .. } => self.handle_write_req(ctx, node, msg),
+            MsgKind::WbData { .. } => self.handle_wb(ctx, node, addr, false),
+            MsgKind::WbEvict => self.handle_wb(ctx, node, addr, true),
+            MsgKind::InvAck { dir: true } => {
+                let e = self.entries.get_mut(&addr).expect("ack without entry");
+                debug_assert!(e.wait_acks > 0);
+                e.wait_acks -= 1;
+                if e.wait_acks == 0 {
+                    let (requester, op) = e.pending.take().expect("acks without pending");
+                    debug_assert_eq!(op, OpKind::Write);
+                    self.grant_write(ctx, node, addr, requester);
+                }
+            }
+            MsgKind::InvAck { dir: false } => {
+                if let Some(targets) = self.collectors.ack(node, addr) {
+                    if ctx.line_state(node, addr) == LineState::InvIp {
+                        ctx.set_line_state(node, addr, LineState::Iv);
+                    }
+                    for (to, dir) in targets {
+                        ack(ctx, node, addr, to, dir);
+                    }
+                }
+            }
+            MsgKind::FillAck => self.part_done(ctx, node, addr),
+            MsgKind::StpFixupAck { .. } => self.part_done(ctx, node, addr),
+            MsgKind::SctFixup { children } => {
+                if children.is_empty() {
+                    self.children.remove(&(node, addr));
+                } else {
+                    self.children.insert((node, addr), children);
+                }
+                let home = ctx.home_of(addr);
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::StpFixupAck { dir: true },
+                    },
+                );
+            }
+            MsgKind::SctDescend { requester, path } => {
+                if path.is_empty() {
+                    ctx.send(
+                        requester,
+                        Msg {
+                            addr,
+                            src: node,
+                            kind: MsgKind::SctInsertResp,
+                        },
+                    );
+                } else {
+                    ctx.send(
+                        path[0],
+                        Msg {
+                            addr,
+                            src: node,
+                            kind: MsgKind::SctDescend {
+                                requester,
+                                path: path[1..].to_vec(),
+                            },
+                        },
+                    );
+                }
+            }
+            MsgKind::SctInsertResp | MsgKind::ReadReply { .. } => self.fill(ctx, node, addr),
+            MsgKind::WriteReply { .. } => {
+                debug_assert_eq!(ctx.line_state(node, addr), LineState::WmIp);
+                self.children.remove(&(node, addr));
+                ctx.set_line_state(node, addr, LineState::E);
+                ctx.complete(node, addr, OpKind::Write);
+            }
+            MsgKind::Inv { .. } => self.handle_inv(ctx, node, msg),
+            MsgKind::SctLeave => self.handle_leave(ctx, node, msg),
+            MsgKind::WbReq { for_op, requester } => {
+                use crate::types::LineState as S;
+                if ctx.line_state(node, addr) == S::E {
+                    ctx.set_line_state(
+                        node,
+                        addr,
+                        match for_op {
+                            OpKind::Read => S::V,
+                            OpKind::Write => S::Iv,
+                        },
+                    );
+                    let home = ctx.home_of(addr);
+                    ctx.send(
+                        home,
+                        Msg {
+                            addr,
+                            src: node,
+                            kind: MsgKind::WbData { for_op, requester },
+                        },
+                    );
+                }
+            }
+            other => unreachable!("SCI tree extension received {other:?}"),
+        }
+    }
+
+    fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
+        let home = ctx.home_of(addr);
+        match state {
+            LineState::V => {
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::SctLeave,
+                    },
+                );
+            }
+            LineState::E => {
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::WbEvict,
+                    },
+                );
+            }
+            other => unreachable!("evicting line in state {other:?}"),
+        }
+    }
+
+    fn dir_bits_per_mem_block(&self, nodes: u32) -> u64 {
+        // Root + head pointers (Dir₂Tree₂) + dirty.
+        2 * ptr_bits(nodes) + 1
+    }
+
+    fn cache_bits_per_line(&self, nodes: u32) -> u64 {
+        // Two child pointers + balance bits + state.
+        2 * ptr_bits(nodes) + 2 + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MockCtx;
+    use dirtree_sim::SimRng;
+
+    const A: Addr = 0;
+
+    fn setup(nodes: u32) -> (MockCtx, SciTree) {
+        (MockCtx::new(nodes), SciTree::new())
+    }
+
+    #[test]
+    fn avl_insert_remove_keeps_invariants() {
+        let mut t = Avl::default();
+        let mut rng = SimRng::new(42);
+        let mut present = Vec::new();
+        for _ in 0..200 {
+            let id = rng.gen_range(64) as NodeId;
+            if present.contains(&id) {
+                t.remove(id);
+                present.retain(|&x| x != id);
+            } else {
+                t.insert(id);
+                present.push(id);
+            }
+            t.validate();
+            assert_eq!(t.len(), present.len());
+        }
+    }
+
+    #[test]
+    fn avl_height_is_logarithmic() {
+        let mut t = Avl::default();
+        for id in 0..1024u32 {
+            t.insert(id); // adversarial (sorted) insertion order
+        }
+        t.validate();
+        let root = t.root().unwrap();
+        let h = t.nodes[&root].h;
+        assert!(h <= 15, "AVL height {h} too large for 1024 nodes");
+    }
+
+    #[test]
+    fn reads_descend_and_writes_invalidate_tree() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=10 {
+            ctx.read(&mut p, n, A);
+        }
+        p.tree(A).unwrap().validate();
+        assert_eq!(p.tree(A).unwrap().len(), 10);
+        ctx.write(&mut p, 15, A);
+        for n in 1..=10 {
+            assert!(!ctx.line_state(n, A).readable(), "node {n} survived");
+        }
+        ctx.assert_swmr(A);
+        assert!(p.tree(A).unwrap().is_empty());
+    }
+
+    #[test]
+    fn first_read_costs_two_messages_later_reads_descend() {
+        let (mut ctx, mut p) = setup(32);
+        let mark = ctx.mark();
+        ctx.read(&mut p, 5, A);
+        assert_eq!(ctx.critical_since(mark), 2);
+        let mark = ctx.mark();
+        ctx.read(&mut p, 3, A);
+        // req + descend(1 hop: root=5) + insert resp = 3 critical, plus
+        // possible fix-ups. Within the paper's "4 to 2 log P" ballpark.
+        assert!(ctx.critical_since(mark) >= 3);
+    }
+
+    #[test]
+    fn home_collects_exactly_one_inv_ack() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=7 {
+            ctx.read(&mut p, n, A);
+        }
+        let mark = ctx.mark();
+        ctx.write(&mut p, 9, A);
+        let dir_acks = ctx
+            .sent_since(mark)
+            .iter()
+            .filter(|(_, m)| matches!(m.kind, MsgKind::InvAck { dir: true }))
+            .count();
+        assert_eq!(dir_acks, 1);
+    }
+
+    #[test]
+    fn replacement_is_an_avl_delete_with_fixups() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=7 {
+            ctx.read(&mut p, n, A);
+        }
+        let before = p.tree(A).unwrap().len();
+        ctx.evict(&mut p, 4, A); // interior node
+        let t = p.tree(A).unwrap();
+        t.validate();
+        assert_eq!(t.len(), before - 1);
+        assert!(!t.contains(4));
+        // Invalidation still reaches everyone.
+        ctx.write(&mut p, 20, A);
+        for n in [1, 2, 3, 5, 6, 7] {
+            assert!(!ctx.line_state(n, A).readable(), "node {n} survived");
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn root_replacement_keeps_tree_reachable() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=7 {
+            ctx.read(&mut p, n, A);
+        }
+        let root = p.tree(A).unwrap().root().unwrap();
+        ctx.evict(&mut p, root, A);
+        p.tree(A).unwrap().validate();
+        ctx.write(&mut p, 20, A);
+        for n in (1..=7).filter(|&n| n != root) {
+            assert!(!ctx.line_state(n, A).readable(), "node {n} survived");
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn dirty_read_recalls_owner() {
+        let (mut ctx, mut p) = setup(32);
+        ctx.write(&mut p, 2, A);
+        ctx.read(&mut p, 5, A);
+        assert_eq!(ctx.line_state(2, A), LineState::V);
+        assert_eq!(ctx.line_state(5, A), LineState::V);
+        assert_eq!(p.tree(A).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn upgrade_write_from_inside_tree() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=5 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.write(&mut p, 3, A);
+        assert_eq!(ctx.line_state(3, A), LineState::E);
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn sequential_writers_chain_ownership() {
+        let (mut ctx, mut p) = setup(8);
+        for n in 0..8 {
+            ctx.write(&mut p, n, A);
+            ctx.assert_swmr(A);
+            assert_eq!(ctx.holders(A), vec![n]);
+        }
+    }
+
+    #[test]
+    fn churn_storm_keeps_avl_and_caches_consistent() {
+        let (mut ctx, mut p) = setup(32);
+        let mut rng = SimRng::new(7);
+        for round in 0..100 {
+            let n = 1 + rng.gen_range(30) as NodeId;
+            match rng.gen_range(10) {
+                0..=5 => {
+                    if !ctx.line_state(n, A).readable() {
+                        ctx.read(&mut p, n, A);
+                    }
+                }
+                6..=7 => {
+                    if ctx.line_state(n, A) == LineState::V {
+                        ctx.evict(&mut p, n, A);
+                    }
+                }
+                _ => {
+                    ctx.write(&mut p, n, A);
+                    ctx.assert_swmr(A);
+                }
+            }
+            if let Some(t) = p.tree(A) {
+                t.validate();
+            }
+            let _ = round;
+        }
+    }
+}

@@ -1,0 +1,821 @@
+//! Scalable Tree Protocol (Nilsson & Stenström, 1992; §2.2 of the paper)
+//! — Dir₂Tree<sub>k</sub> with top-down balanced trees.
+//!
+//! Sharers occupy tree positions in arrival order: the `j`-th member's
+//! parent is member `(j−1)/k`, so the tree is always balanced and
+//! invalidations complete in `log_k P` time. The price (the paper's point)
+//! is the read miss: joining costs an attach handshake on top of the data
+//! reply (4–8 messages), and *replacement* needs a full repair — the last
+//! member is moved into the hole, with fix-ups at both parents.
+//!
+//! The home keeps the arrival list as a simulation convenience (real STP
+//! distributes this bookkeeping); every structural change still pays its
+//! messages. Repairs run as home transactions through the same per-block
+//! gate as misses, so an invalidation walk never races a half-applied
+//! repair.
+
+use crate::ctx::{ProtoCtx, ProtoEvent};
+use crate::dir::util::{ack, AckCollectors, TxnGate};
+use crate::msg::{Msg, MsgKind};
+use crate::protocol::{ptr_bits, Protocol, ProtocolKind};
+use crate::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_sim::FxHashMap;
+
+#[derive(Default)]
+struct Entry {
+    dirty: bool,
+    owner: NodeId,
+    /// Members in arrival order; member `j`'s parent is member `(j−1)/k`.
+    members: Vec<NodeId>,
+    pending: Option<(NodeId, OpKind)>,
+    wait_wb: bool,
+    wait_acks: u32,
+}
+
+/// The STP protocol with `arity`-ary trees.
+pub struct Stp {
+    arity: u32,
+    entries: FxHashMap<Addr, Entry>,
+    gate: TxnGate,
+    children: FxHashMap<(NodeId, Addr), Vec<NodeId>>,
+    collectors: AckCollectors,
+    /// Mover-side count of outstanding repair fix-up acks.
+    fixups: FxHashMap<(NodeId, Addr), u32>,
+}
+
+impl Stp {
+    pub fn new(arity: u32) -> Self {
+        assert!(arity >= 2);
+        Self {
+            arity,
+            entries: FxHashMap::default(),
+            gate: TxnGate::new(),
+            children: FxHashMap::default(),
+            collectors: AckCollectors::new(),
+            fixups: FxHashMap::default(),
+        }
+    }
+
+    /// Arrival list (diagnostics).
+    pub fn members(&self, addr: Addr) -> Vec<NodeId> {
+        self.entries
+            .get(&addr)
+            .map(|e| e.members.clone())
+            .unwrap_or_default()
+    }
+
+    pub fn children_of(&self, node: NodeId, addr: Addr) -> &[NodeId] {
+        self.children
+            .get(&(node, addr))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn finish_txn(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        if let Some(next) = self.gate.finish(addr) {
+            ctx.redeliver(home, next, 0);
+        }
+    }
+
+    fn handle_read_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::ReadReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let arity = self.arity as usize;
+        let e = self.entries.entry(addr).or_default();
+        if e.dirty {
+            debug_assert_ne!(e.owner, requester);
+            e.pending = Some((requester, OpKind::Read));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Read,
+                        requester,
+                    },
+                },
+            );
+            return;
+        }
+        let parent = if let Some(j) = e.members.iter().position(|&m| m == requester) {
+            // Re-read while a racing leave is still queued: keep the
+            // existing position.
+            if j == 0 {
+                None
+            } else {
+                Some(e.members[(j - 1) / arity])
+            }
+        } else {
+            e.members.push(requester);
+            let j = e.members.len() - 1;
+            if j == 0 {
+                None
+            } else {
+                Some(e.members[(j - 1) / arity])
+            }
+        };
+        ctx.send(
+            requester,
+            Msg {
+                addr,
+                src: home,
+                kind: MsgKind::StpJoinResp { parent },
+            },
+        );
+        // Transaction stays open until the FillAck (sent after the attach
+        // handshake completes).
+    }
+
+    fn grant_write(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, writer: NodeId) {
+        let e = self.entries.get_mut(&addr).unwrap();
+        e.dirty = true;
+        e.owner = writer;
+        e.members.clear();
+        ctx.send(
+            writer,
+            Msg {
+                addr,
+                src: home,
+                kind: MsgKind::WriteReply { kill_self_subtree: false },
+            },
+        );
+        self.finish_txn(ctx, home, addr);
+    }
+
+    fn handle_write_req(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::WriteReq { requester } = msg.kind else {
+            unreachable!()
+        };
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let e = self.entries.entry(addr).or_default();
+        if e.dirty {
+            e.pending = Some((requester, OpKind::Write));
+            e.wait_wb = true;
+            let owner = e.owner;
+            ctx.send(
+                owner,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::WbReq {
+                        for_op: OpKind::Write,
+                        requester,
+                    },
+                },
+            );
+            return;
+        }
+        if e.members.is_empty() {
+            self.grant_write(ctx, home, addr, requester);
+        } else {
+            let root = e.members[0];
+            e.pending = Some((requester, OpKind::Write));
+            e.wait_acks = 1;
+            e.members.clear();
+            ctx.send(
+                root,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::Inv {
+                        also: None,
+                        from_dir: true,
+                    },
+                },
+            );
+        }
+    }
+
+    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, src: NodeId, evict: bool) {
+        let _ = src;
+        let e = self.entries.entry(addr).or_default();
+        if e.wait_wb {
+            e.wait_wb = false;
+            let (requester, op) = e.pending.take().expect("wait_wb without pending");
+            e.dirty = false;
+            let old_owner = e.owner;
+            match op {
+                OpKind::Read => {
+                    e.members.clear();
+                    if !evict {
+                        e.members.push(old_owner);
+                    }
+                    let parent = e.members.first().copied();
+                    e.members.push(requester);
+                    ctx.send(
+                        requester,
+                        Msg {
+                            addr,
+                            src: home,
+                            kind: MsgKind::StpJoinResp { parent },
+                        },
+                    );
+                }
+                OpKind::Write => self.grant_write(ctx, home, addr, requester),
+            }
+        } else {
+            debug_assert!(evict);
+            e.dirty = false;
+            e.members.clear();
+        }
+    }
+
+    /// Invalidation at a tree node: forward to the children map regardless
+    /// of line state (eviction repairs, unlike Dir_iTree_k's silent kill,
+    /// leave children alive).
+    fn handle_inv(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::Inv { from_dir, .. } = msg.kind else {
+            unreachable!()
+        };
+        if self.collectors.is_open(node, addr) {
+            // Already collecting: the subtree is covered by the first
+            // invalidation path; waiting here risks ack cycles. Answer
+            // immediately (see dir_tree.rs for the acyclicity argument).
+            ack(ctx, node, addr, msg.src, from_dir);
+            return;
+        }
+        let state = ctx.line_state(node, addr);
+        let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+        match state {
+            LineState::V => {
+                ctx.note(ProtoEvent::Invalidation);
+                ctx.set_line_state(
+                    node,
+                    addr,
+                    if kids.is_empty() {
+                        LineState::Iv
+                    } else {
+                        LineState::InvIp
+                    },
+                );
+            }
+            LineState::E => unreachable!("Inv reached an exclusive owner"),
+            _ => {}
+        }
+        if kids.is_empty() {
+            ack(ctx, node, addr, msg.src, from_dir);
+        } else {
+            self.collectors
+                .open(node, addr, msg.src, from_dir, kids.len() as u32);
+            for k in kids {
+                ctx.send(
+                    k,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::Inv {
+                            also: None,
+                            from_dir: false,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_inv_ack_cache(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr) {
+        if let Some(targets) = self.collectors.ack(node, addr) {
+            if ctx.line_state(node, addr) == LineState::InvIp {
+                ctx.set_line_state(node, addr, LineState::Iv);
+            }
+            for (to, dir) in targets {
+                ack(ctx, node, addr, to, dir);
+            }
+        }
+    }
+
+    fn handle_inv_ack_home(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
+        let e = self.entries.get_mut(&addr).expect("ack without entry");
+        debug_assert!(e.wait_acks > 0);
+        e.wait_acks -= 1;
+        if e.wait_acks == 0 {
+            let (requester, op) = e.pending.take().expect("acks without pending");
+            debug_assert_eq!(op, OpKind::Write);
+            self.grant_write(ctx, home, addr, requester);
+        }
+    }
+
+    /// A member left: repair the balanced tree by moving the last member
+    /// into the hole (home transaction; see module docs).
+    fn handle_leave(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let leaver = msg.src;
+        if !self.gate.admit(addr, &msg) {
+            return;
+        }
+        let arity = self.arity as usize;
+        let e = self.entries.entry(addr).or_default();
+        let Some(j) = e.members.iter().position(|&m| m == leaver) else {
+            // Already gone (a write transaction cleared the tree first).
+            self.finish_txn(ctx, home, addr);
+            return;
+        };
+        let last = e.members.len() - 1;
+        ctx.note(ProtoEvent::ReplacementInvalidation);
+        if j == last {
+            e.members.pop();
+            self.children.remove(&(leaver, addr));
+            if j == 0 {
+                // Sole member: nothing to fix.
+                self.finish_txn(ctx, home, addr);
+            } else {
+                // Tell the parent to forget the leaver; its ack closes the
+                // transaction.
+                let parent = e.members[(j - 1) / arity];
+                ctx.send(
+                    parent,
+                    Msg {
+                        addr,
+                        src: home,
+                        kind: MsgKind::StpFixup {
+                            remove: Some(leaver),
+                            add: None,
+                            from_home: true,
+                        },
+                    },
+                );
+            }
+        } else {
+            let mover = e.members[last];
+            e.members[j] = mover;
+            e.members.pop();
+            let new_parent = if j == 0 {
+                None
+            } else {
+                Some(e.members[(j - 1) / arity])
+            };
+            // The mover adopts the leaver's children (by position).
+            let new_children: Vec<NodeId> = (1..=arity)
+                .map(|c| arity * j + c)
+                .filter(|&c| c < e.members.len())
+                .map(|c| e.members[c])
+                .collect();
+            ctx.send(
+                mover,
+                Msg {
+                    addr,
+                    src: home,
+                    kind: MsgKind::StpMove {
+                        replacing: leaver,
+                        new_parent: new_parent.filter(|&p| p != mover),
+                        new_children,
+                    },
+                },
+            );
+        }
+    }
+
+    fn handle_move(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::StpMove {
+            replacing,
+            new_parent,
+            new_children,
+        } = msg.kind
+        else {
+            unreachable!()
+        };
+        let home = ctx.home_of(addr);
+        // Take over the leaver's children locally (we were the last member
+        // so we had none of our own).
+        let mut inherited = self.children.remove(&(replacing, addr)).unwrap_or_default();
+        inherited.retain(|&c| c != node);
+        for c in new_children {
+            if !inherited.contains(&c) && c != node {
+                inherited.push(c);
+            }
+        }
+        if inherited.is_empty() {
+            self.children.remove(&(node, addr));
+        } else {
+            self.children.insert((node, addr), inherited);
+        }
+        // Fix both parents; their acks close the leave transaction. Our
+        // old parent is whoever currently lists us as a child.
+        let old_parents: Vec<NodeId> = self
+            .children
+            .iter()
+            .filter(|((p, a), kids)| *a == addr && *p != node && kids.contains(&node))
+            .map(|((p, _), _)| *p)
+            .collect();
+        let mut outstanding = 0;
+        for p in old_parents {
+            ctx.send(
+                p,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::StpFixup {
+                        remove: Some(node),
+                        add: None,
+                        from_home: false,
+                    },
+                },
+            );
+            outstanding += 1;
+        }
+        if let Some(np) = new_parent {
+            ctx.send(
+                np,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::StpFixup {
+                        remove: Some(replacing),
+                        add: Some(node),
+                        from_home: false,
+                    },
+                },
+            );
+            outstanding += 1;
+        }
+        if outstanding == 0 {
+            ctx.send(
+                home,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::StpLeaveDone,
+                },
+            );
+        } else {
+            self.fixups.insert((node, addr), outstanding);
+        }
+    }
+
+    fn handle_fixup(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::StpFixup { remove, add, from_home } = msg.kind else {
+            unreachable!()
+        };
+        let kids = self.children.entry((node, addr)).or_default();
+        if let Some(r) = remove {
+            kids.retain(|&c| c != r);
+        }
+        if let Some(a) = add {
+            if !kids.contains(&a) && a != node {
+                kids.push(a);
+            }
+        }
+        if kids.is_empty() {
+            self.children.remove(&(node, addr));
+        }
+        ctx.send(
+            msg.src,
+            Msg {
+                addr,
+                src: node,
+                kind: MsgKind::StpFixupAck { dir: from_home },
+            },
+        );
+    }
+
+    fn handle_fixup_ack(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, dir: bool) {
+        if dir {
+            // Home-issued fix-up (leaver-was-last case): close the txn.
+            self.finish_txn(ctx, node, addr);
+        } else {
+            let remaining = self
+                .fixups
+                .get_mut(&(node, addr))
+                .expect("fixup ack without pending repair");
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.fixups.remove(&(node, addr));
+                let home = ctx.home_of(addr);
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::StpLeaveDone,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_join_resp(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let MsgKind::StpJoinResp { parent } = msg.kind else {
+            unreachable!()
+        };
+        debug_assert_eq!(ctx.line_state(node, addr), LineState::RmIp);
+        match parent {
+            Some(p) if p != node => {
+                // Attach handshake before the miss completes.
+                ctx.send(
+                    p,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::StpAttach,
+                    },
+                );
+            }
+            _ => self.fill(ctx, node, addr),
+        }
+    }
+
+    fn fill(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr) {
+        ctx.set_line_state(node, addr, LineState::V);
+        ctx.complete(node, addr, OpKind::Read);
+        let home = ctx.home_of(addr);
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind: MsgKind::FillAck,
+            },
+        );
+    }
+}
+
+impl Protocol for Stp {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Stp { arity: self.arity }
+    }
+
+    fn start_miss(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, op: OpKind) {
+        let home = ctx.home_of(addr);
+        let kind = match op {
+            OpKind::Read => MsgKind::ReadReq { requester: node },
+            OpKind::Write => MsgKind::WriteReq { requester: node },
+        };
+        ctx.send(home, Msg { addr, src: node, kind });
+    }
+
+    fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        match msg.kind {
+            MsgKind::ReadReq { .. } => self.handle_read_req(ctx, node, msg),
+            MsgKind::WriteReq { .. } => self.handle_write_req(ctx, node, msg),
+            MsgKind::WbData { .. } => self.handle_wb(ctx, node, addr, msg.src, false),
+            MsgKind::WbEvict => self.handle_wb(ctx, node, addr, msg.src, true),
+            MsgKind::InvAck { dir: true } => self.handle_inv_ack_home(ctx, node, addr),
+            MsgKind::InvAck { dir: false } => self.handle_inv_ack_cache(ctx, node, addr),
+            MsgKind::FillAck => self.finish_txn(ctx, node, addr),
+            MsgKind::StpJoinResp { .. } => self.handle_join_resp(ctx, node, msg),
+            MsgKind::StpAttach => {
+                let child = msg.src;
+                let kids = self.children.entry((node, addr)).or_default();
+                if !kids.contains(&child) {
+                    kids.push(child);
+                }
+                ctx.send(
+                    child,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::StpAttachAck,
+                    },
+                );
+            }
+            MsgKind::StpAttachAck => self.fill(ctx, node, addr),
+            MsgKind::StpLeave => self.handle_leave(ctx, node, msg),
+            MsgKind::StpLeaveDone => self.finish_txn(ctx, node, addr),
+            MsgKind::StpMove { .. } => self.handle_move(ctx, node, msg),
+            MsgKind::StpFixup { .. } => self.handle_fixup(ctx, node, msg),
+            MsgKind::StpFixupAck { dir } => self.handle_fixup_ack(ctx, node, addr, dir),
+            MsgKind::Inv { .. } => self.handle_inv(ctx, node, msg),
+            MsgKind::WriteReply { .. } => {
+                debug_assert_eq!(ctx.line_state(node, addr), LineState::WmIp);
+                self.children.remove(&(node, addr));
+                ctx.set_line_state(node, addr, LineState::E);
+                ctx.complete(node, addr, OpKind::Write);
+            }
+            MsgKind::WbReq { for_op, requester } => {
+                use crate::types::LineState as S;
+                if ctx.line_state(node, addr) == S::E {
+                    ctx.set_line_state(
+                        node,
+                        addr,
+                        match for_op {
+                            OpKind::Read => S::V,
+                            OpKind::Write => S::Iv,
+                        },
+                    );
+                    let home = ctx.home_of(addr);
+                    ctx.send(
+                        home,
+                        Msg {
+                            addr,
+                            src: node,
+                            kind: MsgKind::WbData { for_op, requester },
+                        },
+                    );
+                }
+            }
+            other => unreachable!("STP received {other:?}"),
+        }
+    }
+
+    fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
+        let home = ctx.home_of(addr);
+        match state {
+            LineState::V => {
+                // The tree is repaired by the home; children survive.
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::StpLeave,
+                    },
+                );
+            }
+            LineState::E => {
+                ctx.send(
+                    home,
+                    Msg {
+                        addr,
+                        src: node,
+                        kind: MsgKind::WbEvict,
+                    },
+                );
+            }
+            other => unreachable!("evicting line in state {other:?}"),
+        }
+    }
+
+    fn dir_bits_per_mem_block(&self, nodes: u32) -> u64 {
+        // Root + latest pointers (Dir₂Tree_k) + dirty.
+        2 * ptr_bits(nodes) + 1
+    }
+
+    fn cache_bits_per_line(&self, nodes: u32) -> u64 {
+        self.arity as u64 * ptr_bits(nodes) + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MockCtx;
+
+    const A: Addr = 0;
+
+    fn setup(nodes: u32) -> (MockCtx, Stp) {
+        (MockCtx::new(nodes), Stp::new(2))
+    }
+
+    #[test]
+    fn first_read_two_messages_then_four() {
+        let (mut ctx, mut p) = setup(16);
+        let mark = ctx.mark();
+        ctx.read(&mut p, 1, A);
+        assert_eq!(ctx.critical_since(mark), 2, "root joins without attach");
+        let mark = ctx.mark();
+        ctx.read(&mut p, 2, A);
+        assert_eq!(
+            ctx.critical_since(mark),
+            4,
+            "paper Table 1: req + join + attach + ack"
+        );
+    }
+
+    #[test]
+    fn tree_is_balanced_by_arrival_order() {
+        let (mut ctx, mut p) = setup(16);
+        for n in 1..=7 {
+            ctx.read(&mut p, n, A);
+        }
+        assert_eq!(p.members(A), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(p.children_of(1, A), &[2, 3]);
+        assert_eq!(p.children_of(2, A), &[4, 5]);
+        assert_eq!(p.children_of(3, A), &[6, 7]);
+    }
+
+    #[test]
+    fn write_invalidates_via_the_tree_with_one_home_ack() {
+        let (mut ctx, mut p) = setup(16);
+        for n in 1..=7 {
+            ctx.read(&mut p, n, A);
+        }
+        let mark = ctx.mark();
+        ctx.write(&mut p, 9, A);
+        let dir_acks = ctx
+            .sent_since(mark)
+            .iter()
+            .filter(|(_, m)| matches!(m.kind, MsgKind::InvAck { dir: true }))
+            .count();
+        assert_eq!(dir_acks, 1, "only the root acks the home");
+        for n in 1..=7 {
+            assert!(!ctx.line_state(n, A).readable());
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn leaf_eviction_repairs_cheaply() {
+        let (mut ctx, mut p) = setup(16);
+        for n in 1..=7 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.evict(&mut p, 7, A); // last member: parent fix-up only
+        assert_eq!(p.members(A), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(p.children_of(3, A), &[6]);
+        ctx.write(&mut p, 9, A);
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn interior_eviction_moves_last_member_into_hole() {
+        let (mut ctx, mut p) = setup(16);
+        for n in 1..=7 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.evict(&mut p, 2, A); // member 7 moves into position 1
+        assert_eq!(p.members(A), vec![1, 7, 3, 4, 5, 6]);
+        assert_eq!(p.children_of(1, A), &[3, 7]);
+        assert_eq!(p.children_of(7, A), &[4, 5]);
+        // 7's old parent (3) no longer lists it.
+        assert_eq!(p.children_of(3, A), &[6]);
+        // Everyone still reachable: a write kills all survivors.
+        ctx.write(&mut p, 9, A);
+        for n in [1, 3, 4, 5, 6, 7] {
+            assert!(!ctx.line_state(n, A).readable(), "node {n} survived");
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn root_eviction_promotes_last_member() {
+        let (mut ctx, mut p) = setup(16);
+        for n in 1..=5 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.evict(&mut p, 1, A);
+        assert_eq!(p.members(A), vec![5, 2, 3, 4]);
+        assert_eq!(p.children_of(5, A), &[2, 3]);
+        ctx.write(&mut p, 9, A);
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn dirty_read_rebuilds_tree_from_owner() {
+        let (mut ctx, mut p) = setup(16);
+        ctx.write(&mut p, 2, A);
+        ctx.read(&mut p, 5, A);
+        assert_eq!(p.members(A), vec![2, 5]);
+        assert_eq!(ctx.line_state(2, A), LineState::V);
+        assert_eq!(p.children_of(2, A), &[5]);
+    }
+
+    #[test]
+    fn upgrade_write_from_interior_node() {
+        let (mut ctx, mut p) = setup(16);
+        for n in 1..=5 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.write(&mut p, 2, A);
+        assert_eq!(ctx.line_state(2, A), LineState::E);
+        for n in [1, 3, 4, 5] {
+            assert!(!ctx.line_state(n, A).readable());
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn sequential_writers_chain_ownership() {
+        let (mut ctx, mut p) = setup(8);
+        for n in 0..8 {
+            ctx.write(&mut p, n, A);
+            ctx.assert_swmr(A);
+            assert_eq!(ctx.holders(A), vec![n]);
+        }
+    }
+
+    #[test]
+    fn deep_tree_invalidation_reaches_all_leaves() {
+        let (mut ctx, mut p) = setup(32);
+        for n in 1..=20 {
+            ctx.read(&mut p, n, A);
+        }
+        ctx.write(&mut p, 25, A);
+        for n in 1..=20 {
+            assert!(!ctx.line_state(n, A).readable());
+        }
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn directory_is_two_pointers() {
+        let p = Stp::new(2);
+        assert_eq!(p.dir_bits_per_mem_block(32), 11);
+        assert_eq!(p.cache_bits_per_line(32), 13);
+    }
+}

@@ -1,0 +1,239 @@
+//! The [`Protocol`] trait and the protocol registry.
+
+use crate::ctx::ProtoCtx;
+use crate::msg::Msg;
+use crate::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_sim::Cycle;
+
+/// Tunable constants shared by protocol implementations.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolParams {
+    /// LimitLESS software-handler occupancy per trap, in cycles. Chaiken et
+    /// al. report full-map-emulation traps of a few tens of cycles on
+    /// Alewife; 40 is our default.
+    pub sw_trap_cycles: Cycle,
+    /// Dir_iTree_k: even-numbered roots forward the invalidation to their
+    /// paired odd-numbered roots (the paper's optimization). Disabling it
+    /// makes the home send every root its own invalidation (ablation E13).
+    pub dir_tree_pairing: bool,
+    /// Dir_iTree_k: replacements silently kill the subtree with
+    /// `Replace_INV` (the paper's policy). When false, the evicting node
+    /// additionally notifies the home, which clears a matching root pointer
+    /// (ablation E12).
+    pub dir_tree_silent_replace: bool,
+}
+
+impl Default for ProtocolParams {
+    fn default() -> Self {
+        Self {
+            sw_trap_cycles: 40,
+            dir_tree_pairing: true,
+            dir_tree_silent_replace: true,
+        }
+    }
+}
+
+/// Which coherence protocol a machine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Dir_nNB full bit-map directory.
+    FullMap,
+    /// Dir_iNB: `i` pointers, evict-a-pointer on overflow.
+    LimitedNB { pointers: u32 },
+    /// Dir_iB: `i` pointers, broadcast invalidation after overflow.
+    LimitedB { pointers: u32 },
+    /// LimitLESS_i: `i` hardware pointers, software-extended overflow.
+    LimitLess { pointers: u32 },
+    /// Stanford singly-linked-list protocol (Dir₁Tree₁, forward only).
+    SinglyList,
+    /// IEEE 1596 SCI doubly-linked list (Dir₁Tree₁).
+    Sci,
+    /// Scalable Tree Protocol with `arity`-ary balanced trees (Dir₂Tree_k).
+    Stp { arity: u32 },
+    /// SCI tree extension P1596.2 (AVL-balanced binary tree, Dir₂Tree₂).
+    SciTree,
+    /// The paper's contribution: Dir_iTree_k with `pointers` directory
+    /// pointers and `arity`-ary trees.
+    DirTree { pointers: u32, arity: u32 },
+    /// Snooping MSI for the bus fabric (the §1 baseline).
+    Snoop,
+    /// Extension: Dir_iTree_k with *update* writes instead of
+    /// invalidations (§3 mentions the option; the paper evaluates only
+    /// the invalidation variant).
+    DirTreeUpdate { pointers: u32, arity: u32 },
+}
+
+impl ProtocolKind {
+    /// The short label used in the paper's figures: `fm`, `L1..L8` for
+    /// Dir_iNB and bare `1..8` for Dir_iTree₂.
+    pub fn figure_label(&self) -> String {
+        match self {
+            ProtocolKind::FullMap => "fm".into(),
+            ProtocolKind::LimitedNB { pointers } => format!("L{pointers}"),
+            ProtocolKind::LimitedB { pointers } => format!("B{pointers}"),
+            ProtocolKind::LimitLess { pointers } => format!("LL{pointers}"),
+            ProtocolKind::SinglyList => "sll".into(),
+            ProtocolKind::Sci => "sci".into(),
+            ProtocolKind::Stp { .. } => "stp".into(),
+            ProtocolKind::SciTree => "scit".into(),
+            ProtocolKind::DirTree { pointers, .. } => format!("{pointers}"),
+            ProtocolKind::DirTreeUpdate { pointers, .. } => format!("U{pointers}"),
+            ProtocolKind::Snoop => "snp".into(),
+        }
+    }
+
+    /// A descriptive name (`Dir4Tree2`, `LimitLESS4`, ...).
+    pub fn name(&self) -> String {
+        match self {
+            ProtocolKind::FullMap => "FullMap".into(),
+            ProtocolKind::LimitedNB { pointers } => format!("Dir{pointers}NB"),
+            ProtocolKind::LimitedB { pointers } => format!("Dir{pointers}B"),
+            ProtocolKind::LimitLess { pointers } => format!("LimitLESS{pointers}"),
+            ProtocolKind::SinglyList => "SinglyLinkedList".into(),
+            ProtocolKind::Sci => "SCI".into(),
+            ProtocolKind::Stp { arity } => format!("STP{arity}"),
+            ProtocolKind::SciTree => "SCITreeExt".into(),
+            ProtocolKind::DirTree { pointers, arity } => format!("Dir{pointers}Tree{arity}"),
+            ProtocolKind::DirTreeUpdate { pointers, arity } => {
+                format!("Dir{pointers}Tree{arity}U")
+            }
+            ProtocolKind::Snoop => "SnoopMSI".into(),
+        }
+    }
+
+    /// The nine configurations of the paper's figures: `fm`, `L8 L4 L2 L1`,
+    /// and Dir_iTree₂ for i ∈ {8,4,2,1}.
+    pub fn figure_set() -> Vec<ProtocolKind> {
+        let mut v = vec![ProtocolKind::FullMap];
+        for i in [8, 4, 2, 1] {
+            v.push(ProtocolKind::LimitedNB { pointers: i });
+        }
+        for i in [8, 4, 2, 1] {
+            v.push(ProtocolKind::DirTree { pointers: i, arity: 2 });
+        }
+        v
+    }
+}
+
+/// A coherence protocol: a distributed state machine over directory and
+/// cache controllers, driven by processor misses and network messages.
+pub trait Protocol: Send {
+    fn kind(&self) -> ProtocolKind;
+
+    /// A read or write miss began at `node` for `addr`. The machine has
+    /// already allocated the line and set it to `RmIp`/`WmIp`; the protocol
+    /// sends the request to the home. For a write to a `V` line (upgrade),
+    /// `op == Write` and the old state was `V`.
+    fn start_miss(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, op: OpKind);
+
+    /// A message arrived at `node` (directory side if it is the home and
+    /// the kind is directory-bound, cache side otherwise).
+    fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg);
+
+    /// `node` evicted a line for `addr` that was in `state` (`V` or `E`).
+    /// The tag is already gone; the protocol must restore metadata
+    /// consistency (writeback, unlink, subtree kill, ...).
+    fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState);
+
+    /// Directory overhead per memory block, in bits, for an `nodes`-node
+    /// machine (Section 2 formulas; used by the memory-overhead table).
+    fn dir_bits_per_mem_block(&self, nodes: u32) -> u64;
+
+    /// Coherence metadata per cache line, in bits.
+    fn cache_bits_per_line(&self, nodes: u32) -> u64;
+
+    /// Update-based protocols have no exclusive state: every write is a
+    /// home transaction and completed writes leave all copies valid (the
+    /// machine adjusts its write-hit policy and its witness accordingly).
+    fn is_update(&self) -> bool {
+        false
+    }
+}
+
+/// Number of bits in a node pointer for an `n`-node machine.
+pub(crate) fn ptr_bits(nodes: u32) -> u64 {
+    (32 - (nodes.max(2) - 1).leading_zeros()) as u64
+}
+
+/// Instantiate a protocol implementation.
+pub fn build_protocol(kind: ProtocolKind, params: ProtocolParams) -> Box<dyn Protocol> {
+    match kind {
+        ProtocolKind::FullMap => Box::new(crate::dir::full_map::FullMap::new()),
+        ProtocolKind::LimitedNB { pointers } => {
+            Box::new(crate::dir::limited::Limited::new(pointers, false))
+        }
+        ProtocolKind::LimitedB { pointers } => {
+            Box::new(crate::dir::limited::Limited::new(pointers, true))
+        }
+        ProtocolKind::LimitLess { pointers } => Box::new(crate::dir::limitless::LimitLess::new(
+            pointers,
+            params.sw_trap_cycles,
+        )),
+        ProtocolKind::SinglyList => Box::new(crate::dir::singly::SinglyList::new()),
+        ProtocolKind::Sci => Box::new(crate::dir::sci::Sci::new()),
+        ProtocolKind::Stp { arity } => Box::new(crate::dir::stp::Stp::new(arity)),
+        ProtocolKind::SciTree => Box::new(crate::dir::sci_tree::SciTree::new()),
+        ProtocolKind::DirTree { pointers, arity } => Box::new(
+            crate::dir::dir_tree::DirTree::new(pointers, arity, params),
+        ),
+        ProtocolKind::DirTreeUpdate { pointers, arity } => Box::new(
+            crate::dir::dir_tree_update::DirTreeUpdate::new(pointers, arity, params),
+        ),
+        ProtocolKind::Snoop => Box::new(crate::dir::snoop::Snoop::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(ProtocolKind::FullMap.figure_label(), "fm");
+        assert_eq!(ProtocolKind::LimitedNB { pointers: 4 }.figure_label(), "L4");
+        assert_eq!(
+            ProtocolKind::DirTree { pointers: 4, arity: 2 }.figure_label(),
+            "4"
+        );
+        assert_eq!(
+            ProtocolKind::DirTree { pointers: 4, arity: 2 }.name(),
+            "Dir4Tree2"
+        );
+    }
+
+    #[test]
+    fn figure_set_has_nine_members() {
+        let set = ProtocolKind::figure_set();
+        assert_eq!(set.len(), 9);
+        assert_eq!(set[0], ProtocolKind::FullMap);
+    }
+
+    #[test]
+    fn ptr_bits_is_ceil_log2() {
+        assert_eq!(ptr_bits(2), 1);
+        assert_eq!(ptr_bits(8), 3);
+        assert_eq!(ptr_bits(9), 4);
+        assert_eq!(ptr_bits(1024), 10);
+    }
+
+    #[test]
+    fn builder_constructs_every_kind() {
+        let params = ProtocolParams::default();
+        for kind in [
+            ProtocolKind::FullMap,
+            ProtocolKind::LimitedNB { pointers: 2 },
+            ProtocolKind::LimitedB { pointers: 2 },
+            ProtocolKind::LimitLess { pointers: 4 },
+            ProtocolKind::SinglyList,
+            ProtocolKind::Sci,
+            ProtocolKind::Stp { arity: 2 },
+            ProtocolKind::SciTree,
+            ProtocolKind::DirTree { pointers: 4, arity: 2 },
+            ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 },
+            ProtocolKind::Snoop,
+        ] {
+            let p = build_protocol(kind, params);
+            assert_eq!(p.kind(), kind);
+        }
+    }
+}

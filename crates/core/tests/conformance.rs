@@ -1,0 +1,180 @@
+//! Protocol conformance battery: one standard scenario suite executed
+//! against every protocol implementation through the public
+//! [`dirtree_core::testkit::MockCtx`]. Each scenario asserts the
+//! single-writer/multiple-reader invariant and the expected survivor set,
+//! so any new protocol gets the same baseline scrutiny for free.
+
+use dirtree_core::protocol::{build_protocol, Protocol, ProtocolKind, ProtocolParams};
+use dirtree_core::testkit::MockCtx;
+use dirtree_core::types::{Addr, LineState, OpKind};
+use dirtree_core::ProtoCtx;
+
+const A: Addr = 0; // home = node 0 for every machine size used here
+
+fn kinds() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::FullMap,
+        ProtocolKind::LimitedNB { pointers: 1 },
+        ProtocolKind::LimitedNB { pointers: 4 },
+        ProtocolKind::LimitedB { pointers: 2 },
+        ProtocolKind::LimitLess { pointers: 2 },
+        ProtocolKind::SinglyList,
+        ProtocolKind::Sci,
+        ProtocolKind::Stp { arity: 2 },
+        ProtocolKind::Stp { arity: 3 },
+        ProtocolKind::SciTree,
+        ProtocolKind::DirTree { pointers: 1, arity: 2 },
+        ProtocolKind::DirTree { pointers: 2, arity: 2 },
+        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree { pointers: 8, arity: 2 },
+        ProtocolKind::DirTree { pointers: 4, arity: 4 },
+        ProtocolKind::Snoop,
+    ]
+}
+
+fn fresh(kind: ProtocolKind) -> (MockCtx, Box<dyn Protocol>) {
+    (MockCtx::new(16), build_protocol(kind, ProtocolParams::default()))
+}
+
+/// An update-protocol-aware write helper (writers end V, not E, there).
+fn write(ctx: &mut MockCtx, p: &mut dyn Protocol, node: u32) {
+    if p.is_update() {
+        let before = ctx.completed.len();
+        ctx.begin_miss(p, node, A, OpKind::Write);
+        ctx.run(p);
+        assert!(ctx.completed[before..].contains(&(node, A, OpKind::Write)));
+    } else {
+        ctx.write(p, node, A);
+    }
+}
+
+#[test]
+fn scenario_single_reader_then_writer() {
+    for kind in kinds() {
+        let (mut ctx, mut p) = fresh(kind);
+        ctx.read(&mut *p, 1, A);
+        write(&mut ctx, &mut *p, 2);
+        ctx.assert_swmr(A);
+        assert_eq!(ctx.holders(A), vec![2], "{}", kind.name());
+    }
+}
+
+#[test]
+fn scenario_wide_sharing_then_writer() {
+    for kind in kinds() {
+        let (mut ctx, mut p) = fresh(kind);
+        for n in 1..=12 {
+            ctx.read(&mut *p, n, A);
+        }
+        write(&mut ctx, &mut *p, 14);
+        ctx.assert_swmr(A);
+        assert_eq!(ctx.holders(A), vec![14], "{}", kind.name());
+    }
+}
+
+#[test]
+fn scenario_migratory_chain() {
+    for kind in kinds() {
+        let (mut ctx, mut p) = fresh(kind);
+        for n in 0..8 {
+            ctx.read(&mut *p, n, A);
+            write(&mut ctx, &mut *p, n);
+            ctx.assert_swmr(A);
+        }
+        assert_eq!(ctx.holders(A), vec![7], "{}", kind.name());
+    }
+}
+
+#[test]
+fn scenario_upgrade_from_inside_sharers() {
+    for kind in kinds() {
+        let (mut ctx, mut p) = fresh(kind);
+        for n in 1..=5 {
+            ctx.read(&mut *p, n, A);
+        }
+        write(&mut ctx, &mut *p, 3);
+        ctx.assert_swmr(A);
+        assert_eq!(ctx.holders(A), vec![3], "{}", kind.name());
+    }
+}
+
+#[test]
+fn scenario_evict_middle_then_write() {
+    for kind in kinds() {
+        let (mut ctx, mut p) = fresh(kind);
+        for n in 1..=6 {
+            ctx.read(&mut *p, n, A);
+        }
+        if ctx.line_state(3, A) == LineState::V {
+            ctx.evict(&mut *p, 3, A);
+        }
+        write(&mut ctx, &mut *p, 9);
+        ctx.assert_swmr(A);
+        assert_eq!(ctx.holders(A), vec![9], "{}", kind.name());
+    }
+}
+
+#[test]
+fn scenario_evict_rejoin_write_storm() {
+    for kind in kinds() {
+        let (mut ctx, mut p) = fresh(kind);
+        for round in 0..3 {
+            for n in 1..=6 {
+                ctx.read(&mut *p, n, A);
+            }
+            // Evict two members (one possibly structural), re-read one.
+            if ctx.line_state(2, A) == LineState::V {
+                ctx.evict(&mut *p, 2, A);
+            }
+            if ctx.line_state(5, A) == LineState::V {
+                ctx.evict(&mut *p, 5, A);
+            }
+            ctx.read(&mut *p, 2, A);
+            write(&mut ctx, &mut *p, round);
+            ctx.assert_swmr(A);
+            assert_eq!(ctx.holders(A), vec![round], "{} round {round}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn scenario_owner_eviction_then_read() {
+    for kind in kinds() {
+        let (mut ctx, mut p) = fresh(kind);
+        write(&mut ctx, &mut *p, 4);
+        if ctx.line_state(4, A) == LineState::E {
+            ctx.evict(&mut *p, 4, A);
+        }
+        ctx.read(&mut *p, 6, A);
+        assert!(ctx.line_state(6, A).readable(), "{}", kind.name());
+        ctx.assert_swmr(A);
+    }
+}
+
+#[test]
+fn scenario_alternating_read_write_pairs() {
+    for kind in kinds() {
+        let (mut ctx, mut p) = fresh(kind);
+        for i in 0..10u32 {
+            let reader = 1 + (i % 5);
+            let writer = 8 + (i % 3);
+            ctx.read(&mut *p, reader, A);
+            write(&mut ctx, &mut *p, writer);
+            ctx.assert_swmr(A);
+        }
+    }
+}
+
+#[test]
+fn update_variant_keeps_copies_valid() {
+    let kind = ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 };
+    let (mut ctx, mut p) = fresh(kind);
+    for n in 1..=6 {
+        ctx.read(&mut *p, n, A);
+    }
+    write(&mut ctx, &mut *p, 9);
+    for n in 1..=6 {
+        assert!(ctx.line_state(n, A).readable(), "update killed node {n}");
+    }
+    assert!(ctx.holders(A).len() >= 7);
+}

@@ -1,0 +1,220 @@
+//! The machine core: event queue, network, caches, memory controllers, and
+//! the [`ProtoCtx`] implementation protocols act through.
+//!
+//! Split from [`crate::machine::Machine`] so the protocol (owned by the
+//! machine) can borrow the rest of the state mutably while handling a
+//! message.
+
+use crate::config::MachineConfig;
+use crate::stats::MachineStats;
+use crate::verify::Verifier;
+use dirtree_core::cache::Cache;
+use dirtree_core::ctx::{ProtoCtx, ProtoEvent};
+use dirtree_core::msg::Msg;
+use dirtree_core::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_net::Network;
+use dirtree_sim::{Cycle, EventQueue, FxHashMap};
+use std::collections::VecDeque;
+
+/// Machine events.
+#[derive(Debug)]
+pub enum Ev {
+    /// Processor `n` is ready to issue (or retry) an operation.
+    Proc(NodeId),
+    /// A message reached node `n` (enqueue at its controller).
+    Deliver(NodeId, Msg),
+    /// Node `n`'s controller finished the occupancy of its queue head.
+    CtrlExec(NodeId),
+    /// The outstanding access of processor `n` completed.
+    OpDone(NodeId, Addr, OpKind),
+}
+
+pub struct MachineCore {
+    pub config: MachineConfig,
+    pub queue: EventQueue<Ev>,
+    pub net: Network,
+    pub caches: Vec<Cache>,
+    pub stats: MachineStats,
+    pub verifier: Option<Verifier>,
+    /// Issue time of each outstanding miss (latency accounting).
+    pub pending_miss: FxHashMap<(NodeId, Addr), Cycle>,
+    ctrl_q: Vec<VecDeque<Msg>>,
+    ctrl_free: Vec<Cycle>,
+    ctrl_scheduled: Vec<bool>,
+    /// Extra occupancy requested by the currently running handler.
+    ctrl_extra: Cycle,
+    /// Total busy cycles per controller (hot-spot diagnostics).
+    ctrl_busy: Vec<Cycle>,
+}
+
+impl MachineCore {
+    pub fn new(config: MachineConfig) -> Self {
+        let n = config.nodes as usize;
+        Self {
+            queue: EventQueue::with_capacity(1024),
+            net: Network::new(config.topology.build(config.nodes), config.net),
+            caches: (0..n).map(|_| Cache::new(config.cache)).collect(),
+            stats: MachineStats::default(),
+            verifier: config.verify.then(Verifier::new),
+            pending_miss: FxHashMap::default(),
+            ctrl_q: (0..n).map(|_| VecDeque::new()).collect(),
+            ctrl_free: vec![0; n],
+            ctrl_scheduled: vec![false; n],
+            ctrl_extra: 0,
+            ctrl_busy: vec![0; n],
+            config,
+        }
+    }
+
+    /// Controller occupancy for a message: directory-bound messages pay the
+    /// memory access latency, cache-bound ones the cache latency.
+    fn occupancy(&self, msg: &Msg) -> Cycle {
+        if msg.kind.to_directory() {
+            self.config.mem_latency
+        } else {
+            self.config.cache_latency
+        }
+    }
+
+    /// Enqueue a delivered message and make sure the controller will run.
+    pub fn deliver(&mut self, node: NodeId, msg: Msg) {
+        self.ctrl_q[node as usize].push_back(msg);
+        self.schedule_ctrl(node);
+    }
+
+    fn schedule_ctrl(&mut self, node: NodeId) {
+        let n = node as usize;
+        if self.ctrl_scheduled[n] || self.ctrl_q[n].is_empty() {
+            return;
+        }
+        let occ = self.occupancy(self.ctrl_q[n].front().unwrap());
+        let start = self.queue.now().max(self.ctrl_free[n]);
+        let done = start + occ;
+        self.ctrl_busy[n] += occ;
+        self.ctrl_free[n] = done;
+        self.ctrl_scheduled[n] = true;
+        self.queue.push(done, Ev::CtrlExec(node));
+    }
+
+    /// Pop the head message whose occupancy elapsed; the caller runs the
+    /// protocol handler and then calls [`MachineCore::ctrl_finish`].
+    pub fn ctrl_take(&mut self, node: NodeId) -> Msg {
+        let n = node as usize;
+        debug_assert!(self.ctrl_scheduled[n]);
+        self.ctrl_scheduled[n] = false;
+        self.ctrl_extra = 0;
+        self.ctrl_q[n].pop_front().expect("CtrlExec with empty queue")
+    }
+
+    /// Apply handler-requested extra occupancy and schedule the next
+    /// message if any.
+    pub fn ctrl_finish(&mut self, node: NodeId) {
+        let n = node as usize;
+        if self.ctrl_extra > 0 {
+            self.ctrl_busy[n] += self.ctrl_extra;
+            self.ctrl_free[n] = self.queue.now() + self.ctrl_extra;
+            self.ctrl_extra = 0;
+        }
+        self.schedule_ctrl(node);
+    }
+
+    /// Readable copies of `addr` held by nodes other than `except`.
+    pub fn other_holders(&self, addr: Addr, except: NodeId) -> Vec<NodeId> {
+        (0..self.config.nodes)
+            .filter(|&m| m != except && self.caches[m as usize].state(addr).readable())
+            .collect()
+    }
+
+    /// Busy cycles per memory/cache controller (hot-spot diagnostics).
+    pub fn controller_busy(&self) -> &[Cycle] {
+        &self.ctrl_busy
+    }
+
+    /// All surviving readable copies (for the final verification pass).
+    pub fn survivors(&self) -> Vec<(NodeId, Addr)> {
+        let mut out = Vec::new();
+        for (n, cache) in self.caches.iter().enumerate() {
+            for (addr, st) in cache.resident() {
+                if st.readable() {
+                    out.push((n as NodeId, addr));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ProtoCtx for MachineCore {
+    fn now(&self) -> Cycle {
+        self.queue.now()
+    }
+
+    fn num_nodes(&self) -> u32 {
+        self.config.nodes
+    }
+
+    fn home_of(&self, addr: Addr) -> NodeId {
+        // Shared memory is interleaved across the nodes' memory modules.
+        (addr % self.config.nodes as u64) as NodeId
+    }
+
+    fn send(&mut self, dst: NodeId, msg: Msg) {
+        let bytes = msg
+            .kind
+            .wire_bytes(self.config.header_bytes, self.config.block_bytes);
+        let arrival = self.net.send(self.queue.now(), msg.src, dst, bytes);
+        self.stats.messages += 1;
+        if matches!(msg.kind, dirtree_core::msg::MsgKind::FillAck) {
+            self.stats.fill_acks += 1;
+        }
+        self.stats.bytes += bytes as u64;
+        self.queue.push(arrival, Ev::Deliver(dst, msg));
+    }
+
+    fn broadcast(&mut self, msg: Msg) -> Cycle {
+        let bytes = msg
+            .kind
+            .wire_bytes(self.config.header_bytes, self.config.block_bytes);
+        let arrival = self.net.broadcast(self.queue.now(), msg.src, bytes);
+        // One bus transaction, or n − 1 unicasts on a point-to-point
+        // fabric (§1's argument in a single line of accounting).
+        let wire_msgs = if self.net.config().fabric == dirtree_net::Fabric::Bus {
+            1
+        } else {
+            self.config.nodes as u64 - 1
+        };
+        self.stats.messages += wire_msgs;
+        self.stats.bytes += bytes as u64 * wire_msgs;
+        for dst in 0..self.config.nodes {
+            if dst != msg.src {
+                self.queue.push(arrival, Ev::Deliver(dst, msg.clone()));
+            }
+        }
+        arrival
+    }
+
+    fn redeliver(&mut self, node: NodeId, msg: Msg, delay: Cycle) {
+        self.queue.push(self.queue.now() + delay, Ev::Deliver(node, msg));
+    }
+
+    fn occupy(&mut self, _node: NodeId, cycles: Cycle) {
+        self.ctrl_extra += cycles;
+    }
+
+    fn line_state(&self, node: NodeId, addr: Addr) -> LineState {
+        self.caches[node as usize].state(addr)
+    }
+
+    fn set_line_state(&mut self, node: NodeId, addr: Addr, state: LineState) {
+        self.caches[node as usize].set_state(addr, state);
+    }
+
+    fn complete(&mut self, node: NodeId, addr: Addr, op: OpKind) {
+        let fill = self.queue.now() + self.config.cache_latency;
+        self.queue.push(fill, Ev::OpDone(node, addr, op));
+    }
+
+    fn note(&mut self, event: ProtoEvent) {
+        self.stats.note(event);
+    }
+}

@@ -1,0 +1,575 @@
+//! The top-level machine: processors, synchronization, and the event loop.
+
+use crate::config::MachineConfig;
+use crate::core::{Ev, MachineCore};
+use crate::driver::{Driver, DriverOp};
+use crate::stats::MachineStats;
+use dirtree_core::cache::AllocOutcome;
+use dirtree_core::protocol::{build_protocol, Protocol, ProtocolKind};
+use dirtree_core::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_net::NetworkStats;
+use dirtree_sim::{Cycle, FxHashMap};
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProcState {
+    /// Ready for (or waiting on) the next driver op; a `Proc` event exists.
+    Running,
+    /// An operation is being retried (allocation stall / transient line).
+    Retrying,
+    /// Blocked on a memory access, a barrier, or a lock.
+    Blocked,
+    Done,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    waiting: Vec<NodeId>,
+}
+
+#[derive(Default)]
+struct LockState {
+    owner: Option<NodeId>,
+    waiters: VecDeque<NodeId>,
+}
+
+/// The result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    pub cycles: Cycle,
+    pub stats: MachineStats,
+    pub net: NetworkStats,
+}
+
+/// A simulated multiprocessor running one coherence protocol.
+pub struct Machine {
+    core: MachineCore,
+    protocol: Box<dyn Protocol>,
+    procs: Vec<ProcState>,
+    /// Op being retried per processor (allocation stall, transient line).
+    retry_op: Vec<Option<DriverOp>>,
+    barriers: FxHashMap<u32, BarrierState>,
+    locks: FxHashMap<u32, LockState>,
+    done_count: u32,
+}
+
+impl Machine {
+    pub fn new(config: MachineConfig, kind: ProtocolKind) -> Self {
+        Self::with_protocol(config, build_protocol(kind, config.protocol))
+    }
+
+    /// Build a machine around a custom [`Protocol`] implementation (e.g.
+    /// an experimental protocol, or an instrumented wrapper in tests).
+    pub fn with_protocol(config: MachineConfig, protocol: Box<dyn Protocol>) -> Self {
+        let n = config.nodes as usize;
+        Self {
+            core: MachineCore::new(config),
+            protocol,
+            procs: vec![ProcState::Running; n],
+            retry_op: vec![None; n],
+            barriers: FxHashMap::default(),
+            locks: FxHashMap::default(),
+            done_count: 0,
+        }
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.core.config
+    }
+
+    pub fn protocol_kind(&self) -> ProtocolKind {
+        self.protocol.kind()
+    }
+
+    pub fn stats(&self) -> &MachineStats {
+        &self.core.stats
+    }
+
+    /// Run the machine to completion under `driver`.
+    ///
+    /// # Panics
+    /// Panics on coherence violations (when verification is enabled) and on
+    /// deadlock (event queue drained with processors still blocked).
+    pub fn run(&mut self, driver: &mut dyn Driver) -> RunOutcome {
+        for n in 0..self.core.config.nodes {
+            self.core.queue.push(0, Ev::Proc(n));
+        }
+        let mut events: u64 = 0;
+        while let Some((_, ev)) = self.core.queue.pop() {
+            events += 1;
+            assert!(
+                events <= self.core.config.max_events,
+                "livelock: {events} events without completion (protocol {:?})",
+                self.protocol.kind()
+            );
+            match ev {
+                Ev::Proc(n) => self.step_processor(n, driver),
+                Ev::Deliver(n, msg) => {
+                    if msg.kind.is_snoop() {
+                        // Dedicated snoop port: handled at delivery time.
+                        self.protocol.handle(&mut self.core, n, msg);
+                    } else {
+                        self.core.deliver(n, msg);
+                    }
+                }
+                Ev::CtrlExec(n) => {
+                    let msg = self.core.ctrl_take(n);
+                    self.protocol.handle(&mut self.core, n, msg);
+                    self.core.ctrl_finish(n);
+                }
+                Ev::OpDone(n, addr, op) => self.op_done(n, addr, op),
+            }
+        }
+        assert_eq!(
+            self.done_count, self.core.config.nodes,
+            "deadlock: event queue drained with {} of {} processors unfinished \
+             (blocked procs: {:?})",
+            self.done_count,
+            self.core.config.nodes,
+            self.procs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s != ProcState::Done)
+                .map(|(i, s)| (i, *s))
+                .collect::<Vec<_>>()
+        );
+        if let Some(v) = &self.core.verifier {
+            if let Err(violation) = v.on_finish(self.core.survivors().into_iter()) {
+                panic!("{violation} (protocol {:?})", self.protocol.kind());
+            }
+        }
+        self.core.stats.cycles = self.core.queue.now();
+        let (busy_max, busy_sum, nodes) = {
+            let busy = self.core.controller_busy();
+            (
+                busy.iter().copied().max().unwrap_or(0),
+                busy.iter().sum::<u64>(),
+                busy.len().max(1),
+            )
+        };
+        self.core.stats.max_controller_busy = busy_max;
+        self.core.stats.mean_controller_busy = busy_sum as f64 / nodes as f64;
+        RunOutcome {
+            cycles: self.core.stats.cycles,
+            stats: self.core.stats.clone(),
+            net: self.core.net.stats().clone(),
+        }
+    }
+
+    fn reschedule(&mut self, n: NodeId, delay: Cycle) {
+        self.core.queue.push(self.core.queue.now() + delay, Ev::Proc(n));
+    }
+
+    fn step_processor(&mut self, n: NodeId, driver: &mut dyn Driver) {
+        let op = match self.retry_op[n as usize].take() {
+            Some(op) => op,
+            None => driver.next_op(n, self.core.queue.now()),
+        };
+        self.procs[n as usize] = ProcState::Running;
+        match op {
+            DriverOp::Read(addr) => self.issue_access(n, addr, OpKind::Read, op),
+            DriverOp::Write(addr) => self.issue_access(n, addr, OpKind::Write, op),
+            DriverOp::Work(c) => self.reschedule(n, c.max(1)),
+            DriverOp::Barrier(id) => self.arrive_barrier(n, id),
+            DriverOp::Lock(id) => self.acquire_lock(n, id),
+            DriverOp::Unlock(id) => self.release_lock(n, id),
+            DriverOp::Done => {
+                self.procs[n as usize] = ProcState::Done;
+                self.done_count += 1;
+            }
+        }
+    }
+
+    fn retry(&mut self, n: NodeId, op: DriverOp) {
+        self.retry_op[n as usize] = Some(op);
+        self.procs[n as usize] = ProcState::Retrying;
+        self.reschedule(n, 1);
+    }
+
+    fn issue_access(&mut self, n: NodeId, addr: Addr, kind: OpKind, op: DriverOp) {
+        let cache_latency = self.core.config.cache_latency;
+        let state = self.core.caches[n as usize].state(addr);
+
+        match kind {
+            OpKind::Read => {
+                self.core.stats.reads += 1;
+                if state.readable() {
+                    self.core.stats.read_hits += 1;
+                    self.core.caches[n as usize].touch(addr);
+                    if let Some(v) = &self.core.verifier {
+                        if let Err(viol) = v.on_read_hit(n, addr) {
+                            panic!("{viol} (protocol {:?})", self.protocol.kind());
+                        }
+                    }
+                    self.reschedule(n, cache_latency);
+                    return;
+                }
+                self.core.stats.reads -= 1; // re-counted on the miss path
+            }
+            OpKind::Write => {
+                self.core.stats.writes += 1;
+                if state.writable() {
+                    self.core.stats.write_hits += 1;
+                    self.core.stats.sharers_at_write.record(0);
+                    self.core.caches[n as usize].touch(addr);
+                    // (is_some + unwrap rather than if-let: `other_holders`
+                    // needs an immutable borrow of the core in between.)
+                    #[allow(clippy::unnecessary_unwrap)]
+                    if self.core.verifier.is_some() {
+                        let others = self.core.other_holders(addr, n);
+                        let v = self.core.verifier.as_mut().unwrap();
+                        if let Err(viol) = v.on_write_complete(n, addr, &others) {
+                            panic!("{viol} (protocol {:?})", self.protocol.kind());
+                        }
+                    }
+                    self.reschedule(n, cache_latency);
+                    return;
+                }
+                self.core.stats.writes -= 1;
+            }
+        }
+
+        // A transient line (incoming invalidation collection, or an
+        // upgrade in progress) cannot accept a new transaction yet.
+        if state.transient() {
+            self.retry(n, op);
+            return;
+        }
+
+        // Upgrade: write to a valid shared copy — no allocation needed.
+        if kind == OpKind::Write && state == LineState::V {
+            self.begin_miss(n, addr, OpKind::Write);
+            return;
+        }
+
+        // Genuine miss: allocate a line (possibly evicting a victim).
+        match self.core.caches[n as usize].allocate(addr) {
+            AllocOutcome::Stalled => {
+                self.retry(n, op);
+                return;
+            }
+            AllocOutcome::Evicted { victim, state } => {
+                self.core.stats.evictions += 1;
+                self.protocol.evict(&mut self.core, n, victim, state);
+            }
+            AllocOutcome::Fresh | AllocOutcome::AlreadyResident => {}
+        }
+        self.begin_miss(n, addr, kind);
+    }
+
+    fn begin_miss(&mut self, n: NodeId, addr: Addr, kind: OpKind) {
+        match kind {
+            OpKind::Read => {
+                self.core.stats.reads += 1;
+                self.core.stats.read_misses += 1;
+                self.core.caches[n as usize].set_state(addr, LineState::RmIp);
+            }
+            OpKind::Write => {
+                self.core.stats.writes += 1;
+                self.core.stats.write_misses += 1;
+                let sharers = self.core.other_holders(addr, n).len() as u64;
+                self.core.stats.sharers_at_write.record(sharers);
+                self.core.caches[n as usize].set_state(addr, LineState::WmIp);
+            }
+        }
+        self.core.caches[n as usize].touch(addr);
+        self.core
+            .pending_miss
+            .insert((n, addr), self.core.queue.now());
+        self.procs[n as usize] = ProcState::Blocked;
+        self.protocol.start_miss(&mut self.core, n, addr, kind);
+    }
+
+    fn op_done(&mut self, n: NodeId, addr: Addr, op: OpKind) {
+        if let Some(issued) = self.core.pending_miss.remove(&(n, addr)) {
+            let lat = self.core.queue.now() - issued;
+            match op {
+                OpKind::Read => self.core.stats.read_miss_latency.record(lat),
+                OpKind::Write => self.core.stats.write_miss_latency.record(lat),
+            }
+        }
+        // (see note above about the split borrow)
+        #[allow(clippy::unnecessary_unwrap)]
+        if self.core.verifier.is_some() {
+            match op {
+                OpKind::Read => self.core.verifier.as_mut().unwrap().on_read_fill(n, addr),
+                OpKind::Write => {
+                    let others = self.core.other_holders(addr, n);
+                    let v = self.core.verifier.as_mut().unwrap();
+                    if self.protocol.is_update() {
+                        v.on_write_complete_update(n, addr, &others);
+                    } else if let Err(viol) = v.on_write_complete(n, addr, &others) {
+                        panic!("{viol} (protocol {:?})", self.protocol.kind());
+                    }
+                }
+            }
+        }
+        self.procs[n as usize] = ProcState::Running;
+        self.reschedule(n, 0);
+    }
+
+    fn arrive_barrier(&mut self, n: NodeId, id: u32) {
+        let nodes = self.core.config.nodes;
+        let sync_latency = self.core.config.sync_latency;
+        let b = self.barriers.entry(id).or_default();
+        b.waiting.push(n);
+        self.procs[n as usize] = ProcState::Blocked;
+        if b.waiting.len() as u32 == nodes {
+            let waiting = std::mem::take(&mut b.waiting);
+            self.core.stats.barriers += 1;
+            for w in waiting {
+                self.procs[w as usize] = ProcState::Running;
+                self.reschedule(w, sync_latency);
+            }
+        }
+    }
+
+    fn acquire_lock(&mut self, n: NodeId, id: u32) {
+        let sync_latency = self.core.config.sync_latency;
+        let l = self.locks.entry(id).or_default();
+        if l.owner.is_none() {
+            l.owner = Some(n);
+            self.core.stats.lock_acquires += 1;
+            self.reschedule(n, sync_latency);
+        } else {
+            l.waiters.push_back(n);
+            self.procs[n as usize] = ProcState::Blocked;
+        }
+    }
+
+    fn release_lock(&mut self, n: NodeId, id: u32) {
+        let sync_latency = self.core.config.sync_latency;
+        let l = self
+            .locks
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unlock of unknown lock {id}"));
+        assert_eq!(l.owner, Some(n), "unlock by non-owner {n} of lock {id}");
+        if let Some(next) = l.waiters.pop_front() {
+            l.owner = Some(next);
+            self.core.stats.lock_acquires += 1;
+            self.procs[next as usize] = ProcState::Running;
+            self.reschedule(next, sync_latency);
+        } else {
+            l.owner = None;
+        }
+        self.reschedule(n, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::ScriptDriver;
+
+    fn run_script(
+        nodes: u32,
+        kind: ProtocolKind,
+        scripts: Vec<Vec<DriverOp>>,
+    ) -> (RunOutcome, Machine) {
+        let mut m = Machine::new(MachineConfig::test_default(nodes), kind);
+        let mut d = ScriptDriver::new(scripts);
+        let out = m.run(&mut d);
+        (out, m)
+    }
+
+    #[test]
+    fn single_processor_read_write_roundtrip() {
+        let (out, _) = run_script(
+            2,
+            ProtocolKind::FullMap,
+            vec![
+                vec![
+                    DriverOp::Read(0),
+                    DriverOp::Write(0),
+                    DriverOp::Read(0),
+                    DriverOp::Read(2),
+                ],
+                vec![],
+            ],
+        );
+        assert_eq!(out.stats.reads, 3);
+        assert_eq!(out.stats.writes, 1);
+        assert_eq!(out.stats.read_misses, 2);
+        assert_eq!(out.stats.write_misses, 1); // V -> E upgrade
+        assert_eq!(out.stats.read_hits, 1);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn read_miss_latency_includes_network_and_memory() {
+        // Node 1 reads address 0 (home node 0): req (1 hop) + 5-cycle
+        // memory + reply (1 hop, 16 bytes) + fill.
+        let (out, _) = run_script(
+            2,
+            ProtocolKind::FullMap,
+            vec![vec![], vec![DriverOp::Read(0)]],
+        );
+        let lat = out.stats.read_miss_latency.mean();
+        assert!(lat >= 15.0, "latency {lat} too small to be physical");
+        assert!(lat <= 60.0, "latency {lat} implausibly large");
+    }
+
+    #[test]
+    fn hits_are_one_cycle() {
+        let (out, _) = run_script(
+            2,
+            ProtocolKind::FullMap,
+            vec![
+                vec![DriverOp::Read(0), DriverOp::Read(0), DriverOp::Read(0)],
+                vec![],
+            ],
+        );
+        assert_eq!(out.stats.read_hits, 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_processors() {
+        let scripts = (0..4)
+            .map(|n| {
+                vec![
+                    DriverOp::Work(n * 50 + 1),
+                    DriverOp::Barrier(0),
+                    DriverOp::Read(0),
+                ]
+            })
+            .collect();
+        let (out, _) = run_script(4, ProtocolKind::FullMap, scripts);
+        assert_eq!(out.stats.barriers, 1);
+        assert_eq!(out.stats.reads, 4);
+    }
+
+    #[test]
+    fn locks_are_mutually_exclusive_and_fair() {
+        let scripts = (0..4)
+            .map(|_| {
+                vec![
+                    DriverOp::Lock(7),
+                    DriverOp::Write(0),
+                    DriverOp::Unlock(7),
+                ]
+            })
+            .collect();
+        let (out, _) = run_script(4, ProtocolKind::FullMap, scripts);
+        assert_eq!(out.stats.lock_acquires, 4);
+        assert_eq!(out.stats.writes, 4);
+    }
+
+    #[test]
+    fn contended_writes_verify_for_every_protocol() {
+        for kind in [
+            ProtocolKind::FullMap,
+            ProtocolKind::LimitedNB { pointers: 2 },
+            ProtocolKind::LimitedB { pointers: 2 },
+            ProtocolKind::LimitLess { pointers: 2 },
+            ProtocolKind::DirTree { pointers: 4, arity: 2 },
+            ProtocolKind::DirTree { pointers: 1, arity: 2 },
+        ] {
+            let scripts = (0..8u64)
+                .map(|n| {
+                    vec![
+                        DriverOp::Read(0),
+                        DriverOp::Read(8),
+                        DriverOp::Write((n % 4) * 2),
+                        DriverOp::Read(0),
+                        DriverOp::Write(0),
+                    ]
+                })
+                .collect();
+            let (out, _) = run_script(8, kind, scripts);
+            assert!(out.stats.writes > 0, "{kind:?} made no progress");
+        }
+    }
+
+    #[test]
+    fn replacement_storm_with_tiny_cache() {
+        // 64-line cache, touch 256 addresses: every protocol must survive
+        // constant evictions with verification on.
+        for kind in [
+            ProtocolKind::FullMap,
+            ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ] {
+            let scripts = (0..4u64)
+                .map(|n| {
+                    let mut ops = Vec::new();
+                    for i in 0..256u64 {
+                        ops.push(DriverOp::Read((i * 4 + n) % 300));
+                        if i % 7 == 0 {
+                            ops.push(DriverOp::Write((i * 4 + n) % 300));
+                        }
+                    }
+                    ops
+                })
+                .collect();
+            let (out, _) = run_script(4, kind, scripts);
+            assert!(out.stats.evictions > 0, "{kind:?}: storm caused no evictions");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            run_script(
+                8,
+                ProtocolKind::DirTree { pointers: 4, arity: 2 },
+                (0..8u64)
+                    .map(|n| {
+                        vec![
+                            DriverOp::Read(0),
+                            DriverOp::Work(n + 1),
+                            DriverOp::Write(n % 3),
+                            DriverOp::Barrier(1),
+                            DriverOp::Read(1),
+                        ]
+                    })
+                    .collect(),
+            )
+            .0
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.stats.messages, b.stats.messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn missing_barrier_participant_is_a_deadlock() {
+        run_script(
+            2,
+            ProtocolKind::FullMap,
+            vec![vec![DriverOp::Barrier(0)], vec![]],
+        );
+    }
+
+    #[test]
+    fn controller_utilization_is_tracked() {
+        let (out, _) = run_script(
+            4,
+            ProtocolKind::FullMap,
+            vec![
+                vec![DriverOp::Read(0), DriverOp::Write(0)],
+                vec![DriverOp::Read(0)],
+                vec![DriverOp::Read(0)],
+                vec![],
+            ],
+        );
+        // The home of address 0 (node 0) must be the busiest controller.
+        assert!(out.stats.max_controller_busy > 0);
+        assert!(out.stats.max_controller_busy as f64 >= out.stats.mean_controller_busy);
+    }
+
+    #[test]
+    fn dirty_data_migrates_between_processors() {
+        let (out, _) = run_script(
+            4,
+            ProtocolKind::DirTree { pointers: 2, arity: 2 },
+            vec![
+                vec![DriverOp::Write(0), DriverOp::Barrier(0)],
+                vec![DriverOp::Barrier(0), DriverOp::Read(0), DriverOp::Write(0)],
+                vec![DriverOp::Barrier(0)],
+                vec![DriverOp::Barrier(0)],
+            ],
+        );
+        assert_eq!(out.stats.writes, 2);
+    }
+}

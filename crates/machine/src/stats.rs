@@ -1,0 +1,135 @@
+//! Machine-level statistics.
+
+use dirtree_core::ctx::ProtoEvent;
+use dirtree_sim::{Cycle, Histogram};
+
+/// Counters accumulated over a run.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Total simulated cycles (time of the last event).
+    pub cycles: Cycle,
+    pub reads: u64,
+    pub writes: u64,
+    pub read_hits: u64,
+    pub write_hits: u64,
+    pub read_misses: u64,
+    pub write_misses: u64,
+    /// Protocol messages injected into the network.
+    pub messages: u64,
+    /// Off-critical-path fill acknowledgements (see DESIGN.md §6); the
+    /// paper's Table 1 counts exclude these.
+    pub fill_acks: u64,
+    /// Bytes injected into the network.
+    pub bytes: u64,
+    /// Copies killed by write invalidations.
+    pub invalidations: u64,
+    /// Copies killed by replacements (Replace_INV subtree kills, pointer
+    /// evictions, list roll-outs).
+    pub replacement_invalidations: u64,
+    /// LimitLESS software traps.
+    pub software_traps: u64,
+    /// Dir_iB broadcasts.
+    pub broadcasts: u64,
+    /// Dir_iTree_k read-miss tree merges (case 3).
+    pub tree_merges: u64,
+    /// Dir_iTree_k read-miss push-downs (case 4).
+    pub tree_push_downs: u64,
+    /// Victim lines displaced from caches.
+    pub evictions: u64,
+    /// Read-miss latency (issue → completion), cycles.
+    pub read_miss_latency: Histogram,
+    /// Write-miss latency (issue → completion), cycles.
+    pub write_miss_latency: Histogram,
+    /// Copies held by *other* processors at the instant of each write
+    /// (the Weber-Gupta "invalidations per write" profile the paper's
+    /// i = 4 design choice rests on).
+    pub sharers_at_write: Histogram,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Lock acquisitions granted.
+    pub lock_acquires: u64,
+    /// Busiest controller's busy cycles (home hot-spot indicator).
+    pub max_controller_busy: u64,
+    /// Mean controller busy cycles across nodes.
+    pub mean_controller_busy: f64,
+}
+
+impl MachineStats {
+    pub fn note(&mut self, ev: ProtoEvent) {
+        match ev {
+            ProtoEvent::Invalidation => self.invalidations += 1,
+            ProtoEvent::ReplacementInvalidation => self.replacement_invalidations += 1,
+            ProtoEvent::SoftwareTrap => self.software_traps += 1,
+            ProtoEvent::Broadcast => self.broadcasts += 1,
+            ProtoEvent::TreeMerge => self.tree_merges += 1,
+            ProtoEvent::TreePushDown => self.tree_push_downs += 1,
+        }
+    }
+
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Critical-path protocol messages (excludes fill acknowledgements).
+    pub fn critical_messages(&self) -> u64 {
+        self.messages - self.fill_acks
+    }
+
+    pub fn miss_rate(&self) -> f64 {
+        let misses = self.read_misses + self.write_misses;
+        if self.total_ops() == 0 {
+            0.0
+        } else {
+            misses as f64 / self.total_ops() as f64
+        }
+    }
+
+    /// A compact single-line summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "cycles={} ops={} misses={} ({:.2}%) msgs={} invs={} repl_invs={}",
+            self.cycles,
+            self.total_ops(),
+            self.read_misses + self.write_misses,
+            self.miss_rate() * 100.0,
+            self.messages,
+            self.invalidations,
+            self.replacement_invalidations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_routes_events() {
+        let mut s = MachineStats::default();
+        s.note(ProtoEvent::Invalidation);
+        s.note(ProtoEvent::TreeMerge);
+        s.note(ProtoEvent::TreeMerge);
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.tree_merges, 2);
+    }
+
+    #[test]
+    fn miss_rate_is_fraction_of_ops() {
+        let s = MachineStats {
+            reads: 90,
+            writes: 10,
+            read_misses: 5,
+            write_misses: 5,
+            ..Default::default()
+        };
+        assert!((s.miss_rate() - 0.1).abs() < 1e-12);
+        assert!(s.summary().contains("ops=100"));
+    }
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let s = MachineStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.total_ops(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Optional protocol message tracing.
+//!
+//! A bounded, address-filterable ring buffer of message events, useful for
+//! debugging protocol flows and for the `tree_shapes`-style experiment
+//! narratives. Disabled by default (zero overhead beyond a branch).
+
+use dirtree_core::msg::Msg;
+use dirtree_core::types::{Addr, NodeId};
+use dirtree_sim::Cycle;
+use std::collections::VecDeque;
+
+/// One traced message delivery.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub at: Cycle,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub addr: Addr,
+    pub label: &'static str,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>8}] {:>3} -> {:<3} {:<16} addr {:#x}",
+            self.at, self.src, self.dst, self.label, self.addr
+        )
+    }
+}
+
+/// A bounded message trace with an optional address filter.
+pub struct MsgTrace {
+    filter: Option<Addr>,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl MsgTrace {
+    /// Trace up to `capacity` events; `filter` limits tracing to one block.
+    pub fn new(capacity: usize, filter: Option<Addr>) -> Self {
+        assert!(capacity > 0);
+        Self {
+            filter,
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Record a send if it passes the filter.
+    pub fn record(&mut self, at: Cycle, dst: NodeId, msg: &Msg) {
+        if let Some(f) = self.filter {
+            if msg.addr != f {
+                return;
+            }
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            src: msg.src,
+            dst,
+            addr: msg.addr,
+            label: msg.kind.label(),
+        });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events evicted from the ring because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained events as one line per message.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+        }
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirtree_core::msg::MsgKind;
+
+    fn msg(addr: Addr, src: NodeId) -> Msg {
+        Msg {
+            addr,
+            src,
+            kind: MsgKind::ReadReq { requester: src },
+        }
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = MsgTrace::new(8, None);
+        t.record(10, 0, &msg(5, 3));
+        t.record(12, 3, &msg(5, 0));
+        let s = t.render();
+        assert!(s.contains("read_req"));
+        assert!(s.contains("3 -> 0"));
+        assert_eq!(t.events().count(), 2);
+    }
+
+    #[test]
+    fn filter_drops_other_addresses() {
+        let mut t = MsgTrace::new(8, Some(5));
+        t.record(1, 0, &msg(5, 1));
+        t.record(2, 0, &msg(6, 1));
+        assert_eq!(t.events().count(), 1);
+    }
+
+    #[test]
+    fn ring_bounds_memory() {
+        let mut t = MsgTrace::new(4, None);
+        for i in 0..10 {
+            t.record(i, 0, &msg(1, 1));
+        }
+        assert_eq!(t.events().count(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert!(t.render().contains("6 earlier events dropped"));
+        // Oldest retained is event at t=6.
+        assert_eq!(t.events().next().unwrap().at, 6);
+    }
+}

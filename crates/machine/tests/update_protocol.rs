@@ -1,0 +1,82 @@
+//! Machine-level tests of the update-write Dir_iTree_k variant: no
+//! exclusive state, every write transacts, readers never refetch.
+
+use dirtree_core::protocol::ProtocolKind;
+use dirtree_machine::{DriverOp, Machine, MachineConfig, ScriptDriver};
+
+const UPD: ProtocolKind = ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 };
+const INV: ProtocolKind = ProtocolKind::DirTree { pointers: 4, arity: 2 };
+
+fn run(kind: ProtocolKind, scripts: Vec<Vec<DriverOp>>) -> dirtree_machine::RunOutcome {
+    let mut m = Machine::new(MachineConfig::test_default(scripts.len() as u32), kind);
+    let mut d = ScriptDriver::new(scripts);
+    m.run(&mut d)
+}
+
+#[test]
+fn readers_never_miss_again_under_update_writes() {
+    // One producer writes a block each round; consumers re-read it. With
+    // updates, consumers hit after their initial fill.
+    let rounds = 10u64;
+    let scripts: Vec<Vec<DriverOp>> = (0..4u64)
+        .map(|n| {
+            let mut v = Vec::new();
+            for r in 0..rounds {
+                if n == 0 {
+                    v.push(DriverOp::Write(0));
+                }
+                v.push(DriverOp::Barrier(r as u32 * 2));
+                v.push(DriverOp::Read(0));
+                v.push(DriverOp::Barrier(r as u32 * 2 + 1));
+            }
+            v
+        })
+        .collect();
+    let upd = run(UPD, scripts.clone());
+    let inv = run(INV, scripts);
+    // Update: 3 consumers miss once each (plus producer's first ops);
+    // invalidate: consumers miss every round.
+    assert!(
+        upd.stats.read_misses < inv.stats.read_misses / 2,
+        "update read misses {} should be far below invalidate's {}",
+        upd.stats.read_misses,
+        inv.stats.read_misses
+    );
+}
+
+#[test]
+fn private_rewrites_are_cheaper_under_invalidation() {
+    // A single processor writing its own block repeatedly: invalidation
+    // gets E and hits; update pays a home transaction per write.
+    let scripts = vec![
+        (0..30).map(|_| DriverOp::Write(1)).collect::<Vec<_>>(),
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let upd = run(UPD, scripts.clone());
+    let inv = run(INV, scripts);
+    assert_eq!(inv.stats.write_hits, 29, "invalidation: E hits after the first");
+    assert_eq!(upd.stats.write_hits, 0, "update: no exclusive state");
+    assert!(upd.cycles > inv.cycles);
+}
+
+#[test]
+fn update_runs_are_deterministic_and_verified() {
+    let scripts: Vec<Vec<DriverOp>> = (0..4u64)
+        .map(|n| {
+            (0..40u64)
+                .flat_map(|i| {
+                    [
+                        DriverOp::Read((i * 3 + n) % 16),
+                        DriverOp::Write((i + n) % 16),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    let a = run(UPD, scripts.clone());
+    let b = run(UPD, scripts);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.stats.messages, b.stats.messages);
+}

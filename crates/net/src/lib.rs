@@ -1,0 +1,20 @@
+//! # dirtree-net — k-ary n-cube interconnection network
+//!
+//! The paper evaluates on a **binary n-cube** (hypercube) with wormhole
+//! routing, 8-bit-wide links, and 1-cycle switch/wire delay (Table 5). This
+//! crate provides:
+//!
+//! * [`Topology`] — k-ary n-cube node addressing, distances, and
+//!   deterministic dimension-order (e-cube) routing;
+//! * [`Network`] — a packet-granularity wormhole timing model with optional
+//!   per-link contention and per-node injection serialization.
+//!
+//! The network does not own an event queue: callers ask for a delivery time
+//! (which reserves link bandwidth) and schedule the arrival themselves, so
+//! the model composes with any discrete-event loop.
+
+pub mod topology;
+pub mod wormhole;
+
+pub use topology::{NodeId, Topology};
+pub use wormhole::{Fabric, Network, NetworkConfig, NetworkStats};

@@ -1,0 +1,256 @@
+//! k-ary n-cube topology and dimension-order (e-cube) routing.
+//!
+//! A k-ary n-cube has `k^n` nodes; a node's address is its base-`k`
+//! expansion over `n` digits. Two nodes are linked when their addresses
+//! differ by ±1 (mod k) in exactly one digit. For `k = 2` this is the binary
+//! hypercube the paper simulates, where each link is its own dimension and
+//! wraparound is degenerate.
+
+/// Index of a node in the machine. Kept as `u32` so hot message structs stay
+/// small (see the type-size guidance in the Rust perf book).
+pub type NodeId = u32;
+
+/// A k-ary n-cube.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    k: u32,
+    n: u32,
+    nodes: u32,
+}
+
+impl Topology {
+    /// Create a k-ary n-cube. `k ≥ 2`, `n ≥ 1`, and `k^n` must fit in `u32`.
+    pub fn kary_ncube(k: u32, n: u32) -> Self {
+        assert!(k >= 2, "radix must be at least 2");
+        assert!(n >= 1, "dimension must be at least 1");
+        let mut nodes: u64 = 1;
+        for _ in 0..n {
+            nodes *= k as u64;
+            assert!(nodes <= u32::MAX as u64, "topology too large");
+        }
+        Self {
+            k,
+            n,
+            nodes: nodes as u32,
+        }
+    }
+
+    /// Binary n-cube (hypercube) with `nodes` processors; `nodes` must be a
+    /// power of two. This is the paper's network.
+    pub fn hypercube(nodes: u32) -> Self {
+        assert!(
+            nodes.is_power_of_two() && nodes >= 2,
+            "hypercube size must be a power of two >= 2, got {nodes}"
+        );
+        Self::kary_ncube(2, nodes.trailing_zeros())
+    }
+
+    pub fn radix(&self) -> u32 {
+        self.k
+    }
+
+    pub fn dimensions(&self) -> u32 {
+        self.n
+    }
+
+    pub fn num_nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Number of directed links: each node has one link per dimension per
+    /// direction (2 directions for k > 2; for k = 2 the +/- links coincide
+    /// but we keep the uniform 2-per-dimension indexing).
+    pub fn num_directed_links(&self) -> usize {
+        (self.nodes as usize) * (self.n as usize) * 2
+    }
+
+    #[inline]
+    fn digit(&self, node: NodeId, dim: u32) -> u32 {
+        (node / self.k.pow(dim)) % self.k
+    }
+
+    #[inline]
+    fn with_digit(&self, node: NodeId, dim: u32, digit: u32) -> NodeId {
+        let weight = self.k.pow(dim);
+        let old = self.digit(node, dim);
+        node - old * weight + digit * weight
+    }
+
+    /// Minimal hop distance between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        assert!(a < self.nodes && b < self.nodes);
+        let mut d = 0;
+        for dim in 0..self.n {
+            let da = self.digit(a, dim);
+            let db = self.digit(b, dim);
+            let diff = (db + self.k - da) % self.k;
+            d += diff.min(self.k - diff);
+        }
+        d
+    }
+
+    /// Dense id for the directed link leaving `node` along `dim` in
+    /// direction `plus` (true = +1 mod k).
+    #[inline]
+    pub fn link_id(&self, node: NodeId, dim: u32, plus: bool) -> usize {
+        ((node as usize) * (self.n as usize) + dim as usize) * 2 + plus as usize
+    }
+
+    /// The e-cube route from `src` to `dst`: the sequence of directed links
+    /// traversed, fixing dimensions from 0 upward and taking the shorter
+    /// wraparound direction (ties go to +). Deterministic and minimal.
+    pub fn route(&self, src: NodeId, dst: NodeId, out: &mut Vec<usize>) {
+        assert!(src < self.nodes && dst < self.nodes);
+        out.clear();
+        let mut cur = src;
+        for dim in 0..self.n {
+            let want = self.digit(dst, dim);
+            loop {
+                let have = self.digit(cur, dim);
+                if have == want {
+                    break;
+                }
+                let up = (want + self.k - have) % self.k;
+                let down = self.k - up;
+                let plus = up <= down;
+                out.push(self.link_id(cur, dim, plus));
+                let next_digit = if plus {
+                    (have + 1) % self.k
+                } else {
+                    (have + self.k - 1) % self.k
+                };
+                cur = self.with_digit(cur, dim, next_digit);
+            }
+        }
+        debug_assert_eq!(cur, dst);
+    }
+
+    /// Neighbors of a node (deduplicated for k = 2).
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(2 * self.n as usize);
+        for dim in 0..self.n {
+            let d = self.digit(node, dim);
+            let up = self.with_digit(node, dim, (d + 1) % self.k);
+            let down = self.with_digit(node, dim, (d + self.k - 1) % self.k);
+            if !out.contains(&up) && up != node {
+                out.push(up);
+            }
+            if !out.contains(&down) && down != node {
+                out.push(down);
+            }
+        }
+        out
+    }
+
+    /// Network diameter in hops.
+    pub fn diameter(&self) -> u32 {
+        self.n * (self.k / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_basics() {
+        let t = Topology::hypercube(8);
+        assert_eq!(t.radix(), 2);
+        assert_eq!(t.dimensions(), 3);
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn hypercube_distance_is_hamming() {
+        let t = Topology::hypercube(32);
+        for a in 0..32u32 {
+            for b in 0..32u32 {
+                assert_eq!(t.distance(a, b), (a ^ b).count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn route_length_equals_distance() {
+        let t = Topology::hypercube(16);
+        let mut path = Vec::new();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                t.route(a, b, &mut path);
+                assert_eq!(path.len() as u32, t.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn route_links_are_in_range() {
+        let t = Topology::kary_ncube(4, 3);
+        let mut path = Vec::new();
+        for a in (0..t.num_nodes()).step_by(7) {
+            for b in (0..t.num_nodes()).step_by(5) {
+                t.route(a, b, &mut path);
+                for &l in &path {
+                    assert!(l < t.num_directed_links());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kary_distance_uses_wraparound() {
+        // 8-ary 1-cube: a ring of 8 nodes.
+        let t = Topology::kary_ncube(8, 1);
+        assert_eq!(t.distance(0, 7), 1);
+        assert_eq!(t.distance(0, 4), 4);
+        assert_eq!(t.distance(1, 6), 3);
+    }
+
+    #[test]
+    fn kary_route_matches_distance() {
+        let t = Topology::kary_ncube(3, 3); // 27 nodes
+        let mut path = Vec::new();
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                t.route(a, b, &mut path);
+                assert_eq!(path.len() as u32, t.distance(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Topology::hypercube(8);
+        let mut path = vec![1, 2, 3];
+        t.route(5, 5, &mut path);
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn hypercube_neighbors_differ_by_one_bit() {
+        let t = Topology::hypercube(16);
+        for node in 0..16u32 {
+            let nbrs = t.neighbors(node);
+            assert_eq!(nbrs.len(), 4);
+            for nb in nbrs {
+                assert_eq!((node ^ nb).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let t = Topology::kary_ncube(5, 2);
+        let mut p1 = Vec::new();
+        let mut p2 = Vec::new();
+        t.route(3, 21, &mut p1);
+        t.route(3, 21, &mut p2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_hypercube_rejected() {
+        Topology::hypercube(12);
+    }
+}

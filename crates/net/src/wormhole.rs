@@ -1,0 +1,380 @@
+//! Packet-granularity wormhole timing model with link contention.
+//!
+//! A wormhole message of `L` bytes over `h` hops on `W`-bit links needs
+//! `h·t_sw` cycles for the head to reach the destination plus `⌈8L/W⌉`
+//! cycles for the body to stream in behind it. Table 5 of the paper gives
+//! `W = 8` bits and `t_sw = 1` cycle, so a message costs `h + L` cycles
+//! uncontended.
+//!
+//! Contention is modeled at packet granularity: each directed link (plus a
+//! per-node injection channel) is reserved for the message's serialization
+//! time as the head passes, so hot-spot queueing at a home node's links is
+//! visible, while flit-level backpressure is not (see DESIGN.md §3).
+
+use crate::topology::{NodeId, Topology};
+use dirtree_sim::{Cycle, Histogram};
+
+/// Interconnect style: the paper's wormhole k-ary n-cube, or the single
+/// shared bus Proteus could also be configured with (§1 motivates the
+/// directory protocols by the bus's saturation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fabric {
+    /// Wormhole-routed k-ary n-cube (Table 5).
+    KaryNcube,
+    /// One shared split-transaction bus: every message serializes on it.
+    Bus,
+}
+
+/// Network timing parameters (defaults follow Table 5 of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Interconnect style.
+    pub fabric: Fabric,
+    /// Per-hop switch + wire delay in cycles (n-cube), or the bus
+    /// arbitration delay (bus).
+    pub switch_delay: Cycle,
+    /// Link width in bits (n-cube links, or the bus itself).
+    pub link_width_bits: u32,
+    /// Model link/injection contention (true) or use uncontended pipeline
+    /// latency only (false). The bus always serializes.
+    pub contention: bool,
+    /// Latency charged for a node messaging itself (local loopback).
+    pub local_delay: Cycle,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            fabric: Fabric::KaryNcube,
+            switch_delay: 1,
+            link_width_bits: 8,
+            contention: true,
+            local_delay: 1,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A shared bus with the same electrical parameters (for the §1
+    /// motivation experiment: the bus saturates as processors are added).
+    pub fn bus() -> Self {
+        Self {
+            fabric: Fabric::Bus,
+            ..Self::default()
+        }
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkStats {
+    pub messages: u64,
+    pub bytes: u64,
+    pub total_hops: u64,
+    pub latency: Histogram,
+    /// Cycles spent queueing for busy links (contention only).
+    pub contention_cycles: u64,
+}
+
+/// The interconnection network: topology + per-link reservation state.
+pub struct Network {
+    topo: Topology,
+    config: NetworkConfig,
+    /// `free_at[link]`: earliest cycle the directed link can accept a new
+    /// packet head.
+    link_free: Vec<Cycle>,
+    /// Per-node injection-channel availability (a node has one port into
+    /// the network, so back-to-back sends serialize).
+    inject_free: Vec<Cycle>,
+    /// Shared-bus availability (Fabric::Bus).
+    bus_free: Cycle,
+    stats: NetworkStats,
+    route_buf: Vec<usize>,
+}
+
+impl Network {
+    pub fn new(topo: Topology, config: NetworkConfig) -> Self {
+        Self {
+            link_free: vec![0; topo.num_directed_links()],
+            inject_free: vec![0; topo.num_nodes() as usize],
+            bus_free: 0,
+            topo,
+            config,
+            stats: NetworkStats::default(),
+            route_buf: Vec::with_capacity(16),
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Serialization time of `bytes` over one link, in cycles (≥ 1).
+    #[inline]
+    pub fn serialization_cycles(&self, bytes: u32) -> Cycle {
+        let bits = bytes as u64 * 8;
+        bits.div_ceil(self.config.link_width_bits as u64).max(1)
+    }
+
+    /// Uncontended latency from `src` to `dst` for a `bytes`-byte message.
+    pub fn base_latency(&self, src: NodeId, dst: NodeId, bytes: u32) -> Cycle {
+        if src == dst {
+            return self.config.local_delay;
+        }
+        let hops = self.topo.distance(src, dst) as Cycle;
+        hops * self.config.switch_delay + self.serialization_cycles(bytes)
+    }
+
+    /// Compute the delivery time of a message injected at `now`, reserving
+    /// link bandwidth along the e-cube path. Statistics are updated.
+    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, bytes: u32) -> Cycle {
+        self.stats.messages += 1;
+        self.stats.bytes += bytes as u64;
+
+        if src == dst {
+            let arrival = now + self.config.local_delay;
+            self.stats.latency.record(self.config.local_delay);
+            return arrival;
+        }
+
+        let ser = self.serialization_cycles(bytes);
+
+        if self.config.fabric == Fabric::Bus {
+            // One transaction at a time on the shared medium: arbitration
+            // plus the full serialization, regardless of distance.
+            self.stats.total_hops += 1;
+            let start = now.max(self.bus_free);
+            self.stats.contention_cycles += start - now;
+            let arrival = start + self.config.switch_delay + ser;
+            self.bus_free = arrival;
+            self.stats.latency.record(arrival - now);
+            return arrival;
+        }
+
+        let mut route = std::mem::take(&mut self.route_buf);
+        self.topo.route(src, dst, &mut route);
+        self.stats.total_hops += route.len() as u64;
+
+        let arrival = if self.config.contention {
+            // Head departs when the injection port frees up.
+            let inj = &mut self.inject_free[src as usize];
+            let depart = now.max(*inj);
+            self.stats.contention_cycles += depart - now;
+            *inj = depart + ser;
+
+            let mut head = depart;
+            for &link in &route {
+                let free = self.link_free[link];
+                let enter = head.max(free);
+                self.stats.contention_cycles += enter - head;
+                // The link streams the whole packet once the head passes.
+                self.link_free[link] = enter + ser;
+                head = enter + self.config.switch_delay;
+            }
+            head + ser
+        } else {
+            now + route.len() as Cycle * self.config.switch_delay + ser
+        };
+
+        self.route_buf = route;
+        self.stats.latency.record(arrival - now);
+        arrival
+    }
+
+    /// Deliver one message from `src` to *every* other node. On the bus
+    /// this is a single transaction (all snoopers observe the same cycle);
+    /// on the k-ary n-cube it degenerates to `n − 1` unicasts and returns
+    /// the latest arrival. Returns the common / worst-case arrival cycle.
+    pub fn broadcast(&mut self, now: Cycle, src: NodeId, bytes: u32) -> Cycle {
+        if self.config.fabric == Fabric::Bus {
+            let ser = self.serialization_cycles(bytes);
+            self.stats.messages += 1;
+            self.stats.bytes += bytes as u64;
+            self.stats.total_hops += 1;
+            let start = now.max(self.bus_free);
+            self.stats.contention_cycles += start - now;
+            let arrival = start + self.config.switch_delay + ser;
+            self.bus_free = arrival;
+            self.stats.latency.record(arrival - now);
+            arrival
+        } else {
+            let mut worst = now;
+            for dst in 0..self.topo.num_nodes() {
+                if dst != src {
+                    worst = worst.max(self.send(now, src, dst, bytes));
+                }
+            }
+            worst
+        }
+    }
+
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Reset link reservations and statistics (for reusing a network across
+    /// experiment repetitions).
+    pub fn reset(&mut self) {
+        self.link_free.iter_mut().for_each(|c| *c = 0);
+        self.inject_free.iter_mut().for_each(|c| *c = 0);
+        self.bus_free = 0;
+        self.stats = NetworkStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(nodes: u32, contention: bool) -> Network {
+        Network::new(
+            Topology::hypercube(nodes),
+            NetworkConfig {
+                contention,
+                ..NetworkConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn base_latency_matches_paper_model() {
+        // 8 bytes over 3 hops on 8-bit links with 1-cycle switches:
+        // 3*1 + 8 = 11 cycles.
+        let n = net(8, false);
+        assert_eq!(n.base_latency(0, 7, 8), 11);
+        // Control message (8 bytes) one hop: 1 + 8 = 9.
+        assert_eq!(n.base_latency(0, 1, 8), 9);
+    }
+
+    #[test]
+    fn local_messages_cost_local_delay() {
+        let mut n = net(8, true);
+        assert_eq!(n.send(100, 3, 3, 64), 101);
+    }
+
+    #[test]
+    fn uncontended_send_equals_base_latency() {
+        let mut n = net(16, false);
+        for (src, dst) in [(0u32, 15u32), (3, 9), (7, 7)] {
+            let t = n.send(50, src, dst, 16);
+            assert_eq!(t, 50 + n.base_latency(src, dst, 16));
+        }
+    }
+
+    #[test]
+    fn contention_serializes_same_link() {
+        let mut n = net(2, true);
+        // Two back-to-back messages 0 -> 1 must serialize on the injection
+        // port / link: the second arrives at least `ser` cycles later.
+        let t1 = n.send(0, 0, 1, 8);
+        let t2 = n.send(0, 0, 1, 8);
+        assert!(t2 >= t1 + 8, "t1={t1} t2={t2}");
+        assert!(n.stats().contention_cycles > 0);
+    }
+
+    #[test]
+    fn contention_does_not_affect_disjoint_paths() {
+        let mut n = net(4, true);
+        // 0->1 (dimension 0) and 2->3 (dimension 0 but different link) are
+        // disjoint; both should see base latency.
+        let t1 = n.send(0, 0, 1, 8);
+        let t2 = n.send(0, 2, 3, 8);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn contended_latency_never_beats_base() {
+        let mut n = net(8, true);
+        let mut uncont = net(8, false);
+        let mut worst = 0;
+        // All-to-one hot spot at node 0, all injected at t=0: queueing is
+        // guaranteed on node 0's incoming links.
+        for src in 1..8u32 {
+            let a = n.send(0, src, 0, 8);
+            let b = uncont.send(0, src, 0, 8);
+            assert!(a >= b);
+            worst = worst.max(a - b);
+        }
+        assert!(worst > 0, "expected some queueing in a hot-spot pattern");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net(8, true);
+        n.send(0, 0, 7, 8);
+        n.send(0, 1, 2, 16);
+        let s = n.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 24);
+        assert_eq!(s.total_hops, 3 + 2);
+        assert_eq!(s.latency.count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_reservations() {
+        let mut n = net(2, true);
+        n.send(0, 0, 1, 64);
+        n.reset();
+        assert_eq!(n.stats().messages, 0);
+        let t = n.send(0, 0, 1, 8);
+        assert_eq!(t, n.base_latency(0, 1, 8));
+    }
+
+    #[test]
+    fn bus_serializes_every_message() {
+        let mut n = Network::new(Topology::hypercube(8), NetworkConfig::bus());
+        // Disjoint pairs would be parallel on the cube; the bus serializes.
+        let t1 = n.send(0, 0, 1, 8);
+        let t2 = n.send(0, 2, 3, 8);
+        let t3 = n.send(0, 4, 5, 8);
+        assert_eq!(t1, 9); // arbitration 1 + 8 cycles of data
+        assert_eq!(t2, t1 + 9);
+        assert_eq!(t3, t2 + 9);
+        assert!(n.stats().contention_cycles > 0);
+    }
+
+    #[test]
+    fn bus_latency_is_distance_independent() {
+        let mut n = Network::new(Topology::hypercube(32), NetworkConfig::bus());
+        let near = n.send(0, 0, 1, 8);
+        let mut n2 = Network::new(Topology::hypercube(32), NetworkConfig::bus());
+        let far = n2.send(0, 0, 31, 8);
+        assert_eq!(near, far);
+    }
+
+    #[test]
+    fn bus_broadcast_is_one_transaction() {
+        let mut n = Network::new(Topology::hypercube(8), NetworkConfig::bus());
+        let t = n.broadcast(0, 3, 8);
+        assert_eq!(t, 9);
+        assert_eq!(n.stats().messages, 1, "one bus transaction, not n-1");
+    }
+
+    #[test]
+    fn cube_broadcast_is_unicast_fanout() {
+        let mut n = net(8, false);
+        let t = n.broadcast(0, 0, 8);
+        assert_eq!(n.stats().messages, 7);
+        assert_eq!(t, n.base_latency(0, 7, 8)); // farthest node bounds it
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        let n = net(2, false);
+        assert_eq!(n.serialization_cycles(1), 1);
+        assert_eq!(n.serialization_cycles(8), 8);
+        let wide = Network::new(
+            Topology::hypercube(2),
+            NetworkConfig {
+                link_width_bits: 64,
+                ..Default::default()
+            },
+        );
+        assert_eq!(wide.serialization_cycles(8), 1);
+        assert_eq!(wide.serialization_cycles(9), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the network: routing minimality and the FIFO
+//! guarantee the coherence protocols rely on.
+
+use dirtree_net::{Network, NetworkConfig, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn routes_are_minimal_and_well_formed(
+        dims in 1u32..6,
+        pair in (0u32..64, 0u32..64)
+    ) {
+        let t = Topology::hypercube(1 << dims);
+        let n = t.num_nodes();
+        let (a, b) = (pair.0 % n, pair.1 % n);
+        let mut path = Vec::new();
+        t.route(a, b, &mut path);
+        prop_assert_eq!(path.len() as u32, t.distance(a, b));
+        prop_assert_eq!(t.distance(a, b), (a ^ b).count_ones());
+    }
+
+    #[test]
+    fn same_pair_messages_never_reorder(
+        sends in proptest::collection::vec((0u64..50, 1u32..64), 1..60)
+    ) {
+        // Messages from node 0 to node 5, injected at nondecreasing times,
+        // must arrive in order (the pairwise-FIFO property of DESIGN.md §6).
+        let mut net = Network::new(Topology::hypercube(8), NetworkConfig::default());
+        let mut now = 0;
+        let mut last_arrival = 0;
+        for (gap, bytes) in sends {
+            now += gap;
+            let arrival = net.send(now, 0, 5, bytes);
+            prop_assert!(arrival > last_arrival,
+                "reorder: arrival {arrival} after {last_arrival}");
+            last_arrival = arrival;
+        }
+    }
+
+    #[test]
+    fn contention_never_beats_uncontended_latency(
+        sends in proptest::collection::vec((0u32..8, 0u32..8, 1u32..64), 1..80)
+    ) {
+        let mut contended = Network::new(Topology::hypercube(8), NetworkConfig::default());
+        let uncontended = Network::new(
+            Topology::hypercube(8),
+            NetworkConfig { contention: false, ..NetworkConfig::default() },
+        );
+        for (i, (src, dst, bytes)) in sends.into_iter().enumerate() {
+            let t = i as u64;
+            let a = contended.send(t, src, dst, bytes);
+            let base = uncontended.base_latency(src, dst, bytes);
+            prop_assert!(a >= t + base);
+        }
+    }
+
+    #[test]
+    fn kary_routing_matches_distance(k in 2u32..6, n in 1u32..4, pair in (0u32..1000, 0u32..1000)) {
+        let t = Topology::kary_ncube(k, n);
+        let nodes = t.num_nodes();
+        let (a, b) = (pair.0 % nodes, pair.1 % nodes);
+        let mut path = Vec::new();
+        t.route(a, b, &mut path);
+        prop_assert_eq!(path.len() as u32, t.distance(a, b));
+    }
+}

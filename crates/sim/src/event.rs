@@ -1,0 +1,239 @@
+//! Deterministic discrete-event queue.
+//!
+//! The queue orders events by `(time, sequence)` where `sequence` is a
+//! monotonically increasing insertion counter. Two events scheduled for the
+//! same cycle are therefore delivered in the order they were scheduled,
+//! which makes whole-machine simulations bit-reproducible regardless of
+//! `BinaryHeap`'s internal tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time, in processor cycles.
+pub type Cycle = u64;
+
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// ```
+/// use dirtree_sim::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycle,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (0 before any pop).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedule `event` at absolute cycle `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past (earlier than the last popped event);
+    /// causality violations are always simulator bugs.
+    pub fn push(&mut self, time: Cycle, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: t={} < now={}",
+            time,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Schedule `event` `delay` cycles after the current time.
+    pub fn push_after(&mut self, delay: Cycle, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Remove and return the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (diagnostic).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events ever delivered (diagnostic).
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        q.push(5, ());
+        q.push(9, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.pop();
+        assert_eq!(q.now(), 9);
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push(10, "first");
+        q.pop();
+        q.push_after(5, "second");
+        assert_eq!(q.pop(), Some((15, "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push(3, ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(1, 1u32);
+        q.push(4, 4);
+        assert_eq!(q.pop(), Some((1, 1)));
+        q.push(2, 2);
+        q.push(3, 3);
+        assert_eq!(q.pop(), Some((2, 2)));
+        assert_eq!(q.pop(), Some((3, 3)));
+        assert_eq!(q.pop(), Some((4, 4)));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.total_popped(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # dirtree-sim — deterministic discrete-event simulation substrate
+//!
+//! This crate is the Proteus-style foundation underneath the multiprocessor
+//! simulator: a deterministic event queue, cycle clock, statistics
+//! primitives, a fast non-cryptographic hash (for hot per-address tables),
+//! and a seedable RNG.
+//!
+//! Everything here is deliberately free of external dependencies so the
+//! whole reproduction is bit-deterministic: events with equal timestamps are
+//! dequeued in insertion (FIFO) order, the RNG is SplitMix64-seeded
+//! xorshift with explicit seeds, and hashing never observes pointer
+//! addresses.
+
+pub mod event;
+pub mod hash;
+pub mod rng;
+pub mod stats;
+
+pub use event::{Cycle, EventQueue};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, StatTable};

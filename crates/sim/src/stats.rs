@@ -1,0 +1,249 @@
+//! Statistics primitives: counters, log₂-bucketed histograms, and an
+//! ordered name → value table used for experiment reports.
+
+use std::fmt;
+
+/// A saturating event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Histogram with log₂ buckets: bucket `b` holds samples in
+/// `[2^(b-1), 2^b)` for `b ≥ 1` and bucket 0 holds the value 0.
+/// Tracks exact sum/count/min/max so means are not bucketed.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        let b = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate p-th percentile (0..=100) from the bucket boundaries.
+    /// Exact enough for latency reporting; not used for assertions.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * (p / 100.0)).ceil() as u64;
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return if b == 0 { 0 } else { 1u64 << (b - 1) };
+            }
+        }
+        self.max
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// An insertion-ordered `name → f64` table for experiment reports.
+///
+/// Used by the figure/table binaries to print aligned ASCII tables that
+/// mirror the paper's layout.
+#[derive(Clone, Debug, Default)]
+pub struct StatTable {
+    rows: Vec<(String, f64)>,
+}
+
+impl StatTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&mut self, name: &str, value: f64) {
+        if let Some(row) = self.rows.iter_mut().find(|(n, _)| n == name) {
+            row.1 = value;
+        } else {
+            self.rows.push((name.to_string(), value));
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.rows.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn rows(&self) -> &[(String, f64)] {
+        &self.rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for StatTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &self.rows {
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                writeln!(f, "{name:width$}  {:>14}", *value as i64)?;
+            } else {
+                writeln!(f, "{name:width$}  {value:>14.4}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments_and_saturates() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_zero_and_empty() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_percentile_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!(h.percentile(50.0) <= h.percentile(90.0));
+        assert!(h.percentile(90.0) <= h.percentile(100.0));
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(7);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 21);
+        assert_eq!(a.max(), 9);
+        assert_eq!(a.min(), 5);
+    }
+
+    #[test]
+    fn stat_table_orders_and_updates() {
+        let mut t = StatTable::new();
+        t.set("alpha", 1.0);
+        t.set("beta", 2.0);
+        t.set("alpha", 3.0);
+        assert_eq!(t.get("alpha"), Some(3.0));
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[0].0, "alpha");
+        let out = t.to_string();
+        assert!(out.contains("alpha"));
+        assert!(out.contains("beta"));
+    }
+}

@@ -1,0 +1,16 @@
+//! The paper's four applications plus synthetic microbenchmarks.
+//!
+//! Each application module provides a parameter struct with:
+//! * `build(nprocs) -> ThreadedWorkload` — the execution-driven parallel
+//!   program,
+//! * a sequential reference used by tests to validate the parallel result,
+//! * unit tests running the app on small configurations under several
+//!   protocols with coherence verification enabled.
+
+pub mod fft;
+pub mod jacobi;
+pub mod floyd;
+pub mod lu;
+pub mod lu_blocked;
+pub mod mp3d;
+pub mod synthetic;

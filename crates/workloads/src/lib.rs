@@ -1,0 +1,28 @@
+//! # dirtree-workloads — execution-driven applications
+//!
+//! The paper evaluates coherence protocols by running four applications on
+//! the Proteus execution-driven simulator. This crate reproduces that
+//! methodology: the *real algorithms* (LU decomposition, FFT,
+//! Floyd-Warshall, an MP3D-style particle-in-cell code) run as Rust
+//! closures on OS threads that rendezvous with the simulated machine at
+//! every shared memory reference, barrier, and lock. The interleaving of
+//! references therefore depends on simulated protocol latencies — timing
+//! feedback that a fixed trace cannot express.
+//!
+//! * [`rendezvous`] — the thread/channel machinery implementing
+//!   [`dirtree_machine::Driver`];
+//! * [`layout`] — a bump allocator + typed views over the shared address
+//!   space;
+//! * [`apps`] — the four paper applications plus synthetic
+//!   microbenchmarks;
+//! * [`WorkloadKind`] — a uniform constructor used by the experiment
+//!   harness.
+
+pub mod apps;
+pub mod kind;
+pub mod layout;
+pub mod rendezvous;
+
+pub use kind::WorkloadKind;
+pub use layout::{Alloc, SharedArray};
+pub use rendezvous::{Env, ThreadedWorkload};

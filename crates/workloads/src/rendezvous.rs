@@ -1,0 +1,395 @@
+//! Execution-driven rendezvous between application threads and the
+//! simulated machine.
+//!
+//! Each simulated processor runs its application code on a real OS thread.
+//! The thread blocks at every shared-memory reference / synchronization
+//! point and hands a request to the machine through its own rendezvous
+//! channel; the machine turns it into a [`DriverOp`], simulates it, and
+//! resumes the thread with the result (the loaded value, for reads) when
+//! the operation completes in simulated time.
+//!
+//! Exactly one party runs at a time — the machine blocks until the resumed
+//! thread submits its next request, and each thread has a private request
+//! channel — so the simulation is fully deterministic even though real
+//! threads are involved.
+//!
+//! Data values live in the driver (`values`), not in the protocol: the
+//! machine enforces coherence *timing* and verifies coherence *invariants*,
+//! while the driver's array is the architectural memory that makes the
+//! applications compute real results (checked against sequential
+//! references in the integration tests). A read's value is sampled — and a
+//! write's value applied — when the machine reports the operation complete,
+//! so values observe exactly the simulated strong-consistency order.
+
+use crate::layout::{f2w, w2f};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dirtree_core::types::{Addr, NodeId};
+use dirtree_machine::{Driver, DriverOp};
+use dirtree_sim::Cycle;
+use std::thread::JoinHandle;
+
+/// Requests an application thread can make.
+#[derive(Clone, Copy, Debug)]
+enum Request {
+    Read(Addr),
+    Write(Addr, u64),
+    Work(Cycle),
+    Barrier,
+    Lock(u32),
+    Unlock(u32),
+    Finished,
+}
+
+/// The per-thread handle through which application code touches the
+/// simulated machine.
+pub struct Env {
+    tid: usize,
+    req: Sender<Request>,
+    resume: Receiver<u64>,
+    dead: bool,
+}
+
+impl Env {
+    fn rpc(&mut self, r: Request) -> u64 {
+        if self.dead {
+            return 0;
+        }
+        if self.req.send(r).is_err() {
+            self.dead = true;
+            return 0;
+        }
+        match self.resume.recv() {
+            Ok(v) => v,
+            Err(_) => {
+                // The machine went away (e.g. a test aborted the run):
+                // finish the program locally without simulating.
+                self.dead = true;
+                0
+            }
+        }
+    }
+
+    /// Processor id of this thread.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Shared load (one simulated memory reference).
+    pub fn read(&mut self, addr: Addr) -> u64 {
+        self.rpc(Request::Read(addr))
+    }
+
+    /// Shared store (one simulated memory reference).
+    pub fn write(&mut self, addr: Addr, value: u64) {
+        self.rpc(Request::Write(addr, value));
+    }
+
+    /// Shared load of a float.
+    pub fn read_f(&mut self, addr: Addr) -> f64 {
+        w2f(self.read(addr))
+    }
+
+    /// Shared store of a float.
+    pub fn write_f(&mut self, addr: Addr, value: f64) {
+        self.write(addr, f2w(value));
+    }
+
+    /// Local computation for `cycles` cycles.
+    pub fn work(&mut self, cycles: Cycle) {
+        self.rpc(Request::Work(cycles));
+    }
+
+    /// Global barrier across all processors.
+    pub fn barrier(&mut self) {
+        self.rpc(Request::Barrier);
+    }
+
+    /// Acquire lock `id`.
+    pub fn lock(&mut self, id: u32) {
+        self.rpc(Request::Lock(id));
+    }
+
+    /// Release lock `id`.
+    pub fn unlock(&mut self, id: u32) {
+        self.rpc(Request::Unlock(id));
+    }
+}
+
+/// Per-application-thread program.
+pub type AppFn = Box<dyn FnOnce(&mut Env) + Send + 'static>;
+
+enum ThreadState {
+    /// Thread started; it sends its first request without being resumed.
+    Fresh,
+    /// The machine owes the thread a resume for this completed request.
+    Completing(Request),
+    Finished,
+}
+
+struct ThreadCtl {
+    resume: Sender<u64>,
+    req: Receiver<Request>,
+    state: ThreadState,
+}
+
+/// An execution-driven workload: one OS thread per simulated processor.
+pub struct ThreadedWorkload {
+    threads: Vec<ThreadCtl>,
+    values: Vec<u64>,
+    handles: Vec<JoinHandle<()>>,
+    barrier_seq: Vec<u32>,
+}
+
+impl ThreadedWorkload {
+    /// Spawn `nprocs` application threads; `program(tid)` builds each
+    /// thread's code. `shared_words` sizes the architectural memory.
+    pub fn new(nprocs: u32, shared_words: u64, mut program: impl FnMut(usize) -> AppFn) -> Self {
+        let mut threads = Vec::with_capacity(nprocs as usize);
+        let mut handles = Vec::with_capacity(nprocs as usize);
+        for tid in 0..nprocs as usize {
+            let (resume_tx, resume_rx) = bounded::<u64>(1);
+            let (req_tx, req_rx) = bounded::<Request>(1);
+            let app = program(tid);
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-proc-{tid}"))
+                .spawn(move || {
+                    let mut env = Env {
+                        tid,
+                        req: req_tx,
+                        resume: resume_rx,
+                        dead: false,
+                    };
+                    app(&mut env);
+                    let _ = env.req.send(Request::Finished);
+                })
+                .expect("spawn workload thread");
+            threads.push(ThreadCtl {
+                resume: resume_tx,
+                req: req_rx,
+                state: ThreadState::Fresh,
+            });
+            handles.push(handle);
+        }
+        Self {
+            threads,
+            values: vec![0; shared_words as usize],
+            handles,
+            barrier_seq: vec![0; nprocs as usize],
+        }
+    }
+
+    /// Architectural memory contents after (or during) a run.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    pub fn value_at(&self, addr: Addr) -> u64 {
+        self.values[addr as usize]
+    }
+
+    pub fn float_at(&self, addr: Addr) -> f64 {
+        w2f(self.values[addr as usize])
+    }
+}
+
+impl Driver for ThreadedWorkload {
+    fn next_op(&mut self, node: NodeId, _now: Cycle) -> DriverOp {
+        let n = node as usize;
+        // Settle the completed request: apply its architectural effect and
+        // resume the thread with the result.
+        match std::mem::replace(&mut self.threads[n].state, ThreadState::Fresh) {
+            ThreadState::Finished => {
+                self.threads[n].state = ThreadState::Finished;
+                return DriverOp::Done;
+            }
+            ThreadState::Fresh => {}
+            ThreadState::Completing(req) => {
+                let value = match req {
+                    Request::Read(a) => self.values[a as usize],
+                    Request::Write(a, v) => {
+                        self.values[a as usize] = v;
+                        0
+                    }
+                    _ => 0,
+                };
+                if self.threads[n].resume.send(value).is_err() {
+                    // Thread panicked; surface it via join in Drop.
+                    self.threads[n].state = ThreadState::Finished;
+                    return DriverOp::Done;
+                }
+            }
+        }
+        // Collect the thread's next request (it is the only runnable
+        // thread, so this recv is a deterministic rendezvous).
+        let req = match self.threads[n].req.recv() {
+            Ok(r) => r,
+            Err(_) => {
+                self.threads[n].state = ThreadState::Finished;
+                return DriverOp::Done;
+            }
+        };
+        let op = match req {
+            Request::Read(a) => DriverOp::Read(a),
+            Request::Write(a, _) => DriverOp::Write(a),
+            Request::Work(c) => DriverOp::Work(c),
+            Request::Barrier => {
+                let seq = self.barrier_seq[n];
+                self.barrier_seq[n] += 1;
+                DriverOp::Barrier(seq)
+            }
+            Request::Lock(id) => DriverOp::Lock(id),
+            Request::Unlock(id) => DriverOp::Unlock(id),
+            Request::Finished => {
+                self.threads[n].state = ThreadState::Finished;
+                return DriverOp::Done;
+            }
+        };
+        self.threads[n].state = ThreadState::Completing(req);
+        op
+    }
+}
+
+impl Drop for ThreadedWorkload {
+    fn drop(&mut self) {
+        // Close all channels so blocked threads observe disconnection and
+        // run to completion locally, then join them.
+        self.threads.clear();
+        while let Some(h) = self.handles.pop() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirtree_core::protocol::ProtocolKind;
+    use dirtree_machine::{Machine, MachineConfig};
+
+    fn run(
+        nodes: u32,
+        kind: ProtocolKind,
+        words: u64,
+        program: impl FnMut(usize) -> AppFn,
+    ) -> (dirtree_machine::RunOutcome, ThreadedWorkload) {
+        let mut workload = ThreadedWorkload::new(nodes, words, program);
+        let mut machine = Machine::new(MachineConfig::test_default(nodes), kind);
+        let out = machine.run(&mut workload);
+        (out, workload)
+    }
+
+    #[test]
+    fn single_thread_counts_in_shared_memory() {
+        let (_, w) = run(2, ProtocolKind::FullMap, 4, |tid| {
+            Box::new(move |env| {
+                if tid == 0 {
+                    for i in 0..10u64 {
+                        let v = env.read(0);
+                        env.write(0, v + i);
+                    }
+                }
+            })
+        });
+        assert_eq!(w.value_at(0), (0..10).sum::<u64>());
+    }
+
+    #[test]
+    fn producer_consumer_through_barrier() {
+        let (_, w) = run(4, ProtocolKind::DirTree { pointers: 4, arity: 2 }, 8, |tid| {
+            Box::new(move |env| {
+                if tid == 0 {
+                    env.write(3, 42);
+                }
+                env.barrier();
+                let v = env.read(3);
+                env.write(4 + tid as u64, v * 2);
+            })
+        });
+        for tid in 0..4u64 {
+            assert_eq!(w.value_at(4 + tid), 84, "tid {tid} read a stale value");
+        }
+    }
+
+    #[test]
+    fn lock_protected_increments_do_not_race() {
+        let (_, w) = run(8, ProtocolKind::FullMap, 2, |_| {
+            Box::new(move |env| {
+                for _ in 0..5 {
+                    env.lock(1);
+                    let v = env.read(0);
+                    env.work(3);
+                    env.write(0, v + 1);
+                    env.unlock(1);
+                }
+            })
+        });
+        assert_eq!(w.value_at(0), 40);
+    }
+
+    #[test]
+    fn floats_roundtrip_through_shared_memory() {
+        let (_, w) = run(2, ProtocolKind::FullMap, 2, |tid| {
+            Box::new(move |env| {
+                if tid == 0 {
+                    env.write_f(1, -2.5);
+                }
+                env.barrier();
+                let x = env.read_f(1);
+                if tid == 1 {
+                    env.write_f(0, x * 2.0);
+                }
+            })
+        });
+        assert_eq!(w.float_at(0), -5.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let go = || {
+            run(4, ProtocolKind::DirTree { pointers: 2, arity: 2 }, 64, |tid| {
+                Box::new(move |env| {
+                    for i in 0..20u64 {
+                        let a = (i * 7 + tid as u64) % 32;
+                        let v = env.read(a);
+                        env.write((a + 1) % 32, v + 1);
+                    }
+                    env.barrier();
+                })
+            })
+            .0
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.stats.messages, b.stats.messages);
+    }
+
+    #[test]
+    fn same_program_same_result_across_protocols() {
+        // Phase-structured so the data-flow (not the interleaving) fixes
+        // the result: thread 0 publishes, a barrier orders, all consume.
+        let program = |tid: usize| -> AppFn {
+            Box::new(move |env| {
+                let mut acc = 0u64;
+                for phase in 0..4u64 {
+                    if tid == 0 {
+                        for a in 0..8u64 {
+                            env.write(a, phase * 10 + a);
+                        }
+                    }
+                    env.barrier();
+                    for a in 0..8u64 {
+                        acc += env.read(a);
+                    }
+                    env.barrier();
+                }
+                env.write(8 + tid as u64, acc);
+            })
+        };
+        let (_, w1) = run(4, ProtocolKind::FullMap, 16, program);
+        let (_, w2) = run(4, ProtocolKind::DirTree { pointers: 4, arity: 2 }, 16, program);
+        let (_, w3) = run(4, ProtocolKind::LimitedNB { pointers: 1 }, 16, program);
+        assert_eq!(w1.values(), w2.values());
+        assert_eq!(w1.values(), w3.values());
+    }
+}

@@ -1,0 +1,103 @@
+//! Machine-level reproduction of Table 1's message counts: marginal
+//! critical-path messages per miss, measured on the full simulator (with
+//! network timing and memory-controller occupancy in the loop).
+
+use dirtree::prelude::*;
+use dirtree_bench::miss_cost::{read_miss_cost, write_miss_cost};
+
+#[test]
+fn read_miss_costs_match_table1() {
+    // Bit-map family + Dir_iTree_k: always 2 messages.
+    for kind in [
+        ProtocolKind::FullMap,
+        ProtocolKind::LimitLess { pointers: 4 },
+        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree { pointers: 1, arity: 2 },
+    ] {
+        for p in [1u32, 3, 7, 12] {
+            assert_eq!(read_miss_cost(kind, p), 2, "{} at p={p}", kind.name());
+        }
+    }
+    // Linked list: 3 (supply through the old head).
+    assert_eq!(read_miss_cost(ProtocolKind::SinglyList, 5), 3);
+    // SCI: 4 (redirect + attach).
+    assert_eq!(read_miss_cost(ProtocolKind::Sci, 5), 4);
+    // STP: 4 (join + attach handshake).
+    assert_eq!(read_miss_cost(ProtocolKind::Stp { arity: 2 }, 5), 4);
+    // SCI tree: the paper says 4..2·log P; our implementation adds
+    // acknowledged rotation fix-ups on top (DESIGN.md §3), so the bound is
+    // a little looser — the point is that it grows with depth, unlike the
+    // flat 2 of Dir_iTree_k.
+    let c = read_miss_cost(ProtocolKind::SciTree, 7);
+    assert!((3..=16).contains(&c), "SCI-tree read cost {c}");
+    assert!(c > read_miss_cost(ProtocolKind::DirTree { pointers: 4, arity: 2 }, 7));
+}
+
+#[test]
+fn write_miss_costs_match_table1() {
+    for p in [2u32, 4, 8] {
+        let pc = p as u64;
+        // Full-map: 2P + 2 exactly.
+        assert_eq!(write_miss_cost(ProtocolKind::FullMap, p), 2 * pc + 2);
+        // Dir_iTree_k: 2P + 2 total messages (the win is latency).
+        assert_eq!(
+            write_miss_cost(ProtocolKind::DirTree { pointers: 4, arity: 2 }, p),
+            2 * pc + 2,
+            "Dir4Tree2 at p={p}"
+        );
+        // Singly linked list: P + 3 (chain walk + done + grant).
+        assert_eq!(write_miss_cost(ProtocolKind::SinglyList, p), pc + 3);
+        // SCI: 2P + 3 (purge round-trips + grant + done).
+        assert_eq!(write_miss_cost(ProtocolKind::Sci, p), 2 * pc + 3);
+    }
+}
+
+#[test]
+fn dir_b_broadcast_blows_up_beyond_pointers() {
+    // Dir2B with 4 sharers: overflowed, so a write storms all n−1 nodes.
+    let c = write_miss_cost(ProtocolKind::LimitedB { pointers: 2 }, 4);
+    assert!(c >= 2 * 31, "broadcast write cost only {c}");
+}
+
+#[test]
+fn dir_nb_pays_extra_reads_beyond_pointers() {
+    // The 5th reader of a Dir4NB block evicts a pointer victim:
+    // 2 + inv + ack = 4.
+    assert_eq!(
+        read_miss_cost(ProtocolKind::LimitedNB { pointers: 4 }, 5),
+        4
+    );
+    // Within the pointer budget it behaves like full-map.
+    assert_eq!(
+        read_miss_cost(ProtocolKind::LimitedNB { pointers: 4 }, 3),
+        2
+    );
+}
+
+#[test]
+fn dir_tree_write_latency_is_logarithmic_in_depth() {
+    // Compare write-miss *latency* (not messages) for a chain-ish
+    // Dir1Tree2 forest vs the Dir8Tree2 forest at the same sharing
+    // degree: more pointers → shallower trees → lower latency.
+    use dirtree::machine::{DriverOp, Machine, MachineConfig, ScriptDriver};
+    let latency = |pointers: u32| -> f64 {
+        let nodes = 32;
+        let mut active: Vec<(u32, Vec<DriverOp>)> = (1..=16u32)
+            .map(|k| (k, vec![DriverOp::Work(k as u64 * 50_000), DriverOp::Read(0)]))
+            .collect();
+        active.push((31, vec![DriverOp::Work(1_000_000), DriverOp::Write(0)]));
+        let mut m = Machine::new(
+            MachineConfig::paper_default(nodes),
+            ProtocolKind::DirTree { pointers, arity: 2 },
+        );
+        let mut d = ScriptDriver::sparse(nodes, active);
+        let out = m.run(&mut d);
+        out.stats.write_miss_latency.mean()
+    };
+    let deep = latency(1);
+    let shallow = latency(8);
+    assert!(
+        shallow < deep,
+        "Dir8Tree2 write latency {shallow} should beat Dir1Tree2 {deep}"
+    );
+}

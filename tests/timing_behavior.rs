@@ -1,0 +1,151 @@
+//! Timing-level integration tests: the latency *shapes* the paper's
+//! argument rests on must emerge from the simulator — sequential vs
+//! logarithmic invalidation, home-controller serialization, software-trap
+//! occupancy, and network contention.
+
+use dirtree::machine::{DriverOp, Machine, MachineConfig, ScriptDriver};
+use dirtree::prelude::*;
+
+/// Mean write-miss latency when one writer invalidates `sharers` copies.
+fn write_latency(kind: ProtocolKind, sharers: u32) -> f64 {
+    let nodes = 32;
+    let mut active: Vec<(u32, Vec<DriverOp>)> = (1..=sharers)
+        .map(|k| (k, vec![DriverOp::Work(k as u64 * 50_000), DriverOp::Read(0)]))
+        .collect();
+    active.push((
+        nodes - 1,
+        vec![DriverOp::Work(10_000_000), DriverOp::Write(0)],
+    ));
+    let mut m = Machine::new(MachineConfig::paper_default(nodes), kind);
+    let mut d = ScriptDriver::sparse(nodes, active);
+    let out = m.run(&mut d);
+    out.stats.write_miss_latency.mean()
+}
+
+#[test]
+fn full_map_invalidation_latency_grows_linearly() {
+    let l4 = write_latency(ProtocolKind::FullMap, 4);
+    let l16 = write_latency(ProtocolKind::FullMap, 16);
+    // 4× the sharers should cost clearly more than 2× the latency for a
+    // serialized scheme (acks converge on one controller).
+    assert!(
+        l16 > l4 * 1.8,
+        "full-map latency should scale ~linearly: {l4} -> {l16}"
+    );
+}
+
+#[test]
+fn dir_tree_invalidation_latency_grows_sublinearly() {
+    let kind = ProtocolKind::DirTree { pointers: 4, arity: 2 };
+    let l4 = write_latency(kind, 4);
+    let l16 = write_latency(kind, 16);
+    assert!(
+        l16 < l4 * 2.5,
+        "tree fan-out should grow sublinearly: {l4} -> {l16}"
+    );
+}
+
+#[test]
+fn dir_tree_beats_full_map_at_high_sharing() {
+    let fm = write_latency(ProtocolKind::FullMap, 24);
+    let dt = write_latency(ProtocolKind::DirTree { pointers: 8, arity: 2 }, 24);
+    assert!(
+        dt < fm,
+        "Dir8Tree2 ({dt}) should beat full-map ({fm}) at 24 sharers"
+    );
+}
+
+#[test]
+fn sci_sequential_purge_is_slowest_shape() {
+    let sci = write_latency(ProtocolKind::Sci, 16);
+    let dt = write_latency(ProtocolKind::DirTree { pointers: 4, arity: 2 }, 16);
+    assert!(
+        sci > dt,
+        "SCI's one-at-a-time purge ({sci}) must exceed the tree fan-out ({dt})"
+    );
+}
+
+#[test]
+fn limitless_trap_occupancy_slows_overflowed_writes() {
+    let ll = write_latency(ProtocolKind::LimitLess { pointers: 4 }, 12);
+    let fm = write_latency(ProtocolKind::FullMap, 12);
+    // 8 spilled pointers × 40-cycle traps must be visible.
+    assert!(
+        ll > fm + 100.0,
+        "software handler delay missing: LimitLESS {ll} vs full-map {fm}"
+    );
+}
+
+#[test]
+fn network_contention_costs_cycles() {
+    let run = |contention: bool| {
+        let mut config = MachineConfig::paper_default(8);
+        config.net.contention = contention;
+        let mut m = Machine::new(config, ProtocolKind::FullMap);
+        let scripts: Vec<Vec<DriverOp>> = (0..8u64)
+            .map(|n| {
+                (0..40u64)
+                    .map(|i| DriverOp::Read((i * 8 + n) % 64))
+                    .collect()
+            })
+            .collect();
+        let mut d = ScriptDriver::new(scripts);
+        m.run(&mut d).cycles
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with >= without,
+        "contention cannot make runs faster: {with} vs {without}"
+    );
+}
+
+#[test]
+fn home_controller_serializes_independent_misses() {
+    // 7 processors read 7 different blocks that all live at home 0: the
+    // 5-cycle directory occupancy serializes them.
+    let run = |same_home: bool| {
+        let nodes = 8;
+        let active: Vec<(u32, Vec<DriverOp>)> = (1..8u32)
+            .map(|k| {
+                let addr = if same_home {
+                    k as u64 * 8 // all % 8 == 0 -> home 0
+                } else {
+                    k as u64 * 9 // spread across homes
+                };
+                (k, vec![DriverOp::Read(addr)])
+            })
+            .collect();
+        let mut m = Machine::new(
+            MachineConfig::paper_default(nodes),
+            ProtocolKind::FullMap,
+        );
+        let mut d = ScriptDriver::sparse(nodes, active);
+        m.run(&mut d).stats.read_miss_latency.max()
+    };
+    let hot = run(true);
+    let spread = run(false);
+    assert!(
+        hot > spread,
+        "hot home must serialize: worst latency {hot} <= spread {spread}"
+    );
+}
+
+#[test]
+fn miss_latencies_are_physically_plausible() {
+    for kind in [
+        ProtocolKind::FullMap,
+        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::Sci,
+        ProtocolKind::Stp { arity: 2 },
+    ] {
+        let lat = write_latency(kind, 8);
+        // Floor: request + grant must at least cross the network and pay
+        // memory latency twice; ceiling: sanity bound.
+        assert!(
+            (15.0..5_000.0).contains(&lat),
+            "{} write latency {lat} implausible",
+            kind.name()
+        );
+    }
+}

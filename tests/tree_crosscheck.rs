@@ -1,0 +1,138 @@
+//! Cross-check the two independent implementations of the Figure 6
+//! insertion algorithm: the analytic replay in `dirtree-analysis` and the
+//! real protocol in `dirtree-core`, driven by a minimal context.
+
+use dirtree::coherence::ctx::{ProtoCtx, ProtoEvent};
+use dirtree::coherence::dir::dir_tree::DirTree;
+use dirtree::coherence::msg::Msg;
+use dirtree::coherence::protocol::{Protocol, ProtocolParams};
+use dirtree::coherence::types::{Addr, LineState, NodeId, OpKind};
+use dirtree::analysis::tree_capacity::TreeBuilder;
+use dirtree::sim::FxHashMap;
+use std::collections::VecDeque;
+
+#[derive(Default)]
+struct MiniCtx {
+    lines: FxHashMap<(NodeId, Addr), LineState>,
+    queue: VecDeque<(NodeId, Msg)>,
+    now: u64,
+}
+
+impl ProtoCtx for MiniCtx {
+    fn now(&self) -> u64 {
+        self.now
+    }
+    fn num_nodes(&self) -> u32 {
+        1024
+    }
+    fn home_of(&self, addr: Addr) -> NodeId {
+        (addr % 1024) as NodeId
+    }
+    fn send(&mut self, dst: NodeId, msg: Msg) {
+        self.queue.push_back((dst, msg));
+    }
+    fn redeliver(&mut self, node: NodeId, msg: Msg, _d: u64) {
+        self.queue.push_back((node, msg));
+    }
+    fn occupy(&mut self, _n: NodeId, c: u64) {
+        self.now += c;
+    }
+    fn line_state(&self, node: NodeId, addr: Addr) -> LineState {
+        self.lines
+            .get(&(node, addr))
+            .copied()
+            .unwrap_or(LineState::NotPresent)
+    }
+    fn set_line_state(&mut self, node: NodeId, addr: Addr, state: LineState) {
+        self.lines.insert((node, addr), state);
+    }
+    fn complete(&mut self, _n: NodeId, _a: Addr, _o: OpKind) {}
+    fn note(&mut self, _e: ProtoEvent) {}
+}
+
+fn drive_reads(pointers: u32, count: u32) -> DirTree {
+    let mut ctx = MiniCtx::default();
+    let mut proto = DirTree::new(pointers, 2, ProtocolParams::default());
+    const A: Addr = 0;
+    for reader in 1..=count {
+        ctx.lines.insert((reader, A), LineState::RmIp);
+        proto.start_miss(&mut ctx, reader, A, OpKind::Read);
+        while let Some((node, msg)) = ctx.queue.pop_front() {
+            ctx.now += 1;
+            proto.handle(&mut ctx, node, msg);
+        }
+    }
+    proto
+}
+
+#[test]
+fn protocol_and_replay_agree_on_forest_shape() {
+    for pointers in [1u32, 2, 4, 8] {
+        for count in [3u32, 7, 14, 15, 40, 100] {
+            let proto = drive_reads(pointers, count);
+            let mut replay = TreeBuilder::new(pointers);
+            for _ in 0..count {
+                replay.insert();
+            }
+            let proto_roots: Vec<Option<(u32, u32)>> = proto
+                .forest(0)
+                .iter()
+                .map(|p| p.map(|q| (q.node, q.level)))
+                .collect();
+            let replay_roots: Vec<Option<(u32, u32)>> = replay
+                .pointers()
+                .iter()
+                .map(|p| p.map(|(r, l, _)| (r, l)))
+                .collect();
+            assert_eq!(
+                proto_roots, replay_roots,
+                "Dir{pointers}Tree2 diverged after {count} reads"
+            );
+        }
+    }
+}
+
+#[test]
+fn protocol_subtree_sizes_match_replay() {
+    for count in [7u32, 15, 31] {
+        let proto = drive_reads(4, count);
+        let mut replay = TreeBuilder::new(4);
+        for _ in 0..count {
+            replay.insert();
+        }
+        for (pp, rp) in proto.forest(0).iter().zip(replay.pointers()) {
+            match (pp, rp) {
+                (Some(p), Some((root, _, size))) => {
+                    assert_eq!(p.node, *root);
+                    assert_eq!(
+                        proto.subtree(p.node, 0).len() as u64,
+                        *size,
+                        "subtree size mismatch at root {root} ({count} reads)"
+                    );
+                }
+                (None, None) => {}
+                other => panic!("pointer shape mismatch: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_sharer_is_reachable_from_some_root() {
+    for count in [5u32, 14, 15, 50] {
+        let proto = drive_reads(4, count);
+        let mut reachable: Vec<NodeId> = proto
+            .forest(0)
+            .iter()
+            .flatten()
+            .flat_map(|p| proto.subtree(p.node, 0))
+            .collect();
+        reachable.sort_unstable();
+        reachable.dedup();
+        assert_eq!(
+            reachable,
+            (1..=count).collect::<Vec<_>>(),
+            "not every reader is in the forest after {count} reads"
+        );
+    }
+}
