@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, build, and the full workspace test
+# suite. Run from the repository root; fails fast on the first problem.
+set -euo pipefail
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release --workspace
+cargo test --workspace -q

@@ -111,9 +111,7 @@ pub fn write_miss_latency_model(kind: ProtocolKind, p: u64, lp: &LatencyParams) 
         | ProtocolKind::LimitLess { .. } => {
             // p serialized injections, flight, invalidate, flight back,
             // p serialized ack receptions (5-cycle directory each).
-            pf * lp.ser_ctrl + lp.hops * lp.switch + lp.cache
-                + lp.ctrl_flight()
-                + pf * lp.mem
+            pf * lp.ser_ctrl + lp.hops * lp.switch + lp.cache + lp.ctrl_flight() + pf * lp.mem
         }
         ProtocolKind::SinglyList => pf * (lp.ctrl_flight() + lp.cache) + lp.ctrl_flight(),
         ProtocolKind::Sci => 2.0 * pf * (lp.ctrl_flight() + lp.cache) + lp.ctrl_flight(),
@@ -167,12 +165,21 @@ mod tests {
     fn table1_read_column() {
         assert_eq!(read_miss_messages(ProtocolKind::FullMap, 16), (2, 2));
         assert_eq!(
-            read_miss_messages(ProtocolKind::DirTree { pointers: 4, arity: 2 }, 16),
+            read_miss_messages(
+                ProtocolKind::DirTree {
+                    pointers: 4,
+                    arity: 2
+                },
+                16
+            ),
             (2, 2)
         );
         assert_eq!(read_miss_messages(ProtocolKind::SinglyList, 16), (3, 3));
         assert_eq!(read_miss_messages(ProtocolKind::Sci, 16), (4, 4));
-        assert_eq!(read_miss_messages(ProtocolKind::Stp { arity: 2 }, 16), (4, 8));
+        assert_eq!(
+            read_miss_messages(ProtocolKind::Stp { arity: 2 }, 16),
+            (4, 8)
+        );
         let (lo, hi) = read_miss_messages(ProtocolKind::SciTree, 16);
         assert_eq!((lo, hi), (4, 8)); // 2·log₂16 = 8
     }
@@ -189,8 +196,16 @@ mod tests {
         let lp = LatencyParams::default();
         let fm = |p| write_miss_latency_model(ProtocolKind::FullMap, p, &lp);
         let sci = |p| write_miss_latency_model(ProtocolKind::Sci, p, &lp);
-        let tree =
-            |p| write_miss_latency_model(ProtocolKind::DirTree { pointers: 4, arity: 2 }, p, &lp);
+        let tree = |p| {
+            write_miss_latency_model(
+                ProtocolKind::DirTree {
+                    pointers: 4,
+                    arity: 2,
+                },
+                p,
+                &lp,
+            )
+        };
         // Linear growth for full-map and SCI: doubling P roughly doubles
         // the invalidation body.
         assert!(fm(16) > fm(8) * 1.3);
@@ -221,7 +236,10 @@ mod tests {
         let b = 1024;
         let c = 2048;
         let bits = directory_bits(
-            ProtocolKind::DirTree { pointers: 4, arity: 2 },
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
             n,
             b,
             c,
@@ -237,7 +255,10 @@ mod tests {
         for n in [64u32, 256, 1024] {
             let fm = directory_bits(ProtocolKind::FullMap, n, 1024, 0);
             let dt = directory_bits(
-                ProtocolKind::DirTree { pointers: 4, arity: 2 },
+                ProtocolKind::DirTree {
+                    pointers: 4,
+                    arity: 2,
+                },
                 n,
                 1024,
                 0,
@@ -248,7 +269,10 @@ mod tests {
         // for large machines.
         let fm = directory_bits(ProtocolKind::FullMap, 1024, 1024, 2048);
         let dt = directory_bits(
-            ProtocolKind::DirTree { pointers: 4, arity: 2 },
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
             1024,
             1024,
             2048,

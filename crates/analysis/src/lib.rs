@@ -11,7 +11,7 @@
 //! * [`tables`] — aligned ASCII table rendering for the bench binaries.
 
 pub mod experiments;
-pub mod report;
 pub mod formulas;
+pub mod report;
 pub mod tables;
 pub mod tree_capacity;

@@ -55,11 +55,17 @@ mod tests {
     #[test]
     fn csv_has_header_and_one_row_per_cell() {
         let cells = figure_grid(
-            WorkloadKind::Migratory { blocks: 2, rounds: 3 },
+            WorkloadKind::Migratory {
+                blocks: 2,
+                rounds: 3,
+            },
             &[4],
             &[
                 ProtocolKind::FullMap,
-                ProtocolKind::DirTree { pointers: 2, arity: 2 },
+                ProtocolKind::DirTree {
+                    pointers: 2,
+                    arity: 2,
+                },
             ],
             MachineConfig::test_default,
         );

@@ -80,7 +80,10 @@ mod tests {
         assert!(s.contains("cycles"));
         assert!(s.contains("| 123456 |"));
         let widths: Vec<usize> = s.lines().map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{s}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{s}"
+        );
     }
 
     #[test]

@@ -33,15 +33,22 @@ fn bench_protocol_runs(c: &mut Criterion) {
         ProtocolKind::Sci,
         ProtocolKind::Stp { arity: 2 },
         ProtocolKind::SciTree,
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut m = Machine::new(MachineConfig::paper_default(16), kind);
-                let mut d = ScriptDriver::new(scripts(16));
-                black_box(m.run(&mut d).cycles)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut m = Machine::new(MachineConfig::paper_default(16), kind);
+                    let mut d = ScriptDriver::new(scripts(16));
+                    black_box(m.run(&mut d).cycles)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -53,20 +60,27 @@ fn bench_invalidation_scaling(c: &mut Criterion) {
     for kind in [
         ProtocolKind::FullMap,
         ProtocolKind::Sci,
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let nodes = 32;
-                let mut active: Vec<(u32, Vec<DriverOp>)> = (1..30u32)
-                    .map(|k| (k, vec![DriverOp::Work(k as u64 * 2000), DriverOp::Read(0)]))
-                    .collect();
-                active.push((31, vec![DriverOp::Work(100_000), DriverOp::Write(0)]));
-                let mut m = Machine::new(MachineConfig::paper_default(nodes), kind);
-                let mut d = ScriptDriver::sparse(nodes, active);
-                black_box(m.run(&mut d).cycles)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let nodes = 32;
+                    let mut active: Vec<(u32, Vec<DriverOp>)> = (1..30u32)
+                        .map(|k| (k, vec![DriverOp::Work(k as u64 * 2000), DriverOp::Read(0)]))
+                        .collect();
+                    active.push((31, vec![DriverOp::Work(100_000), DriverOp::Write(0)]));
+                    let mut m = Machine::new(MachineConfig::paper_default(nodes), kind);
+                    let mut d = ScriptDriver::sparse(nodes, active);
+                    black_box(m.run(&mut d).cycles)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -88,5 +88,11 @@ fn bench_rng(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_network, bench_cache, bench_rng);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_network,
+    bench_cache,
+    bench_rng
+);
 criterion_main!(benches);

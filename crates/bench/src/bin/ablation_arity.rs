@@ -6,39 +6,7 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin ablation_arity`
 
-use dirtree_analysis::experiments::run_workload;
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_core::protocol::{build_protocol, ProtocolKind, ProtocolParams};
-use dirtree_machine::MachineConfig;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    println!("Dir4Tree_k arity ablation (32 procs, Floyd 32v):");
-    let mut t = AsciiTable::new(&[
-        "arity k",
-        "cycles",
-        "norm vs k=2",
-        "write-miss lat",
-        "cache bits/line (n=32)",
-    ]);
-    let w = WorkloadKind::Floyd { vertices: 32, seed: 1996 };
-    let config = MachineConfig::paper_default(32);
-    let base = run_workload(&config, ProtocolKind::DirTree { pointers: 4, arity: 2 }, w);
-    for arity in [2u32, 3, 4] {
-        let kind = ProtocolKind::DirTree { pointers: 4, arity };
-        let out = run_workload(&config, kind, w);
-        let bits = build_protocol(kind, ProtocolParams::default()).cache_bits_per_line(32);
-        t.row(&[
-            arity.to_string(),
-            out.cycles.to_string(),
-            format!("{:.3}", out.cycles as f64 / base.cycles as f64),
-            format!("{:.1}", out.stats.write_miss_latency.mean()),
-            bits.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "k = 2 is the paper's choice; wider arity flattens the invalidation\n\
-         trees slightly at the cost of log n bits per extra child pointer."
-    );
+    let (runner, _cli) = dirtree_bench::runner_from_args();
+    print!("{}", dirtree_bench::experiments::ablation_arity(&runner));
 }

@@ -4,46 +4,7 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin ablation_pairing`
 
-use dirtree_analysis::experiments::run_workload;
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_core::protocol::ProtocolKind;
-use dirtree_machine::MachineConfig;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    let kind = ProtocolKind::DirTree { pointers: 8, arity: 2 };
-    println!("Ablation E13: Dir8Tree2 invalidation pairing (32 procs)");
-    let mut t = AsciiTable::new(&[
-        "workload",
-        "policy",
-        "cycles",
-        "msgs",
-        "write-miss lat (mean)",
-        "write-miss lat (max)",
-        "hottest controller (busy cyc)",
-    ]);
-    for w in [
-        WorkloadKind::Sharing { blocks: 16, rounds: 40 },
-        WorkloadKind::Floyd { vertices: 24, seed: 1996 },
-    ] {
-        for pairing in [true, false] {
-            let mut config = MachineConfig::paper_default(32);
-            config.protocol.dir_tree_pairing = pairing;
-            let out = run_workload(&config, kind, w);
-            t.row(&[
-                w.name(),
-                if pairing { "even->odd (paper)" } else { "home sends all" }.into(),
-                out.cycles.to_string(),
-                out.stats.critical_messages().to_string(),
-                format!("{:.1}", out.stats.write_miss_latency.mean()),
-                out.stats.write_miss_latency.max().to_string(),
-                out.stats.max_controller_busy.to_string(),
-            ]);
-        }
-    }
-    println!("{}", t.render());
-    println!(
-        "Pairing halves the acknowledgements converging on the home module,\n\
-         relieving the hot-spot the paper calls out in §3 (write miss)."
-    );
+    let (runner, _cli) = dirtree_bench::runner_from_args();
+    print!("{}", dirtree_bench::experiments::ablation_pairing(&runner));
 }

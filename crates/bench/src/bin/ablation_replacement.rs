@@ -4,52 +4,10 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin ablation_replacement`
 
-use dirtree_analysis::experiments::run_workload;
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_core::protocol::ProtocolKind;
-use dirtree_machine::MachineConfig;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    let kind = ProtocolKind::DirTree { pointers: 4, arity: 2 };
-    // A cache-thrashing workload plus Floyd (the paper's high-sharing app).
-    let workloads = [
-        WorkloadKind::Storm { words: 4096, passes: 3 },
-        WorkloadKind::Floyd { vertices: 32, seed: 1996 },
-    ];
-    println!("Ablation E12: Dir4Tree2 replacement policy (16 procs, small cache)");
-    let mut t = AsciiTable::new(&[
-        "workload",
-        "policy",
-        "cycles",
-        "msgs",
-        "repl-invs",
-        "read-miss lat",
-    ]);
-    for w in workloads {
-        for silent in [true, false] {
-            let mut config = MachineConfig::paper_default(16);
-            // A small cache makes replacements frequent.
-            config.cache = dirtree_core::cache::CacheConfig {
-                lines: 256,
-                associativity: 256,
-            };
-            config.protocol.dir_tree_silent_replace = silent;
-            let out = run_workload(&config, kind, w);
-            t.row(&[
-                w.name(),
-                if silent { "silent (paper)" } else { "notify home" }.into(),
-                out.cycles.to_string(),
-                out.stats.critical_messages().to_string(),
-                out.stats.replacement_invalidations.to_string(),
-                format!("{:.1}", out.stats.read_miss_latency.mean()),
-            ]);
-        }
-    }
-    println!("{}", t.render());
-    println!(
-        "The paper argues silent replacement is cheap because most replaced\n\
-         blocks are leaves; the notify-home policy pays a message per eviction\n\
-         to keep directory pointers precise."
+    let (runner, _cli) = dirtree_bench::runner_from_args();
+    print!(
+        "{}",
+        dirtree_bench::experiments::ablation_replacement(&runner)
     );
 }

@@ -6,41 +6,7 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin ablation_update`
 
-use dirtree_analysis::experiments::run_workload;
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_core::protocol::ProtocolKind;
-use dirtree_machine::MachineConfig;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    let inval = ProtocolKind::DirTree { pointers: 4, arity: 2 };
-    let update = ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 };
-    println!("Extension ablation: Dir4Tree2 invalidation vs. update writes (16 procs)");
-    let mut t = AsciiTable::new(&["workload", "protocol", "cycles", "msgs", "bytes"]);
-    for w in [
-        // Producer/consumer: one writer, many prompt readers — update's home turf.
-        WorkloadKind::Sharing { blocks: 8, rounds: 30 },
-        // Migratory RMW: each processor writes in turn — invalidation's home turf.
-        WorkloadKind::Migratory { blocks: 8, rounds: 32 },
-        // A real app mix.
-        WorkloadKind::Floyd { vertices: 24, seed: 1996 },
-    ] {
-        for kind in [inval, update] {
-            let config = MachineConfig::paper_default(16);
-            let out = run_workload(&config, kind, w);
-            t.row(&[
-                w.name(),
-                kind.name(),
-                out.cycles.to_string(),
-                out.stats.critical_messages().to_string(),
-                out.stats.bytes.to_string(),
-            ]);
-        }
-    }
-    println!("{}", t.render());
-    println!(
-        "Update writes keep consumers' copies warm (no refetch after a write)\n\
-         but pay a full home transaction for every store and push data bytes\n\
-         to all sharers; invalidation pays refetches instead."
-    );
+    let (runner, _cli) = dirtree_bench::runner_from_args();
+    print!("{}", dirtree_bench::experiments::ablation_update(&runner));
 }

@@ -2,35 +2,10 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin all_figures [-- --full]`
 
-use dirtree_bench::figures::run_figure;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    let full = dirtree_bench::full_scale();
-    let figs: Vec<(&str, WorkloadKind)> = vec![
-        (
-            "Figure 8",
-            if full {
-                WorkloadKind::Mp3d { particles: 3000, steps: 10 }
-            } else {
-                WorkloadKind::Mp3d { particles: 600, steps: 4 }
-            },
-        ),
-        (
-            "Figure 9",
-            if full { WorkloadKind::Lu { n: 128 } } else { WorkloadKind::Lu { n: 48 } },
-        ),
-        (
-            "Figure 10",
-            WorkloadKind::Floyd { vertices: 32, seed: 1996 },
-        ),
-        (
-            "Figure 11",
-            if full { WorkloadKind::Fft { points: 1024 } } else { WorkloadKind::Fft { points: 512 } },
-        ),
-    ];
-    for (title, w) in figs {
-        run_figure(title, w);
-        println!();
-    }
+    let (runner, cli) = dirtree_bench::runner_from_args();
+    print!(
+        "{}",
+        dirtree_bench::experiments::all_figures(&runner, cli.full)
+    );
 }

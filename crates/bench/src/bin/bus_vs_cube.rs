@@ -5,49 +5,7 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin bus_vs_cube`
 
-use dirtree_analysis::experiments::run_workload;
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_core::protocol::ProtocolKind;
-use dirtree_machine::MachineConfig;
-use dirtree_net::NetworkConfig;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    println!("Snooping bus vs. directory n-cube (Floyd-Warshall 24v):");
-    let mut t = AsciiTable::new(&[
-        "procs",
-        "snoop/bus cycles",
-        "fm/bus cycles",
-        "fm/cube cycles",
-        "Dir4Tree2/cube cycles",
-        "snoop-bus / tree-cube",
-    ]);
-    let w = WorkloadKind::Floyd { vertices: 24, seed: 1996 };
-    for nodes in [2u32, 4, 8, 16, 32] {
-        let mut bus = MachineConfig::paper_default(nodes);
-        bus.net = NetworkConfig::bus();
-        let cube = MachineConfig::paper_default(nodes);
-        let snoop = run_workload(&bus, ProtocolKind::Snoop, w);
-        let fm_bus = run_workload(&bus, ProtocolKind::FullMap, w);
-        let fm_cube = run_workload(&cube, ProtocolKind::FullMap, w);
-        let tree = run_workload(
-            &cube,
-            ProtocolKind::DirTree { pointers: 4, arity: 2 },
-            w,
-        );
-        t.row(&[
-            nodes.to_string(),
-            snoop.cycles.to_string(),
-            fm_bus.cycles.to_string(),
-            fm_cube.cycles.to_string(),
-            tree.cycles.to_string(),
-            format!("{:.2}", snoop.cycles as f64 / tree.cycles as f64),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "The paper's §1 premise: \"the single bus becomes the bottleneck in the\n\
-         system\" — motivating point-to-point networks and, because they lack a\n\
-         broadcast medium, directory-based coherence."
-    );
+    let (runner, _cli) = dirtree_bench::runner_from_args();
+    print!("{}", dirtree_bench::experiments::bus_vs_cube(&runner));
 }

@@ -3,12 +3,7 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin fig10_floyd`
 
-use dirtree_bench::figures::run_figure;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    run_figure(
-        "Figure 10",
-        WorkloadKind::Floyd { vertices: 32, seed: 1996 },
-    );
+    let (runner, _cli) = dirtree_bench::runner_from_args();
+    print!("{}", dirtree_bench::experiments::fig10_floyd(&runner));
 }

@@ -4,14 +4,10 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin fig11_fft [-- --full]`
 
-use dirtree_bench::figures::run_figure;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    let w = if dirtree_bench::full_scale() {
-        WorkloadKind::Fft { points: 1024 }
-    } else {
-        WorkloadKind::Fft { points: 512 }
-    };
-    run_figure("Figure 11", w);
+    let (runner, cli) = dirtree_bench::runner_from_args();
+    print!(
+        "{}",
+        dirtree_bench::experiments::fig11_fft(&runner, cli.full)
+    );
 }

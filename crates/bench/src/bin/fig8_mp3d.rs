@@ -5,14 +5,10 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin fig8_mp3d [-- --full]`
 
-use dirtree_bench::figures::run_figure;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    let w = if dirtree_bench::full_scale() {
-        WorkloadKind::Mp3d { particles: 3000, steps: 10 }
-    } else {
-        WorkloadKind::Mp3d { particles: 600, steps: 4 }
-    };
-    run_figure("Figure 8", w);
+    let (runner, cli) = dirtree_bench::runner_from_args();
+    print!(
+        "{}",
+        dirtree_bench::experiments::fig8_mp3d(&runner, cli.full)
+    );
 }

@@ -4,14 +4,7 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin fig9_lu [-- --full]`
 
-use dirtree_bench::figures::run_figure;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    let w = if dirtree_bench::full_scale() {
-        WorkloadKind::Lu { n: 128 }
-    } else {
-        WorkloadKind::Lu { n: 48 }
-    };
-    run_figure("Figure 9", w);
+    let (runner, cli) = dirtree_bench::runner_from_args();
+    print!("{}", dirtree_bench::experiments::fig9_lu(&runner, cli.full));
 }

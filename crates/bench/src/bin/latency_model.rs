@@ -5,40 +5,6 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin latency_model`
 
-use dirtree_analysis::formulas::{write_miss_latency_model, LatencyParams};
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_bench::miss_cost::write_miss_latency_measured;
-use dirtree_core::protocol::ProtocolKind;
-
 fn main() {
-    let lp = LatencyParams::default();
-    let kinds = [
-        ProtocolKind::FullMap,
-        ProtocolKind::SinglyList,
-        ProtocolKind::Sci,
-        ProtocolKind::Stp { arity: 2 },
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
-    ];
-    println!("Write-miss critical-path latency, model vs. simulator (32 procs):");
-    let mut header = vec!["protocol".to_string()];
-    for p in [2u32, 4, 8, 16, 24] {
-        header.push(format!("P={p} model"));
-        header.push(format!("P={p} meas"));
-    }
-    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t = AsciiTable::new(&hdr);
-    for kind in kinds {
-        let mut row = vec![kind.name()];
-        for p in [2u32, 4, 8, 16, 24] {
-            row.push(format!("{:.0}", write_miss_latency_model(kind, p as u64, &lp)));
-            row.push(format!("{:.0}", write_miss_latency_measured(kind, p)));
-        }
-        t.row(&row);
-    }
-    println!("{}", t.render());
-    println!(
-        "Expected shape: full-map and the lists grow linearly in P; STP and\n\
-         Dir4Tree2 grow logarithmically. Absolute agreement is approximate\n\
-         (the model ignores secondary contention)."
-    );
+    print!("{}", dirtree_bench::experiments::latency_model());
 }

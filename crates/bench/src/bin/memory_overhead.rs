@@ -3,47 +3,6 @@
 //!
 //! Run: `cargo run -p dirtree-bench --bin memory_overhead`
 
-use dirtree_analysis::formulas::directory_bits;
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_core::protocol::ProtocolKind;
-
 fn main() {
-    // Table 5 machine: 16 KB caches of 8-byte blocks; give each node the
-    // same amount of shared memory as cache for a like-for-like ratio, and
-    // also show a memory-heavy configuration.
-    let cache_blocks = 2048u64;
-    let mem_blocks = 16 * 1024; // 128 KB of shared memory per node
-    let protocols = [
-        ProtocolKind::FullMap,
-        ProtocolKind::LimitedNB { pointers: 4 },
-        ProtocolKind::LimitLess { pointers: 4 },
-        ProtocolKind::SinglyList,
-        ProtocolKind::Sci,
-        ProtocolKind::Stp { arity: 2 },
-        ProtocolKind::SciTree,
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
-        ProtocolKind::DirTree { pointers: 2, arity: 2 },
-    ];
-
-    println!(
-        "Directory memory (KiB machine-wide), {mem_blocks} memory blocks and \
-         {cache_blocks} cache lines per node:"
-    );
-    let sizes = [8u32, 16, 32, 64, 256, 1024];
-    let mut header: Vec<String> = vec!["protocol".into()];
-    header.extend(sizes.iter().map(|n| format!("n={n}")));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t = AsciiTable::new(&header_refs);
-    for kind in protocols {
-        let mut row = vec![kind.name()];
-        for &n in &sizes {
-            let bits = directory_bits(kind, n, mem_blocks, cache_blocks);
-            row.push(format!("{}", bits / 8 / 1024));
-        }
-        t.row(&row);
-    }
-    println!("{}", t.render());
-    println!(
-        "Full-map grows as B·n² while Dir_iTree_k grows as B·n·2i·log n + C·k·log n (§3)."
-    );
+    print!("{}", dirtree_bench::experiments::memory_overhead());
 }

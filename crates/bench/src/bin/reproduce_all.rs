@@ -1,57 +1,97 @@
-//! Run every table, figure and ablation in sequence and write a combined
+//! Run every table, figure and ablation in-process and write a combined
 //! report to `target/reproduction_report.txt`. The one-command
-//! reproduction of the whole paper (≈ minutes at default scale; pass
-//! `--full` for the paper's exact workload sizes).
+//! reproduction of the whole paper.
 //!
-//! Run: `cargo run --release -p dirtree-bench --bin reproduce_all [-- --full]`
+//! All simulations go through the shared sweep runner: they execute on a
+//! worker pool (`--jobs`, default: all cores) and results are cached
+//! under `target/sweep/cache/`, so a rerun that changes nothing simulates
+//! nothing. A panic in one experiment — or any failed simulation inside
+//! one — is caught, the remaining experiments still run, and the process
+//! exits non-zero with a final `FAILED: [...]` summary.
+//!
+//! Run: `cargo run --release -p dirtree-bench --bin reproduce_all
+//!       [-- --full] [--jobs N] [--no-cache] [--filter SUBSTR]`
 
+use dirtree_bench::experiments::registry;
 use std::fmt::Write as _;
-use std::process::Command;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 fn main() {
-    let full = dirtree_bench::full_scale();
-    let bins: &[(&str, bool)] = &[
-        ("table1", false),
-        ("table3", false),
-        ("table4", false),
-        ("tree_shapes", false),
-        ("memory_overhead", false),
-        ("fig8_mp3d", true),
-        ("fig9_lu", true),
-        ("fig10_floyd", false),
-        ("fig11_fft", true),
-        ("sharing_profile", false),
-        ("latency_model", false),
-        ("bus_vs_cube", false),
-        ("sensitivity", false),
-        ("ablation_replacement", false),
-        ("ablation_pairing", false),
-        ("ablation_update", false),
-        ("ablation_arity", false),
-    ];
-    let exe_dir = std::env::current_exe()
-        .ok()
-        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
-        .expect("locate binary directory");
+    let (runner, cli) = dirtree_bench::runner_from_args();
     let mut report = String::new();
-    for (bin, scalable) in bins {
-        eprintln!("==> {bin}");
-        let mut cmd = Command::new(exe_dir.join(bin));
-        if *scalable && full {
-            cmd.arg("--full");
+    let mut failed: Vec<&'static str> = Vec::new();
+    let mut ran = 0usize;
+    let t0 = std::time::Instant::now();
+    for exp in registry() {
+        if let Some(f) = &cli.filter {
+            if !exp.name.contains(f.as_str()) {
+                continue;
+            }
         }
-        let out = cmd.output().unwrap_or_else(|e| panic!("run {bin}: {e}"));
-        let _ = writeln!(report, "==================== {bin} ====================");
-        report.push_str(&String::from_utf8_lossy(&out.stdout));
-        if !out.status.success() {
-            let _ = writeln!(report, "[{bin} FAILED]");
-            report.push_str(&String::from_utf8_lossy(&out.stderr));
+        ran += 1;
+        eprintln!("==> {}", exp.name);
+        let failures_before = runner.failures().len();
+        let result = catch_unwind(AssertUnwindSafe(|| (exp.run)(&runner, cli.full)));
+        let _ = writeln!(
+            report,
+            "==================== {} ====================",
+            exp.name
+        );
+        match result {
+            Ok(text) => {
+                report.push_str(&text);
+                // Simulations that panicked inside the runner are caught
+                // there and excluded from the report tables; they still
+                // fail the experiment.
+                let all_failures = runner.failures();
+                let sim_failures = &all_failures[failures_before..];
+                if !sim_failures.is_empty() {
+                    failed.push(exp.name);
+                    let _ = writeln!(
+                        report,
+                        "[{} FAILED: {} simulation(s) panicked]",
+                        exp.name,
+                        sim_failures.len()
+                    );
+                    for f in sim_failures {
+                        let _ = writeln!(report, "  {}: {}", f.key, f.message);
+                    }
+                }
+            }
+            Err(payload) => {
+                failed.push(exp.name);
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                let _ = writeln!(report, "[{} FAILED] {msg}", exp.name);
+            }
         }
         report.push('\n');
     }
+
     let path = std::path::Path::new("target/reproduction_report.txt");
     let _ = std::fs::create_dir_all("target");
     std::fs::write(path, &report).expect("write report");
     println!("{report}");
-    eprintln!("report written to {}", path.display());
+    let (executed, cached) = runner.totals();
+    eprintln!(
+        "{ran} experiments in {:.1?}: {executed} simulations run, {cached} served from cache \
+         ({} jobs); report written to {}",
+        t0.elapsed(),
+        runner.options().jobs,
+        path.display()
+    );
+    if ran == 0 {
+        eprintln!(
+            "no experiment matches --filter {:?}",
+            cli.filter.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
+    if !failed.is_empty() {
+        println!("FAILED: [{}]", failed.join(", "));
+        std::process::exit(1);
+    }
 }

@@ -6,52 +6,7 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin scaling`
 
-use dirtree_analysis::experiments::run_workload;
-use dirtree_analysis::formulas::directory_bits;
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_core::protocol::ProtocolKind;
-use dirtree_machine::MachineConfig;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    println!("Scaling beyond the paper (Floyd-Warshall 64v, normalized to full-map):");
-    let mut t = AsciiTable::new(&[
-        "procs",
-        "fm cycles",
-        "Dir4Tree2",
-        "Dir8Tree2",
-        "Dir4NB",
-        "fm dir KiB",
-        "Dir4Tree2 dir KiB",
-    ]);
-    let w = WorkloadKind::Floyd { vertices: 64, seed: 1996 };
-    for nodes in [8u32, 16, 32, 64, 128] {
-        let config = MachineConfig::paper_default(nodes);
-        let fm = run_workload(&config, ProtocolKind::FullMap, w);
-        let t4 = run_workload(&config, ProtocolKind::DirTree { pointers: 4, arity: 2 }, w);
-        let t8 = run_workload(&config, ProtocolKind::DirTree { pointers: 8, arity: 2 }, w);
-        let l4 = run_workload(&config, ProtocolKind::LimitedNB { pointers: 4 }, w);
-        let mem_blocks = 16 * 1024;
-        let fm_bits = directory_bits(ProtocolKind::FullMap, nodes, mem_blocks, 0);
-        let t4_bits = directory_bits(
-            ProtocolKind::DirTree { pointers: 4, arity: 2 },
-            nodes,
-            mem_blocks,
-            0,
-        );
-        t.row(&[
-            nodes.to_string(),
-            fm.cycles.to_string(),
-            format!("{:.3}", t4.cycles as f64 / fm.cycles as f64),
-            format!("{:.3}", t8.cycles as f64 / fm.cycles as f64),
-            format!("{:.3}", l4.cycles as f64 / fm.cycles as f64),
-            (fm_bits / 8 / 1024).to_string(),
-            (t4_bits / 8 / 1024).to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "The performance gap and the directory-memory gap both widen with\n\
-         machine size — the paper's conclusion, extrapolated."
-    );
+    let (runner, _cli) = dirtree_bench::runner_from_args();
+    print!("{}", dirtree_bench::experiments::scaling(&runner));
 }

@@ -4,67 +4,7 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin sensitivity`
 
-use dirtree_analysis::experiments::run_workload;
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_core::cache::CacheConfig;
-use dirtree_core::protocol::ProtocolKind;
-use dirtree_machine::{MachineConfig, TopologyKind};
-use dirtree_workloads::WorkloadKind;
-
-fn ratio(config: &MachineConfig) -> (f64, f64, f64) {
-    let w = WorkloadKind::Floyd { vertices: 32, seed: 1996 };
-    let fm = run_workload(config, ProtocolKind::FullMap, w).cycles as f64;
-    let t4 = run_workload(config, ProtocolKind::DirTree { pointers: 4, arity: 2 }, w).cycles
-        as f64;
-    let l1 = run_workload(config, ProtocolKind::LimitedNB { pointers: 1 }, w).cycles as f64;
-    (fm, t4 / fm, l1 / fm)
-}
-
 fn main() {
-    println!("Sensitivity of the Floyd-Warshall ranking (16 procs), normalized to full-map:");
-    let mut t = AsciiTable::new(&[
-        "configuration",
-        "fm cycles",
-        "Dir4Tree2",
-        "Dir1NB",
-    ]);
-    let base = MachineConfig::paper_default(16);
-
-    let mut rows: Vec<(String, MachineConfig)> = vec![("paper (Table 5)".into(), base)];
-
-    let mut no_contention = base;
-    no_contention.net.contention = false;
-    rows.push(("no link contention".into(), no_contention));
-
-    let mut wide_links = base;
-    wide_links.net.link_width_bits = 64;
-    rows.push(("64-bit links".into(), wide_links));
-
-    let mut small_cache = base;
-    small_cache.cache = CacheConfig { lines: 256, associativity: 256 };
-    rows.push(("2 KB caches (replacement pressure)".into(), small_cache));
-
-    let mut slow_memory = base;
-    slow_memory.mem_latency = 20;
-    rows.push(("20-cycle memory".into(), slow_memory));
-
-    let mut torus = base;
-    torus.topology = TopologyKind::KaryNcube { radix: 4 };
-    rows.push(("4-ary 2-cube (torus) instead of hypercube".into(), torus));
-
-    for (name, config) in rows {
-        let (fm, t4, l1) = ratio(&config);
-        t.row(&[
-            name,
-            format!("{fm:.0}"),
-            format!("{t4:.3}"),
-            format!("{l1:.3}"),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "The qualitative ranking (Dir4Tree2 ~ full-map << Dir1NB) should be\n\
-         robust to these knobs; replacement pressure is the one regime where\n\
-         Dir_iTree_k pays its silent-subtree-kill cost."
-    );
+    let (runner, _cli) = dirtree_bench::runner_from_args();
+    print!("{}", dirtree_bench::experiments::sensitivity(&runner));
 }

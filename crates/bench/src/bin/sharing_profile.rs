@@ -8,51 +8,7 @@
 //!
 //! Run: `cargo run --release -p dirtree-bench --bin sharing_profile`
 
-use dirtree_analysis::experiments::run_workload;
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_core::protocol::ProtocolKind;
-use dirtree_machine::MachineConfig;
-use dirtree_workloads::WorkloadKind;
-
 fn main() {
-    let nodes = 16;
-    let apps = [
-        WorkloadKind::Mp3d { particles: 600, steps: 4 },
-        WorkloadKind::Lu { n: 48 },
-        WorkloadKind::Floyd { vertices: 32, seed: 1996 },
-        WorkloadKind::Fft { points: 512 },
-    ];
-    println!("Sharing degree at writes ({nodes} processors, full-map bookkeeping):");
-    let mut t = AsciiTable::new(&[
-        "workload", "writes", "mean", "p50", "p90", "max", "<= 4 (%)",
-    ]);
-    for w in apps {
-        let out = run_workload(&MachineConfig::paper_default(nodes), ProtocolKind::FullMap, w);
-        let h = &out.stats.sharers_at_write;
-        // Fraction of writes with at most 4 sharers, from the bucketed
-        // histogram: p such that percentile(p) <= 4.
-        let mut le4 = 0.0;
-        for pct in (1..=100).rev() {
-            if h.percentile(pct as f64) <= 4 {
-                le4 = pct as f64;
-                break;
-            }
-        }
-        t.row(&[
-            w.name(),
-            h.count().to_string(),
-            format!("{:.2}", h.mean()),
-            h.percentile(50.0).to_string(),
-            h.percentile(90.0).to_string(),
-            h.max().to_string(),
-            format!("{le4:.0}"),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "The paper (after Weber & Gupta, ASPLOS-III) uses the prevalence of\n\
-         low sharing degrees to size the directory at i = 4 pointers; writes\n\
-         that do see wide sharing (Floyd's row k) are exactly where the tree\n\
-         fan-out pays off."
-    );
+    let (runner, _cli) = dirtree_bench::runner_from_args();
+    print!("{}", dirtree_bench::experiments::sharing_profile(&runner));
 }

@@ -3,31 +3,6 @@
 //!
 //! Run: `cargo run -p dirtree-bench --bin table3`
 
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_analysis::tree_capacity::{n1, n2, TreeBuilder};
-
 fn main() {
-    println!("Table 3: number of processors per tree for Dir2Tree2");
-    let mut t = AsciiTable::new(&["level j", "N1(j)", "N2(j)", "replayed total", "N1+N2"]);
-    for j in 1..=12u64 {
-        // Replay insertions until both trees reach level j.
-        let mut b = TreeBuilder::new(2);
-        let mut total_at_level = 0;
-        loop {
-            b.insert();
-            if b.max_level() > j as u32 {
-                break;
-            }
-            total_at_level = b.total();
-        }
-        t.row(&[
-            j.to_string(),
-            n1(j).to_string(),
-            n2(j).to_string(),
-            total_at_level.to_string(),
-            (n1(j) + n2(j)).to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("N1(j) = j (a chain); N2(j) = j(j+1)/2 — as simplified in §3.");
+    print!("{}", dirtree_bench::experiments::table3());
 }

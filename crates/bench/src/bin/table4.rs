@@ -5,54 +5,6 @@
 //!
 //! Run: `cargo run -p dirtree-bench --bin table4`
 
-use dirtree_analysis::tables::AsciiTable;
-use dirtree_analysis::tree_capacity::{binary_tree_nodes, max_nodes_at_level, PAPER_TABLE4};
-
 fn main() {
-    println!("Table 4: maximum nodes vs. tree level");
-    let mut t = AsciiTable::new(&[
-        "level",
-        "Dir2Tree2",
-        "paper",
-        "Dir4Tree2",
-        "paper",
-        "binary tree",
-        "paper",
-    ]);
-    let mut mismatches = 0;
-    for (level, p2, p4, pb) in PAPER_TABLE4 {
-        let d2 = max_nodes_at_level(2, level);
-        let d4 = max_nodes_at_level(4, level);
-        let b = binary_tree_nodes(level);
-        for (ours, paper) in [(d2, p2), (d4, p4), (b, pb)] {
-            if ours != paper {
-                mismatches += 1;
-            }
-        }
-        t.row(&[
-            level.to_string(),
-            d2.to_string(),
-            p2.to_string(),
-            d4.to_string(),
-            p4.to_string(),
-            b.to_string(),
-            pb.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    if mismatches == 0 {
-        println!("All cells match the paper exactly.");
-    } else {
-        println!(
-            "{mismatches} cells differ from the paper (see EXPERIMENTS.md for the \
-             selection-rule discussion)."
-        );
-    }
-    println!(
-        "\nA 1024-node Dir4Tree2 forest: level {} (paper: 12, one more than the \
-         balanced binary tree's 11).",
-        (3..=20u32)
-            .find(|&l| max_nodes_at_level(4, l) >= 1024)
-            .unwrap()
-    );
+    print!("{}", dirtree_bench::experiments::table4());
 }

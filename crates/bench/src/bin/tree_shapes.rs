@@ -4,74 +4,6 @@
 //!
 //! Run: `cargo run -p dirtree-bench --bin tree_shapes`
 
-use dirtree_analysis::tree_capacity::TreeBuilder;
-
-fn print_forest(b: &TreeBuilder, label: &str) {
-    println!("{label}");
-    for (i, p) in b.pointers().iter().enumerate() {
-        match p {
-            Some((root, level, size)) => {
-                println!("  pointer {i}: -> node {root} (level {level}, {size} nodes)")
-            }
-            None => println!("  pointer {i}: null"),
-        }
-    }
-}
-
 fn main() {
-    // Figure 1: the forest after 14 read misses.
-    let mut b = TreeBuilder::new(4);
-    for _ in 0..14 {
-        b.insert();
-    }
-    print_forest(&b, "Figure 1 — Dir4Tree2 forest after 14 read misses:");
-
-    // Figure 5: the 15th request merges the two level-2 trees (11 and 13).
-    let before: Vec<u32> = b.pointers().iter().flatten().map(|p| p.0).collect();
-    b.insert();
-    let after: Vec<u32> = b.pointers().iter().flatten().map(|p| p.0).collect();
-    let adopted: Vec<u32> = before.iter().filter(|r| !after.contains(r)).copied().collect();
-    println!(
-        "\nFigure 5 — the 15th read miss: node 15 adopts the equal-height roots {adopted:?}"
-    );
-    print_forest(&b, "forest after the 15th request:");
-
-    // Figure 7: invalidation fan-out with 15 copies. With pairing, the home
-    // sends one Inv per even pointer; odd pointers are invalidated by their
-    // even partners; every tree node forwards to its children.
-    println!("\nFigure 7 — write-miss invalidation over the 15-copy forest:");
-    let live: Vec<(usize, u32, u32)> = b
-        .pointers()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, p)| p.map(|(r, l, _)| (i, r, l)))
-        .collect();
-    let mut home_msgs = 0;
-    let mut slot = 0;
-    while slot < b.pointers().len() {
-        let even = live.iter().find(|&&(i, ..)| i == slot);
-        let odd = live.iter().find(|&&(i, ..)| i == slot + 1);
-        match (even, odd) {
-            (Some(&(_, re, _)), Some(&(_, ro, _))) => {
-                println!("  home -> root {re} (Inv, also invalidate root {ro})");
-                home_msgs += 1;
-            }
-            (Some(&(_, re, _)), None) => {
-                println!("  home -> root {re} (Inv)");
-                home_msgs += 1;
-            }
-            (None, Some(&(_, ro, _))) => {
-                println!("  home -> root {ro} (Inv)");
-                home_msgs += 1;
-            }
-            (None, None) => {}
-        }
-        slot += 2;
-    }
-    let max_level = live.iter().map(|&(_, _, l)| l).max().unwrap_or(0);
-    println!("  home sends {home_msgs} Inv(s) and waits {home_msgs} ack(s);");
-    println!(
-        "  invalidation depth = tallest tree level = {max_level} \
-         (a balanced binary tree of 15 nodes has 4 levels)"
-    );
+    print!("{}", dirtree_bench::experiments::tree_shapes());
 }

@@ -1,0 +1,132 @@
+//! Shared command-line parsing for the experiment binaries.
+//!
+//! Every binary accepts the sweep-runner flags:
+//!
+//! - `--jobs N` — worker threads (default: available parallelism)
+//! - `--no-cache` — ignore cached results, re-simulate everything
+//! - `--out-dir PATH` — sweep output root (default `target/sweep`)
+//! - `--full` — the paper's exact workload sizes instead of scaled-down
+//! - `--filter SUBSTR` — `reproduce_all` only: run the experiments whose
+//!   name contains the substring
+//!
+//! Flags may be written `--flag value` or `--flag=value`.
+
+use crate::runner::SweepOptions;
+use std::path::PathBuf;
+
+#[derive(Clone, Debug, Default)]
+pub struct Cli {
+    pub jobs: Option<usize>,
+    pub no_cache: bool,
+    pub full: bool,
+    pub filter: Option<String>,
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Cli {
+    /// Parse the process arguments. Unknown flags warn and are ignored so
+    /// older invocations keep working.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut cli = Cli::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            match flag.as_str() {
+                "--jobs" => {
+                    cli.jobs = take_value(&flag, inline.clone(), &mut args)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1);
+                    if cli.jobs.is_none() {
+                        eprintln!("warning: --jobs needs a positive integer");
+                    }
+                }
+                "--no-cache" => cli.no_cache = true,
+                "--full" => cli.full = true,
+                "--filter" => cli.filter = take_value(&flag, inline.clone(), &mut args),
+                "--out-dir" => {
+                    cli.out_dir = take_value(&flag, inline.clone(), &mut args).map(PathBuf::from)
+                }
+                other => eprintln!("warning: ignoring unknown flag {other}"),
+            }
+        }
+        cli
+    }
+
+    /// The runner options implied by the parsed flags.
+    pub fn sweep_options(&self) -> SweepOptions {
+        let mut opts = SweepOptions::default();
+        if let Some(jobs) = self.jobs {
+            opts.jobs = jobs;
+        }
+        opts.no_cache = self.no_cache;
+        if let Some(dir) = &self.out_dir {
+            opts.out_dir = dir.clone();
+        }
+        opts
+    }
+}
+
+fn take_value(
+    flag: &str,
+    inline: Option<String>,
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+) -> Option<String> {
+    let v = inline.or_else(|| args.next());
+    if v.is_none() {
+        eprintln!("warning: {flag} needs a value");
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cli = parse(&[
+            "--jobs",
+            "4",
+            "--no-cache",
+            "--full",
+            "--filter=fig",
+            "--out-dir",
+            "/tmp/x",
+        ]);
+        assert_eq!(cli.jobs, Some(4));
+        assert!(cli.no_cache);
+        assert!(cli.full);
+        assert_eq!(cli.filter.as_deref(), Some("fig"));
+        assert_eq!(cli.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        let opts = cli.sweep_options();
+        assert_eq!(opts.jobs, 4);
+        assert!(opts.no_cache);
+    }
+
+    #[test]
+    fn equals_form_and_defaults() {
+        let cli = parse(&["--jobs=2"]);
+        assert_eq!(cli.jobs, Some(2));
+        assert!(!cli.no_cache && !cli.full && cli.filter.is_none());
+        let cli = parse(&[]);
+        assert!(cli.jobs.is_none());
+        assert!(cli.sweep_options().jobs >= 1);
+    }
+
+    #[test]
+    fn bad_jobs_is_ignored_with_warning() {
+        assert_eq!(parse(&["--jobs", "zero"]).jobs, None);
+        assert_eq!(parse(&["--jobs", "0"]).jobs, None);
+    }
+}

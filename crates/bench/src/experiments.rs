@@ -1,0 +1,1151 @@
+//! Every experiment of the reproduction as a library function.
+//!
+//! Each function builds its configurations, runs them through the shared
+//! sweep [`Runner`] (parallel + cached), and returns the report text. The
+//! binaries in `src/bin/` are thin wrappers; `reproduce_all` iterates the
+//! [`registry`] in-process so a panic in one experiment is caught,
+//! reported in the final `FAILED:` summary, and does not stop the rest.
+//!
+//! Analytic experiments (Tables 3/4, tree shapes, memory overhead) and
+//! the controlled-sharing-degree measurements (Table 1, the latency
+//! model) do not go through the runner: they are closed-form or
+//! millisecond-scale scripted runs with no caching value.
+
+use crate::figures::{record_grid, run_figure, RecordCell};
+use crate::miss_cost::{read_miss_cost, write_miss_cost, write_miss_latency_measured};
+use crate::runner::Runner;
+use dirtree_analysis::formulas::{self, directory_bits, write_miss_latency_model, LatencyParams};
+use dirtree_analysis::tables::AsciiTable;
+use dirtree_analysis::tree_capacity::{
+    binary_tree_nodes, max_nodes_at_level, n1, n2, TreeBuilder, PAPER_TABLE4,
+};
+use dirtree_core::cache::CacheConfig;
+use dirtree_core::protocol::{build_protocol, ProtocolKind, ProtocolParams};
+use dirtree_machine::{MachineConfig, TopologyKind};
+use dirtree_net::NetworkConfig;
+use dirtree_workloads::WorkloadKind;
+use std::fmt::Write as _;
+
+/// One experiment: a stable name (used by `--filter` and the report
+/// headings) and the function producing its report.
+pub struct Experiment {
+    pub name: &'static str,
+    pub run: fn(&Runner, bool) -> String,
+}
+
+/// Every experiment `reproduce_all` runs, in report order. The `scaling`
+/// study (to 128 processors) is intentionally not here — it is an
+/// explicit opt-in via its own binary.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "table1",
+            run: |_, _| table1(),
+        },
+        Experiment {
+            name: "table3",
+            run: |_, _| table3(),
+        },
+        Experiment {
+            name: "table4",
+            run: |_, _| table4(),
+        },
+        Experiment {
+            name: "tree_shapes",
+            run: |_, _| tree_shapes(),
+        },
+        Experiment {
+            name: "memory_overhead",
+            run: |_, _| memory_overhead(),
+        },
+        Experiment {
+            name: "fig8_mp3d",
+            run: fig8_mp3d,
+        },
+        Experiment {
+            name: "fig9_lu",
+            run: fig9_lu,
+        },
+        Experiment {
+            name: "fig10_floyd",
+            run: |r, _| fig10_floyd(r),
+        },
+        Experiment {
+            name: "fig11_fft",
+            run: fig11_fft,
+        },
+        Experiment {
+            name: "sharing_profile",
+            run: |r, _| sharing_profile(r),
+        },
+        Experiment {
+            name: "latency_model",
+            run: |_, _| latency_model(),
+        },
+        Experiment {
+            name: "bus_vs_cube",
+            run: |r, _| bus_vs_cube(r),
+        },
+        Experiment {
+            name: "sensitivity",
+            run: |r, _| sensitivity(r),
+        },
+        Experiment {
+            name: "ablation_replacement",
+            run: |r, _| ablation_replacement(r),
+        },
+        Experiment {
+            name: "ablation_pairing",
+            run: |r, _| ablation_pairing(r),
+        },
+        Experiment {
+            name: "ablation_update",
+            run: |r, _| ablation_update(r),
+        },
+        Experiment {
+            name: "ablation_arity",
+            run: |r, _| ablation_arity(r),
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Figures 8–11 (normalized execution time grids)
+// ---------------------------------------------------------------------
+
+/// **Figure 8** — MP3D. Default 600 particles × 4 steps; `--full` uses
+/// the paper's 3000 × 10.
+pub fn fig8_mp3d(runner: &Runner, full: bool) -> String {
+    let w = if full {
+        WorkloadKind::Mp3d {
+            particles: 3000,
+            steps: 10,
+        }
+    } else {
+        WorkloadKind::Mp3d {
+            particles: 600,
+            steps: 4,
+        }
+    };
+    run_figure(runner, "Figure 8", w)
+}
+
+/// **Figure 9** — LU decomposition. Default 48×48; `--full` is 128×128.
+pub fn fig9_lu(runner: &Runner, full: bool) -> String {
+    let w = if full {
+        WorkloadKind::Lu { n: 128 }
+    } else {
+        WorkloadKind::Lu { n: 48 }
+    };
+    run_figure(runner, "Figure 9", w)
+}
+
+/// **Figure 10** — Floyd-Warshall at the paper's exact 32-vertex size.
+pub fn fig10_floyd(runner: &Runner) -> String {
+    run_figure(
+        runner,
+        "Figure 10",
+        WorkloadKind::Floyd {
+            vertices: 32,
+            seed: 1996,
+        },
+    )
+}
+
+/// **Figure 11** — FFT. Default 512 points; `--full` is 1024.
+pub fn fig11_fft(runner: &Runner, full: bool) -> String {
+    let w = if full {
+        WorkloadKind::Fft { points: 1024 }
+    } else {
+        WorkloadKind::Fft { points: 512 }
+    };
+    run_figure(runner, "Figure 11", w)
+}
+
+/// All four figure grids back to back (the `all_figures` binary).
+pub fn all_figures(runner: &Runner, full: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&fig8_mp3d(runner, full));
+    out.push('\n');
+    out.push_str(&fig9_lu(runner, full));
+    out.push('\n');
+    out.push_str(&fig10_floyd(runner));
+    out.push('\n');
+    out.push_str(&fig11_fft(runner, full));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table 1 and the latency model (controlled sharing degrees; sequential)
+// ---------------------------------------------------------------------
+
+/// **Table 1** — messages generated by a read or write miss per protocol:
+/// measured marginal message counts next to the paper's analytic column.
+pub fn table1() -> String {
+    fn fmt_range((lo, hi): (u64, u64)) -> String {
+        if lo == hi {
+            lo.to_string()
+        } else {
+            format!("{lo}..{hi}")
+        }
+    }
+    let p = 8u32; // sharers when the write arrives
+    let protocols = [
+        ProtocolKind::FullMap,
+        ProtocolKind::LimitedNB { pointers: 4 },
+        ProtocolKind::LimitedB { pointers: 4 },
+        ProtocolKind::LimitLess { pointers: 4 },
+        ProtocolKind::SinglyList,
+        ProtocolKind::Sci,
+        ProtocolKind::Stp { arity: 2 },
+        ProtocolKind::SciTree,
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: messages per read / write miss (P = {p} sharers)"
+    );
+    let _ = writeln!(
+        out,
+        "(measured = marginal critical-path messages on the simulated machine)"
+    );
+    let mut t = AsciiTable::new(&[
+        "protocol",
+        "read (paper)",
+        "read (measured)",
+        "write (paper)",
+        "write (measured)",
+    ]);
+    for kind in protocols {
+        let read_paper = fmt_range(formulas::read_miss_messages(kind, p as u64));
+        let write_paper = fmt_range(formulas::write_miss_messages(kind, p as u64));
+        // Marginal read at sharing degree p (the p-th reader joining).
+        let read_meas = read_miss_cost(kind, p);
+        let write_meas = write_miss_cost(kind, p);
+        t.row(&[
+            kind.name(),
+            read_paper,
+            read_meas.to_string(),
+            write_paper,
+            write_meas.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "Notes: Dir_iNB / Dir_iB / LimitLESS measured write costs reflect their\n\
+         overflow handling at P > i (extra invalidations, broadcast to n-1 nodes,\n\
+         or software-walk occupancy, respectively). List/tree measured costs\n\
+         include the home grant round-trip our home-centric variants add; see\n\
+         DESIGN.md §3."
+    );
+    out
+}
+
+/// **Model validation (ours)** — analytic write-miss latency vs. the
+/// simulator at controlled sharing degrees.
+pub fn latency_model() -> String {
+    let lp = LatencyParams::default();
+    let kinds = [
+        ProtocolKind::FullMap,
+        ProtocolKind::SinglyList,
+        ProtocolKind::Sci,
+        ProtocolKind::Stp { arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Write-miss critical-path latency, model vs. simulator (32 procs):"
+    );
+    let mut header = vec!["protocol".to_string()];
+    for p in [2u32, 4, 8, 16, 24] {
+        header.push(format!("P={p} model"));
+        header.push(format!("P={p} meas"));
+    }
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = AsciiTable::new(&hdr);
+    for kind in kinds {
+        let mut row = vec![kind.name()];
+        for p in [2u32, 4, 8, 16, 24] {
+            row.push(format!(
+                "{:.0}",
+                write_miss_latency_model(kind, p as u64, &lp)
+            ));
+            row.push(format!("{:.0}", write_miss_latency_measured(kind, p)));
+        }
+        t.row(&row);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "Expected shape: full-map and the lists grow linearly in P; STP and\n\
+         Dir4Tree2 grow logarithmically. Absolute agreement is approximate\n\
+         (the model ignores secondary contention)."
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Tables 3/4, tree shapes, memory overhead (closed-form)
+// ---------------------------------------------------------------------
+
+/// **Table 3** — the N₁(j) / N₂(j) recurrences for Dir₂Tree₂, printed
+/// next to the insertion-replay measurement.
+pub fn table3() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: number of processors per tree for Dir2Tree2");
+    let mut t = AsciiTable::new(&["level j", "N1(j)", "N2(j)", "replayed total", "N1+N2"]);
+    for j in 1..=12u64 {
+        // Replay insertions until both trees reach level j.
+        let mut b = TreeBuilder::new(2);
+        let mut total_at_level = 0;
+        loop {
+            b.insert();
+            if b.max_level() > j as u32 {
+                break;
+            }
+            total_at_level = b.total();
+        }
+        t.row(&[
+            j.to_string(),
+            n1(j).to_string(),
+            n2(j).to_string(),
+            total_at_level.to_string(),
+            (n1(j) + n2(j)).to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "N1(j) = j (a chain); N2(j) = j(j+1)/2 — as simplified in §3."
+    );
+    out
+}
+
+/// **Table 4** — maximum nodes vs. tree level against the paper's
+/// published integers.
+pub fn table4() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4: maximum nodes vs. tree level");
+    let mut t = AsciiTable::new(&[
+        "level",
+        "Dir2Tree2",
+        "paper",
+        "Dir4Tree2",
+        "paper",
+        "binary tree",
+        "paper",
+    ]);
+    let mut mismatches = 0;
+    for (level, p2, p4, pb) in PAPER_TABLE4 {
+        let d2 = max_nodes_at_level(2, level);
+        let d4 = max_nodes_at_level(4, level);
+        let b = binary_tree_nodes(level);
+        for (ours, paper) in [(d2, p2), (d4, p4), (b, pb)] {
+            if ours != paper {
+                mismatches += 1;
+            }
+        }
+        t.row(&[
+            level.to_string(),
+            d2.to_string(),
+            p2.to_string(),
+            d4.to_string(),
+            p4.to_string(),
+            b.to_string(),
+            pb.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    if mismatches == 0 {
+        let _ = writeln!(out, "All cells match the paper exactly.");
+    } else {
+        let _ = writeln!(
+            out,
+            "{mismatches} cells differ from the paper (see EXPERIMENTS.md for the \
+             selection-rule discussion)."
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nA 1024-node Dir4Tree2 forest: level {} (paper: 12, one more than the \
+         balanced binary tree's 11).",
+        (3..=20u32)
+            .find(|&l| max_nodes_at_level(4, l) >= 1024)
+            .unwrap()
+    );
+    out
+}
+
+/// **Figures 1, 5 and 7** — the Dir₄Tree₂ forest built by 14 sequential
+/// read misses, the merge performed by the 15th, and the write-miss
+/// invalidation fan-out over the resulting forest.
+pub fn tree_shapes() -> String {
+    fn print_forest(out: &mut String, b: &TreeBuilder, label: &str) {
+        let _ = writeln!(out, "{label}");
+        for (i, p) in b.pointers().iter().enumerate() {
+            match p {
+                Some((root, level, size)) => {
+                    let _ = writeln!(
+                        out,
+                        "  pointer {i}: -> node {root} (level {level}, {size} nodes)"
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  pointer {i}: null");
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    // Figure 1: the forest after 14 read misses.
+    let mut b = TreeBuilder::new(4);
+    for _ in 0..14 {
+        b.insert();
+    }
+    print_forest(
+        &mut out,
+        &b,
+        "Figure 1 — Dir4Tree2 forest after 14 read misses:",
+    );
+
+    // Figure 5: the 15th request merges the two level-2 trees (11 and 13).
+    let before: Vec<u32> = b.pointers().iter().flatten().map(|p| p.0).collect();
+    b.insert();
+    let after: Vec<u32> = b.pointers().iter().flatten().map(|p| p.0).collect();
+    let adopted: Vec<u32> = before
+        .iter()
+        .filter(|r| !after.contains(r))
+        .copied()
+        .collect();
+    let _ = writeln!(
+        out,
+        "\nFigure 5 — the 15th read miss: node 15 adopts the equal-height roots {adopted:?}"
+    );
+    print_forest(&mut out, &b, "forest after the 15th request:");
+
+    // Figure 7: invalidation fan-out with 15 copies. With pairing, the home
+    // sends one Inv per even pointer; odd pointers are invalidated by their
+    // even partners; every tree node forwards to its children.
+    let _ = writeln!(
+        out,
+        "\nFigure 7 — write-miss invalidation over the 15-copy forest:"
+    );
+    let live: Vec<(usize, u32, u32)> = b
+        .pointers()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.map(|(r, l, _)| (i, r, l)))
+        .collect();
+    let mut home_msgs = 0;
+    let mut slot = 0;
+    while slot < b.pointers().len() {
+        let even = live.iter().find(|&&(i, ..)| i == slot);
+        let odd = live.iter().find(|&&(i, ..)| i == slot + 1);
+        match (even, odd) {
+            (Some(&(_, re, _)), Some(&(_, ro, _))) => {
+                let _ = writeln!(out, "  home -> root {re} (Inv, also invalidate root {ro})");
+                home_msgs += 1;
+            }
+            (Some(&(_, re, _)), None) => {
+                let _ = writeln!(out, "  home -> root {re} (Inv)");
+                home_msgs += 1;
+            }
+            (None, Some(&(_, ro, _))) => {
+                let _ = writeln!(out, "  home -> root {ro} (Inv)");
+                home_msgs += 1;
+            }
+            (None, None) => {}
+        }
+        slot += 2;
+    }
+    let max_level = live.iter().map(|&(_, _, l)| l).max().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "  home sends {home_msgs} Inv(s) and waits {home_msgs} ack(s);"
+    );
+    let _ = writeln!(
+        out,
+        "  invalidation depth = tallest tree level = {max_level} \
+         (a balanced binary tree of 15 nodes has 4 levels)"
+    );
+    out
+}
+
+/// **§2 memory-requirement formulas** (experiment E11): total directory
+/// bits per protocol as the machine grows.
+pub fn memory_overhead() -> String {
+    // Table 5 machine: 16 KB caches of 8-byte blocks; give each node the
+    // same amount of shared memory as cache for a like-for-like ratio, and
+    // also show a memory-heavy configuration.
+    let cache_blocks = 2048u64;
+    let mem_blocks = 16 * 1024; // 128 KB of shared memory per node
+    let protocols = [
+        ProtocolKind::FullMap,
+        ProtocolKind::LimitedNB { pointers: 4 },
+        ProtocolKind::LimitLess { pointers: 4 },
+        ProtocolKind::SinglyList,
+        ProtocolKind::Sci,
+        ProtocolKind::Stp { arity: 2 },
+        ProtocolKind::SciTree,
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 2,
+            arity: 2,
+        },
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Directory memory (KiB machine-wide), {mem_blocks} memory blocks and \
+         {cache_blocks} cache lines per node:"
+    );
+    let sizes = [8u32, 16, 32, 64, 256, 1024];
+    let mut header: Vec<String> = vec!["protocol".into()];
+    header.extend(sizes.iter().map(|n| format!("n={n}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = AsciiTable::new(&header_refs);
+    for kind in protocols {
+        let mut row = vec![kind.name()];
+        for &n in &sizes {
+            let bits = directory_bits(kind, n, mem_blocks, cache_blocks);
+            row.push(format!("{}", bits / 8 / 1024));
+        }
+        t.row(&row);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "Full-map grows as B·n² while Dir_iTree_k grows as B·n·2i·log n + C·k·log n (§3)."
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Sweep-runner studies (ours)
+// ---------------------------------------------------------------------
+
+/// Cells of a sweep grid keyed for quick lookup by (protocol, nodes).
+fn cell(cells: &[RecordCell], protocol: ProtocolKind, nodes: u32) -> &RecordCell {
+    cells
+        .iter()
+        .find(|c| c.protocol == protocol && c.nodes == nodes)
+        .unwrap_or_else(|| panic!("missing cell {} @ {nodes}", protocol.name()))
+}
+
+/// **Experiment E14** — Weber-Gupta-style invalidation profile: how many
+/// other processors hold a copy at the instant of each write.
+pub fn sharing_profile(runner: &Runner) -> String {
+    let nodes = 16;
+    let apps = [
+        WorkloadKind::Mp3d {
+            particles: 600,
+            steps: 4,
+        },
+        WorkloadKind::Lu { n: 48 },
+        WorkloadKind::Floyd {
+            vertices: 32,
+            seed: 1996,
+        },
+        WorkloadKind::Fft { points: 512 },
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Sharing degree at writes ({nodes} processors, full-map bookkeeping):"
+    );
+    let mut t = AsciiTable::new(&[
+        "workload", "writes", "mean", "p50", "p90", "max", "<= 4 (%)",
+    ]);
+    for w in apps {
+        let cells = record_grid(
+            runner,
+            &format!("sharing-{}", w.name().replace(['(', ')', ',', 'x'], "_")),
+            w,
+            &[nodes],
+            &[ProtocolKind::FullMap],
+            MachineConfig::paper_default,
+        );
+        let h = &cell(&cells, ProtocolKind::FullMap, nodes)
+            .record
+            .sharers_at_write;
+        // Fraction of writes with at most 4 sharers, from the bucketed
+        // histogram: p such that percentile(p) <= 4.
+        let mut le4 = 0.0;
+        for pct in (1..=100).rev() {
+            if h.percentile(pct as f64) <= 4 {
+                le4 = pct as f64;
+                break;
+            }
+        }
+        t.row(&[
+            w.name(),
+            h.count().to_string(),
+            format!("{:.2}", h.mean()),
+            h.percentile(50.0).to_string(),
+            h.percentile(90.0).to_string(),
+            h.max().to_string(),
+            format!("{le4:.0}"),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "The paper (after Weber & Gupta, ASPLOS-III) uses the prevalence of\n\
+         low sharing degrees to size the directory at i = 4 pointers; writes\n\
+         that do see wide sharing (Floyd's row k) are exactly where the tree\n\
+         fan-out pays off."
+    );
+    out
+}
+
+/// **§1 motivation (ours)** — why non-bus networks and directories at
+/// all: the shared bus saturates as processors are added, the binary
+/// n-cube keeps scaling.
+pub fn bus_vs_cube(runner: &Runner) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Snooping bus vs. directory n-cube (Floyd-Warshall 24v):"
+    );
+    let mut t = AsciiTable::new(&[
+        "procs",
+        "snoop/bus cycles",
+        "fm/bus cycles",
+        "fm/cube cycles",
+        "Dir4Tree2/cube cycles",
+        "snoop-bus / tree-cube",
+    ]);
+    let w = WorkloadKind::Floyd {
+        vertices: 24,
+        seed: 1996,
+    };
+    let sizes = [2u32, 4, 8, 16, 32];
+    let tree = ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2,
+    };
+    let bus_config = |nodes: u32| {
+        let mut c = MachineConfig::paper_default(nodes);
+        c.net = NetworkConfig::bus();
+        c
+    };
+    let bus_cells = record_grid(
+        runner,
+        "bus-vs-cube-bus",
+        w,
+        &sizes,
+        &[ProtocolKind::Snoop, ProtocolKind::FullMap],
+        bus_config,
+    );
+    let cube_cells = record_grid(
+        runner,
+        "bus-vs-cube-cube",
+        w,
+        &sizes,
+        &[ProtocolKind::FullMap, tree],
+        MachineConfig::paper_default,
+    );
+    for nodes in sizes {
+        let snoop = cell(&bus_cells, ProtocolKind::Snoop, nodes).record.cycles;
+        let fm_bus = cell(&bus_cells, ProtocolKind::FullMap, nodes).record.cycles;
+        let fm_cube = cell(&cube_cells, ProtocolKind::FullMap, nodes)
+            .record
+            .cycles;
+        let tree_cube = cell(&cube_cells, tree, nodes).record.cycles;
+        t.row(&[
+            nodes.to_string(),
+            snoop.to_string(),
+            fm_bus.to_string(),
+            fm_cube.to_string(),
+            tree_cube.to_string(),
+            format!("{:.2}", snoop as f64 / tree_cube as f64),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "The paper's §1 premise: \"the single bus becomes the bottleneck in the\n\
+         system\" — motivating point-to-point networks and, because they lack a\n\
+         broadcast medium, directory-based coherence."
+    );
+    out
+}
+
+/// **Beyond the paper (ours)** — extends the Figure 10 comparison to 64
+/// and 128 processors. Not in [`registry`]; run via the `scaling` binary.
+pub fn scaling(runner: &Runner) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Scaling beyond the paper (Floyd-Warshall 64v, normalized to full-map):"
+    );
+    let mut t = AsciiTable::new(&[
+        "procs",
+        "fm cycles",
+        "Dir4Tree2",
+        "Dir8Tree2",
+        "Dir4NB",
+        "fm dir KiB",
+        "Dir4Tree2 dir KiB",
+    ]);
+    let w = WorkloadKind::Floyd {
+        vertices: 64,
+        seed: 1996,
+    };
+    let t4k = ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2,
+    };
+    let t8k = ProtocolKind::DirTree {
+        pointers: 8,
+        arity: 2,
+    };
+    let l4k = ProtocolKind::LimitedNB { pointers: 4 };
+    let sizes = [8u32, 16, 32, 64, 128];
+    let cells = record_grid(
+        runner,
+        "scaling",
+        w,
+        &sizes,
+        &[ProtocolKind::FullMap, t4k, t8k, l4k],
+        MachineConfig::paper_default,
+    );
+    for nodes in sizes {
+        let fm = cell(&cells, ProtocolKind::FullMap, nodes).record.cycles;
+        let mem_blocks = 16 * 1024;
+        let fm_bits = directory_bits(ProtocolKind::FullMap, nodes, mem_blocks, 0);
+        let t4_bits = directory_bits(t4k, nodes, mem_blocks, 0);
+        t.row(&[
+            nodes.to_string(),
+            fm.to_string(),
+            format!("{:.3}", cell(&cells, t4k, nodes).normalized),
+            format!("{:.3}", cell(&cells, t8k, nodes).normalized),
+            format!("{:.3}", cell(&cells, l4k, nodes).normalized),
+            (fm_bits / 8 / 1024).to_string(),
+            (t4_bits / 8 / 1024).to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "The performance gap and the directory-memory gap both widen with\n\
+         machine size — the paper's conclusion, extrapolated."
+    );
+    out
+}
+
+/// **Sensitivity study (ours)** — how the Figure-10 protocol ranking
+/// responds to the simulator knobs the paper fixes silently.
+pub fn sensitivity(runner: &Runner) -> String {
+    let w = WorkloadKind::Floyd {
+        vertices: 32,
+        seed: 1996,
+    };
+    let t4k = ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2,
+    };
+    let l1k = ProtocolKind::LimitedNB { pointers: 1 };
+    let base = MachineConfig::paper_default(16);
+
+    let mut rows: Vec<(String, MachineConfig)> = vec![("paper (Table 5)".into(), base)];
+
+    let mut no_contention = base;
+    no_contention.net.contention = false;
+    rows.push(("no link contention".into(), no_contention));
+
+    let mut wide_links = base;
+    wide_links.net.link_width_bits = 64;
+    rows.push(("64-bit links".into(), wide_links));
+
+    let mut small_cache = base;
+    small_cache.cache = CacheConfig {
+        lines: 256,
+        associativity: 256,
+    };
+    rows.push(("2 KB caches (replacement pressure)".into(), small_cache));
+
+    let mut slow_memory = base;
+    slow_memory.mem_latency = 20;
+    rows.push(("20-cycle memory".into(), slow_memory));
+
+    let mut torus = base;
+    torus.topology = TopologyKind::KaryNcube { radix: 4 };
+    rows.push(("4-ary 2-cube (torus) instead of hypercube".into(), torus));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Sensitivity of the Floyd-Warshall ranking (16 procs), normalized to full-map:"
+    );
+    let mut t = AsciiTable::new(&["configuration", "fm cycles", "Dir4Tree2", "Dir1NB"]);
+    for (i, (name, config)) in rows.iter().enumerate() {
+        let cells = record_grid(
+            runner,
+            &format!("sensitivity-{i}"),
+            w,
+            &[16],
+            &[ProtocolKind::FullMap, t4k, l1k],
+            |_| *config,
+        );
+        let fm = cell(&cells, ProtocolKind::FullMap, 16).record.cycles as f64;
+        t.row(&[
+            name.clone(),
+            format!("{fm:.0}"),
+            format!("{:.3}", cell(&cells, t4k, 16).normalized),
+            format!("{:.3}", cell(&cells, l1k, 16).normalized),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "The qualitative ranking (Dir4Tree2 ~ full-map << Dir1NB) should be\n\
+         robust to these knobs; replacement pressure is the one regime where\n\
+         Dir_iTree_k pays its silent-subtree-kill cost."
+    );
+    out
+}
+
+/// **Ablation E12** — Dir₄Tree₂ replacement policy: silent subtree kill
+/// (the paper) vs. eager home notification.
+pub fn ablation_replacement(runner: &Runner) -> String {
+    let kind = ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2,
+    };
+    // A cache-thrashing workload plus Floyd (the paper's high-sharing app).
+    let workloads = [
+        WorkloadKind::Storm {
+            words: 4096,
+            passes: 3,
+        },
+        WorkloadKind::Floyd {
+            vertices: 32,
+            seed: 1996,
+        },
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation E12: Dir4Tree2 replacement policy (16 procs, small cache)"
+    );
+    let mut t = AsciiTable::new(&[
+        "workload",
+        "policy",
+        "cycles",
+        "msgs",
+        "repl-invs",
+        "read-miss lat",
+    ]);
+    for (wi, w) in workloads.into_iter().enumerate() {
+        for silent in [true, false] {
+            let configure = |nodes: u32| {
+                let mut config = MachineConfig::paper_default(nodes);
+                // A small cache makes replacements frequent.
+                config.cache = CacheConfig {
+                    lines: 256,
+                    associativity: 256,
+                };
+                config.protocol.dir_tree_silent_replace = silent;
+                config
+            };
+            let cells = record_grid(
+                runner,
+                &format!(
+                    "ablation-replacement-{wi}-{}",
+                    if silent { "silent" } else { "notify" }
+                ),
+                w,
+                &[16],
+                &[kind],
+                configure,
+            );
+            let r = &cell(&cells, kind, 16).record;
+            t.row(&[
+                w.name(),
+                if silent {
+                    "silent (paper)"
+                } else {
+                    "notify home"
+                }
+                .into(),
+                r.cycles.to_string(),
+                r.critical_messages().to_string(),
+                r.replacement_invalidations.to_string(),
+                format!("{:.1}", r.read_miss_latency.mean()),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "The paper argues silent replacement is cheap because most replaced\n\
+         blocks are leaves; the notify-home policy pays a message per eviction\n\
+         to keep directory pointers precise."
+    );
+    out
+}
+
+/// **Ablation E13** — Dir₈Tree₂ invalidation pairing: even→odd root
+/// forwarding (the paper) vs. the home sending every root its own
+/// invalidation.
+pub fn ablation_pairing(runner: &Runner) -> String {
+    let kind = ProtocolKind::DirTree {
+        pointers: 8,
+        arity: 2,
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation E13: Dir8Tree2 invalidation pairing (32 procs)"
+    );
+    let mut t = AsciiTable::new(&[
+        "workload",
+        "policy",
+        "cycles",
+        "msgs",
+        "write-miss lat (mean)",
+        "write-miss lat (max)",
+        "hottest controller (busy cyc)",
+    ]);
+    for (wi, w) in [
+        WorkloadKind::Sharing {
+            blocks: 16,
+            rounds: 40,
+        },
+        WorkloadKind::Floyd {
+            vertices: 24,
+            seed: 1996,
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for pairing in [true, false] {
+            let configure = |nodes: u32| {
+                let mut config = MachineConfig::paper_default(nodes);
+                config.protocol.dir_tree_pairing = pairing;
+                config
+            };
+            let cells = record_grid(
+                runner,
+                &format!(
+                    "ablation-pairing-{wi}-{}",
+                    if pairing { "paired" } else { "flat" }
+                ),
+                w,
+                &[32],
+                &[kind],
+                configure,
+            );
+            let r = &cell(&cells, kind, 32).record;
+            t.row(&[
+                w.name(),
+                if pairing {
+                    "even->odd (paper)"
+                } else {
+                    "home sends all"
+                }
+                .into(),
+                r.cycles.to_string(),
+                r.critical_messages().to_string(),
+                format!("{:.1}", r.write_miss_latency.mean()),
+                r.write_miss_latency.max().to_string(),
+                r.max_controller_busy.to_string(),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "Pairing halves the acknowledgements converging on the home module,\n\
+         relieving the hot-spot the paper calls out in §3 (write miss)."
+    );
+    out
+}
+
+/// **Ablation (extension)** — invalidation vs. update writes for
+/// Dir₄Tree₂.
+pub fn ablation_update(runner: &Runner) -> String {
+    let inval = ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2,
+    };
+    let update = ProtocolKind::DirTreeUpdate {
+        pointers: 4,
+        arity: 2,
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Extension ablation: Dir4Tree2 invalidation vs. update writes (16 procs)"
+    );
+    let mut t = AsciiTable::new(&["workload", "protocol", "cycles", "msgs", "bytes"]);
+    for (wi, w) in [
+        // Producer/consumer: one writer, many prompt readers — update's home turf.
+        WorkloadKind::Sharing {
+            blocks: 8,
+            rounds: 30,
+        },
+        // Migratory RMW: each processor writes in turn — invalidation's home turf.
+        WorkloadKind::Migratory {
+            blocks: 8,
+            rounds: 32,
+        },
+        // A real app mix.
+        WorkloadKind::Floyd {
+            vertices: 24,
+            seed: 1996,
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let cells = record_grid(
+            runner,
+            &format!("ablation-update-{wi}"),
+            w,
+            &[16],
+            &[inval, update],
+            MachineConfig::paper_default,
+        );
+        for kind in [inval, update] {
+            let r = &cell(&cells, kind, 16).record;
+            t.row(&[
+                w.name(),
+                kind.name(),
+                r.cycles.to_string(),
+                r.critical_messages().to_string(),
+                r.bytes.to_string(),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "Update writes keep consumers' copies warm (no refetch after a write)\n\
+         but pay a full home transaction for every store and push data bytes\n\
+         to all sharers; invalidation pays refetches instead."
+    );
+    out
+}
+
+/// **Ablation (extension)** — the `k` in Dir₄Tree_k: what wider
+/// cache-block fan-out would buy.
+pub fn ablation_arity(runner: &Runner) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Dir4Tree_k arity ablation (32 procs, Floyd 32v):");
+    let mut t = AsciiTable::new(&[
+        "arity k",
+        "cycles",
+        "norm vs k=2",
+        "write-miss lat",
+        "cache bits/line (n=32)",
+    ]);
+    let w = WorkloadKind::Floyd {
+        vertices: 32,
+        seed: 1996,
+    };
+    let kinds: Vec<ProtocolKind> = [2u32, 3, 4]
+        .iter()
+        .map(|&arity| ProtocolKind::DirTree { pointers: 4, arity })
+        .collect();
+    let cells = record_grid(
+        runner,
+        "ablation-arity",
+        w,
+        &[32],
+        &kinds,
+        MachineConfig::paper_default,
+    );
+    let base = cell(&cells, kinds[0], 32).record.cycles;
+    for kind in kinds {
+        let r = &cell(&cells, kind, 32).record;
+        let bits = build_protocol(kind, ProtocolParams::default()).cache_bits_per_line(32);
+        let arity = match kind {
+            ProtocolKind::DirTree { arity, .. } => arity,
+            _ => unreachable!(),
+        };
+        t.row(&[
+            arity.to_string(),
+            r.cycles.to_string(),
+            format!("{:.3}", r.cycles as f64 / base as f64),
+            format!("{:.1}", r.write_miss_latency.mean()),
+            bits.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "k = 2 is the paper's choice; wider arity flattens the invalidation\n\
+         trees slightly at the cost of log n bits per extra child pointer."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::SweepOptions;
+
+    #[test]
+    fn registry_matches_reproduce_all_set() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 17);
+        assert!(names.contains(&"table1") && names.contains(&"ablation_arity"));
+        assert!(!names.contains(&"scaling"), "scaling is opt-in only");
+    }
+
+    #[test]
+    fn analytic_experiments_render() {
+        assert!(table3().contains("N1(j)"));
+        assert!(table4().contains("Table 4"));
+        assert!(tree_shapes().contains("Figure 7"));
+        assert!(memory_overhead().contains("FullMap"));
+    }
+
+    #[test]
+    fn sweep_experiment_plumbing_works_on_a_tiny_grid() {
+        let dir =
+            std::env::temp_dir().join(format!("dirtree-experiments-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = Runner::new(SweepOptions {
+            jobs: 2,
+            no_cache: false,
+            out_dir: dir.clone(),
+        });
+        let t4 = ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        };
+        let cells = record_grid(
+            &runner,
+            "tiny",
+            WorkloadKind::Floyd {
+                vertices: 8,
+                seed: 1996,
+            },
+            &[4],
+            &[ProtocolKind::FullMap, t4],
+            MachineConfig::test_default,
+        );
+        assert_eq!(cells.len(), 2);
+        assert!((cell(&cells, ProtocolKind::FullMap, 4).normalized - 1.0).abs() < 1e-12);
+        assert!(cell(&cells, t4, 4).normalized > 0.0);
+        assert!(runner.failures().is_empty());
+        assert!(dir.join("tiny.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

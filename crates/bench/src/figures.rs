@@ -1,60 +1,206 @@
-//! Shared driver for the Figure 8–11 binaries.
+//! Record-based figure grids on top of the sweep runner.
+//!
+//! The Figures 8–11 presentation (protocols × machine sizes, execution
+//! time normalized to full-map per size) used to be rebuilt as a
+//! sequential loop in every binary; it is now one [`record_grid`] call
+//! that the parallel, cached [`Runner`] serves.
 
-use dirtree_analysis::experiments::{figure_grid, render_grid};
-use dirtree_analysis::report::grid_to_csv;
+use crate::runner::Runner;
+use crate::sweep::{RunRecord, SweepConfig, SweepSpec};
+use dirtree_analysis::tables::{norm, AsciiTable};
 use dirtree_core::protocol::ProtocolKind;
 use dirtree_machine::MachineConfig;
+use dirtree_sim::FxHashMap;
 use dirtree_workloads::WorkloadKind;
+use std::fmt::Write as _;
 
 /// Node counts used in the paper's figures.
 pub const PAPER_SIZES: [u32; 3] = [8, 16, 32];
 
+/// One cell of a figure grid: the run's record plus its execution time
+/// relative to full-map at the same node count.
+#[derive(Clone, Debug)]
+pub struct RecordCell {
+    pub protocol: ProtocolKind,
+    pub nodes: u32,
+    pub normalized: f64,
+    pub record: RunRecord,
+}
+
+/// Run `protocols × node_counts` of one workload through the runner and
+/// normalize to the full-map baseline per node count. Full-map is
+/// simulated for the baseline even when it is not in `protocols`.
+pub fn record_grid(
+    runner: &Runner,
+    spec_name: &str,
+    workload: WorkloadKind,
+    node_counts: &[u32],
+    protocols: &[ProtocolKind],
+    configure: impl Fn(u32) -> MachineConfig,
+) -> Vec<RecordCell> {
+    let mut spec = SweepSpec::new(spec_name);
+    for &nodes in node_counts {
+        if !protocols.contains(&ProtocolKind::FullMap) {
+            spec.push(SweepConfig::new(
+                configure(nodes),
+                ProtocolKind::FullMap,
+                workload,
+            ));
+        }
+        for &protocol in protocols {
+            spec.push(SweepConfig::new(configure(nodes), protocol, workload));
+        }
+    }
+    let outcome = runner.run(&spec);
+    let by_key: FxHashMap<&str, &RunRecord> = outcome
+        .records
+        .iter()
+        .map(|r| (r.key.as_str(), r))
+        .collect();
+    let record_for = |nodes: u32, protocol: ProtocolKind| -> &RunRecord {
+        let key = SweepConfig::new(configure(nodes), protocol, workload).key();
+        by_key.get(key.as_str()).unwrap_or_else(|| {
+            panic!(
+                "no record for {key} — the simulation failed: {:?}",
+                outcome
+                    .failures
+                    .iter()
+                    .map(|f| f.message.as_str())
+                    .collect::<Vec<_>>()
+            )
+        })
+    };
+    let mut cells = Vec::new();
+    for &nodes in node_counts {
+        let base_cycles = record_for(nodes, ProtocolKind::FullMap).cycles.max(1);
+        for &protocol in protocols {
+            let record = record_for(nodes, protocol).clone();
+            cells.push(RecordCell {
+                protocol,
+                nodes,
+                normalized: record.cycles as f64 / base_cycles as f64,
+                record,
+            });
+        }
+    }
+    cells
+}
+
+/// Render a grid as the paper presents it: one row per protocol, one
+/// column per machine size, normalized execution time.
+pub fn render_record_grid(title: &str, cells: &[RecordCell], node_counts: &[u32]) -> String {
+    let mut header: Vec<String> = vec!["protocol".into()];
+    header.extend(node_counts.iter().map(|n| format!("{n} procs")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = AsciiTable::new(&header_refs);
+    let mut protocols: Vec<ProtocolKind> = Vec::new();
+    for c in cells {
+        if !protocols.contains(&c.protocol) {
+            protocols.push(c.protocol);
+        }
+    }
+    for p in protocols {
+        let mut row = vec![p.name()];
+        for &n in node_counts {
+            let cell = cells
+                .iter()
+                .find(|c| c.protocol == p && c.nodes == n)
+                .expect("missing grid cell");
+            row.push(norm(cell.normalized));
+        }
+        t.row(&row);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Machine-readable companion CSV (same columns as the pre-runner
+/// `grid_to_csv`, fed from records).
+pub fn records_to_csv(cells: &[RecordCell]) -> String {
+    let mut out = String::from(
+        "protocol,figure_label,nodes,cycles,normalized,messages,fill_acks,\
+         invalidations,replacement_invalidations,read_misses,write_misses,\
+         read_miss_latency_mean,write_miss_latency_mean,net_bytes,\
+         max_controller_busy\n",
+    );
+    for c in cells {
+        let r = &c.record;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{},{},{},{},{},{},{:.3},{:.3},{},{}",
+            r.protocol,
+            c.protocol.figure_label(),
+            r.nodes,
+            r.cycles,
+            c.normalized,
+            r.messages,
+            r.fill_acks,
+            r.invalidations,
+            r.replacement_invalidations,
+            r.read_misses,
+            r.write_misses,
+            r.read_miss_latency.mean(),
+            r.write_miss_latency.mean(),
+            r.net_bytes,
+            r.max_controller_busy,
+        );
+    }
+    out
+}
+
 /// Run one figure: the workload across the paper's nine protocol
-/// configurations and three machine sizes, printing normalized execution
-/// times (full-map = 1.000).
-pub fn run_figure(title: &str, workload: WorkloadKind) {
+/// configurations and three machine sizes. Returns the report text
+/// (normalized grid + companion stats) and writes the CSV companion
+/// under `target/figures/`.
+pub fn run_figure(runner: &Runner, title: &str, workload: WorkloadKind) -> String {
     let protocols: Vec<ProtocolKind> = ProtocolKind::figure_set();
-    let config = MachineConfig::paper_default(8);
+    let slug = workload.name().replace(['(', ')', ',', 'x'], "_");
     eprintln!(
         "running {} × {} machine sizes of {} (config fingerprint {:#x}) ...",
         protocols.len(),
         PAPER_SIZES.len(),
         workload.name(),
-        config.fingerprint(),
+        MachineConfig::paper_default(8).fingerprint(),
     );
     let t0 = std::time::Instant::now();
-    let cells = figure_grid(workload, &PAPER_SIZES, &protocols, MachineConfig::paper_default);
-    println!(
-        "{}",
-        render_grid(
-            &format!("{title} — normalized execution time ({})", workload.name()),
-            &cells,
-            &PAPER_SIZES,
-        )
+    let cells = record_grid(
+        runner,
+        &format!("figure-{slug}"),
+        workload,
+        &PAPER_SIZES,
+        &protocols,
+        MachineConfig::paper_default,
     );
+    let mut report = render_record_grid(
+        &format!("{title} — normalized execution time ({})", workload.name()),
+        &cells,
+        &PAPER_SIZES,
+    );
+    report.push('\n');
     // Machine-readable companion (for external plotting).
     let csv_dir = std::path::Path::new("target/figures");
     let _ = std::fs::create_dir_all(csv_dir);
-    let csv_path = csv_dir.join(format!(
-        "{}.csv",
-        workload.name().replace(['(', ')', ',', 'x'], "_")
-    ));
-    if std::fs::write(&csv_path, grid_to_csv(&cells)).is_ok() {
+    let csv_path = csv_dir.join(format!("{slug}.csv"));
+    if std::fs::write(&csv_path, records_to_csv(&cells)).is_ok() {
         eprintln!("wrote {}", csv_path.display());
     }
     // Companion statistics the paper discusses qualitatively.
-    println!("protocol @32 procs: misses, msgs/op, invalidations, repl-invs, mean write-miss latency");
+    let _ = writeln!(
+        report,
+        "protocol @32 procs: misses, msgs/op, invalidations, repl-invs, mean write-miss latency"
+    );
     for c in cells.iter().filter(|c| c.nodes == 32) {
-        let s = &c.outcome.stats;
-        println!(
+        let r = &c.record;
+        let _ = writeln!(
+            report,
             "  {:<12} misses={:<8} msgs/op={:<6.2} invs={:<7} repl={:<6} wlat={:.0}",
-            c.protocol.name(),
-            s.read_misses + s.write_misses,
-            s.critical_messages() as f64 / s.total_ops().max(1) as f64,
-            s.invalidations,
-            s.replacement_invalidations,
-            s.write_miss_latency.mean(),
+            r.protocol,
+            r.read_misses + r.write_misses,
+            r.critical_messages() as f64 / r.total_ops().max(1) as f64,
+            r.invalidations,
+            r.replacement_invalidations,
+            r.write_miss_latency.mean(),
         );
     }
     eprintln!("done in {:.1?}", t0.elapsed());
+    report
 }

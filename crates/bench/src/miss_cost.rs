@@ -76,10 +76,7 @@ pub fn write_miss_latency_measured(kind: ProtocolKind, p: u32) -> f64 {
         .collect();
     active.push((
         nodes - 1,
-        vec![
-            DriverOp::Work((p as u64 + 2) * GAP),
-            DriverOp::Write(BLOCK),
-        ],
+        vec![DriverOp::Work((p as u64 + 2) * GAP), DriverOp::Write(BLOCK)],
     ));
     let mut machine = Machine::new(config, kind);
     let mut driver = ScriptDriver::sparse(nodes, active);
@@ -101,7 +98,10 @@ mod tests {
 
     #[test]
     fn dir_tree_read_is_always_two() {
-        let kind = ProtocolKind::DirTree { pointers: 4, arity: 2 };
+        let kind = ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        };
         for p in [1, 2, 5, 9, 15] {
             assert_eq!(read_miss_cost(kind, p), 2, "p = {p}");
         }

@@ -160,7 +160,12 @@ impl DirTree {
 
     /// Figure 6: insert `requester` into the forest, returning the roots it
     /// must adopt as children (empty for cases 1 and 2).
-    fn insert_sharer(&mut self, ctx: &mut dyn ProtoCtx, addr: Addr, requester: NodeId) -> Vec<NodeId> {
+    fn insert_sharer(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        addr: Addr,
+        requester: NodeId,
+    ) -> Vec<NodeId> {
         let arity = self.arity as usize;
         let e = self.entry(addr);
         // Case 1: already recorded (e.g. silently replaced, now re-reading).
@@ -380,7 +385,14 @@ impl DirTree {
         }
     }
 
-    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, src: NodeId, evict: bool) {
+    fn handle_wb(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        home: NodeId,
+        addr: Addr,
+        src: NodeId,
+        evict: bool,
+    ) {
         let e = self.entry(addr);
         if e.wait_wb {
             e.wait_wb = false;
@@ -704,7 +716,14 @@ impl Protocol for DirTree {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
@@ -880,10 +899,7 @@ mod tests {
             ]
         );
         ctx.read(&mut p, 3, A); // merge: 3 adopts 1 and 2
-        assert_eq!(
-            p.forest(A),
-            vec![Some(Ptr { node: 3, level: 2 }), None]
-        );
+        assert_eq!(p.forest(A), vec![Some(Ptr { node: 3, level: 2 }), None]);
         assert_eq!(p.children_of(3, A), &[1, 2]);
         ctx.read(&mut p, 4, A); // free slot
         ctx.read(&mut p, 5, A); // push down: 5 adopts 4 (levels 2 and 1 differ)
@@ -896,10 +912,7 @@ mod tests {
         );
         assert_eq!(p.children_of(5, A), &[4]);
         ctx.read(&mut p, 6, A); // merge 3 and 5 under 6
-        assert_eq!(
-            p.forest(A),
-            vec![Some(Ptr { node: 6, level: 3 }), None]
-        );
+        assert_eq!(p.forest(A), vec![Some(Ptr { node: 6, level: 3 }), None]);
         assert_eq!(p.children_of(6, A), &[3, 5]);
     }
 
@@ -1130,8 +1143,8 @@ mod tests {
         assert_eq!(p.children_of(3, A), &[1, 2]);
         let mark = ctx.mark();
         ctx.write(&mut p, 3, A); // 3 is the sole root
-        // req + grant + 2 self-issued invs + 2 acks = 6, still cheaper
-        // than bouncing an Inv off the home.
+                                 // req + grant + 2 self-issued invs + 2 acks = 6, still cheaper
+                                 // than bouncing an Inv off the home.
         assert_eq!(ctx.critical_since(mark), 6);
         assert!(!ctx.line_state(1, A).readable());
         assert!(!ctx.line_state(2, A).readable());
@@ -1147,8 +1160,8 @@ mod tests {
         ctx.read(&mut p, 7, A); // ptr1
         let mark = ctx.mark();
         ctx.write(&mut p, 7, A); // the odd partner upgrades
-        // Home invalidates only node 5 (no `also` back to the writer):
-        // req + inv(5) + ack + grant = 4.
+                                 // Home invalidates only node 5 (no `also` back to the writer):
+                                 // req + inv(5) + ack + grant = 4.
         assert_eq!(ctx.critical_since(mark), 4);
         assert!(!ctx.line_state(5, A).readable());
         assert_eq!(ctx.line_state(7, A), LineState::E);

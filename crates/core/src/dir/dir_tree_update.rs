@@ -86,7 +86,12 @@ impl DirTreeUpdate {
     }
 
     /// Figure 6 insertion (same rules as the invalidation variant).
-    fn insert_sharer(&mut self, ctx: &mut dyn ProtoCtx, addr: Addr, requester: NodeId) -> Vec<NodeId> {
+    fn insert_sharer(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        addr: Addr,
+        requester: NodeId,
+    ) -> Vec<NodeId> {
         let e = self.entry(addr);
         if e.ptrs.iter().flatten().any(|p| p.node == requester) {
             return vec![];
@@ -358,7 +363,14 @@ impl Protocol for DirTreeUpdate {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
@@ -591,6 +603,9 @@ mod tests {
             .iter()
             .filter(|(_, m)| matches!(m.kind, MsgKind::UpdateAck { dir: true }))
             .count();
-        assert!(home_acks <= 2, "pairing should bound home acks, got {home_acks}");
+        assert!(
+            home_acks <= 2,
+            "pairing should bound home acks, got {home_acks}"
+        );
     }
 }

@@ -64,7 +64,9 @@ impl FullMap {
             Msg {
                 addr,
                 src: home,
-                kind: MsgKind::WriteReply { kill_self_subtree: false },
+                kind: MsgKind::WriteReply {
+                    kill_self_subtree: false,
+                },
             },
         );
         self.finish_txn(ctx, home, addr);
@@ -163,7 +165,14 @@ impl FullMap {
         }
     }
 
-    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, src: NodeId, evict: bool) {
+    fn handle_wb(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        home: NodeId,
+        addr: Addr,
+        src: NodeId,
+        evict: bool,
+    ) {
         let e = self.entries.entry(addr).or_default();
         if e.wait_wb {
             // The recall (or a racing eviction writeback) resolves the
@@ -235,7 +244,14 @@ impl Protocol for FullMap {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
@@ -329,7 +345,7 @@ mod tests {
         ctx.read(&mut p, 2, addr);
         let mark = ctx.mark();
         ctx.write(&mut p, 1, addr); // upgrade
-        // req + 1 inv + 1 ack + grant = 4 messages (P = 1 other sharer).
+                                    // req + 1 inv + 1 ack + grant = 4 messages (P = 1 other sharer).
         assert_eq!(ctx.critical_since(mark), 4);
         assert_eq!(ctx.line_state(1, addr), LineState::E);
         assert_eq!(ctx.line_state(2, addr), LineState::Iv);

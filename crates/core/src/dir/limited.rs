@@ -81,7 +81,9 @@ impl Limited {
             Msg {
                 addr,
                 src: home,
-                kind: MsgKind::WriteReply { kill_self_subtree: false },
+                kind: MsgKind::WriteReply {
+                    kill_self_subtree: false,
+                },
             },
         );
         self.finish_txn(ctx, home, addr);
@@ -210,7 +212,14 @@ impl Limited {
         }
     }
 
-    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, src: NodeId, evict: bool) {
+    fn handle_wb(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        home: NodeId,
+        addr: Addr,
+        src: NodeId,
+        evict: bool,
+    ) {
         let e = self.entries.entry(addr).or_default();
         if e.wait_wb {
             e.wait_wb = false;
@@ -286,7 +295,14 @@ impl Protocol for Limited {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
@@ -367,7 +383,7 @@ mod tests {
         ctx.read(&mut p, 2, A);
         let mark = ctx.mark();
         ctx.read(&mut p, 3, A); // overflow: node 1 is invalidated
-        // req + inv + ack + reply = 4 messages.
+                                // req + inv + ack + reply = 4 messages.
         assert_eq!(ctx.critical_since(mark), 4);
         assert!(!ctx.line_state(1, A).readable(), "victim invalidated");
         assert!(ctx.line_state(2, A).readable());
@@ -401,7 +417,10 @@ mod tests {
         assert_eq!(ctx.critical_since(mark), 16);
         assert!(ctx.events.contains(&ProtoEvent::Broadcast));
         for n in 1..=4 {
-            assert!(!ctx.line_state(n, A).readable(), "node {n} survived broadcast");
+            assert!(
+                !ctx.line_state(n, A).readable(),
+                "node {n} survived broadcast"
+            );
         }
         ctx.assert_swmr(A);
     }

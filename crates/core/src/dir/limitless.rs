@@ -65,7 +65,9 @@ impl LimitLess {
             Msg {
                 addr,
                 src: home,
-                kind: MsgKind::WriteReply { kill_self_subtree: false },
+                kind: MsgKind::WriteReply {
+                    kill_self_subtree: false,
+                },
             },
         );
         self.finish_txn(ctx, home, addr);
@@ -149,13 +151,12 @@ impl LimitLess {
             return;
         }
         let spilled = e.sw.len() as u64;
-        let targets: Vec<NodeId> = e
-            .hw
-            .iter()
-            .chain(e.sw.iter())
-            .copied()
-            .filter(|&n| n != requester)
-            .collect();
+        let targets: Vec<NodeId> =
+            e.hw.iter()
+                .chain(e.sw.iter())
+                .copied()
+                .filter(|&n| n != requester)
+                .collect();
         if spilled > 0 {
             // Software walk over the spilled pointers: the paper's
             // "(P − i) software handler delay".
@@ -185,7 +186,14 @@ impl LimitLess {
         }
     }
 
-    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, src: NodeId, evict: bool) {
+    fn handle_wb(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        home: NodeId,
+        addr: Addr,
+        src: NodeId,
+        evict: bool,
+    ) {
         let e = self.entries.entry(addr).or_default();
         if e.wait_wb {
             e.wait_wb = false;
@@ -246,7 +254,14 @@ impl Protocol for LimitLess {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {

@@ -140,9 +140,7 @@ impl Sci {
         // If the upgrading writer is already the head, its successors are
         // purged starting from its own `next`.
         let start = if e.head == Some(requester) {
-            self.links
-                .get(&(requester, addr))
-                .and_then(|l| l.next)
+            self.links.get(&(requester, addr)).and_then(|l| l.next)
         } else {
             old
         };
@@ -226,11 +224,7 @@ impl Sci {
                 self.links.get(&(node, addr)).and_then(|l| l.next)
             }
             // Dead node bridged by a roll-out tombstone (or a cold trail).
-            _ => self
-                .tombstone
-                .get(&(node, addr))
-                .copied()
-                .unwrap_or(None),
+            _ => self.tombstone.get(&(node, addr)).copied().unwrap_or(None),
         };
         ctx.send(
             writer,
@@ -288,7 +282,13 @@ impl Sci {
 
     /// Serve an attach at a live list member: the requester becomes our
     /// predecessor (the new head) and we send it the data.
-    fn serve_attach(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, requester: NodeId) {
+    fn serve_attach(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        node: NodeId,
+        addr: Addr,
+        requester: NodeId,
+    ) {
         let home = ctx.home_of(addr);
         match ctx.line_state(node, addr) {
             // WmIp/WmLip: the target's upgrade is queued behind this read
@@ -382,7 +382,14 @@ impl Protocol for Sci {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
@@ -638,8 +645,8 @@ mod tests {
         let (mut ctx, mut p) = setup(8);
         ctx.read(&mut p, 1, A);
         ctx.read(&mut p, 2, A); // 2-1
-        // Manually create the race: home redirects 3 to 2, but 2 rolls out
-        // before the attach arrives.
+                                // Manually create the race: home redirects 3 to 2, but 2 rolls out
+                                // before the attach arrives.
         ctx.begin_miss(&mut p, 3, A, OpKind::Read);
         // Process only the home's part: pump one message (ReadReq).
         // Then evict 2 so the SciAttachReq finds a tombstone.

@@ -96,7 +96,14 @@ impl Avl {
 
     fn insert_at(&mut self, root: Option<NodeId>, id: NodeId) -> NodeId {
         let Some(cur) = root else {
-            self.nodes.insert(id, AvlN { l: None, r: None, h: 1 });
+            self.nodes.insert(
+                id,
+                AvlN {
+                    l: None,
+                    r: None,
+                    h: 1,
+                },
+            );
             return id;
         };
         if id < cur {
@@ -423,7 +430,9 @@ impl SciTree {
             Msg {
                 addr,
                 src: home,
-                kind: MsgKind::WriteReply { kill_self_subtree: false },
+                kind: MsgKind::WriteReply {
+                    kill_self_subtree: false,
+                },
             },
         );
         self.finish_txn(ctx, home, addr);
@@ -618,7 +627,14 @@ impl Protocol for SciTree {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {

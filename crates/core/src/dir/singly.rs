@@ -143,7 +143,9 @@ impl SinglyList {
                     Msg {
                         addr,
                         src: home,
-                        kind: MsgKind::WriteReply { kill_self_subtree: false },
+                        kind: MsgKind::WriteReply {
+                            kill_self_subtree: false,
+                        },
                     },
                 );
                 if let Some(next) = self.gate.finish(addr) {
@@ -165,7 +167,10 @@ impl SinglyList {
     }
 
     fn handle_chain_done(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr) {
-        let e = self.entries.get_mut(&addr).expect("chain done without entry");
+        let e = self
+            .entries
+            .get_mut(&addr)
+            .expect("chain done without entry");
         let writer = e.pending_writer.take().expect("chain done without writer");
         e.head = Some(writer);
         e.dirty = true;
@@ -174,7 +179,9 @@ impl SinglyList {
             Msg {
                 addr,
                 src: home,
-                kind: MsgKind::WriteReply { kill_self_subtree: false },
+                kind: MsgKind::WriteReply {
+                    kill_self_subtree: false,
+                },
             },
         );
         if let Some(next) = self.gate.finish(addr) {
@@ -300,7 +307,13 @@ impl SinglyList {
     }
 
     /// The redirected old head was dead: serve the requester from memory.
-    fn handle_supply_fail(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, requester: NodeId) {
+    fn handle_supply_fail(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        home: NodeId,
+        addr: Addr,
+        requester: NodeId,
+    ) {
         let e = self.entries.entry(addr).or_default();
         e.dirty = false;
         e.wait_wbdata = false;
@@ -349,7 +362,14 @@ impl Protocol for SinglyList {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
@@ -547,8 +567,8 @@ mod tests {
         }
         ctx.evict(&mut p, 2, A); // kills 1; 3 still points at 2
         ctx.read(&mut p, 2, A); // 2 rejoins at head: 2-3-(dead 2...)
-        // Walk: 2 -> 3 -> 2(dead, Iv) -> done. Must not deadlock and must
-        // deliver exactly one grant.
+                                // Walk: 2 -> 3 -> 2(dead, Iv) -> done. Must not deadlock and must
+                                // deliver exactly one grant.
         ctx.write(&mut p, 5, A);
         ctx.assert_swmr(A);
         assert_eq!(ctx.holders(A), vec![5]);

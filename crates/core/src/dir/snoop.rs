@@ -128,7 +128,14 @@ impl Protocol for Snoop {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
@@ -154,7 +161,10 @@ impl Protocol for Snoop {
                     }
                 }
             }
-            MsgKind::BusWindow { requester, exclusive } => {
+            MsgKind::BusWindow {
+                requester,
+                exclusive,
+            } => {
                 // The snoop window elapsed at the memory: supply the data.
                 ctx.send(
                     requester,
@@ -169,12 +179,20 @@ impl Protocol for Snoop {
                 ctx.set_line_state(
                     node,
                     addr,
-                    if exclusive { LineState::E } else { LineState::V },
+                    if exclusive {
+                        LineState::E
+                    } else {
+                        LineState::V
+                    },
                 );
                 ctx.complete(
                     node,
                     addr,
-                    if exclusive { OpKind::Write } else { OpKind::Read },
+                    if exclusive {
+                        OpKind::Write
+                    } else {
+                        OpKind::Read
+                    },
                 );
                 let home = ctx.home_of(addr);
                 ctx.send(

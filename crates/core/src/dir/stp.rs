@@ -144,7 +144,9 @@ impl Stp {
             Msg {
                 addr,
                 src: home,
-                kind: MsgKind::WriteReply { kill_self_subtree: false },
+                kind: MsgKind::WriteReply {
+                    kill_self_subtree: false,
+                },
             },
         );
         self.finish_txn(ctx, home, addr);
@@ -197,7 +199,14 @@ impl Stp {
         }
     }
 
-    fn handle_wb(&mut self, ctx: &mut dyn ProtoCtx, home: NodeId, addr: Addr, src: NodeId, evict: bool) {
+    fn handle_wb(
+        &mut self,
+        ctx: &mut dyn ProtoCtx,
+        home: NodeId,
+        addr: Addr,
+        src: NodeId,
+        evict: bool,
+    ) {
         let _ = src;
         let e = self.entries.entry(addr).or_default();
         if e.wait_wb {
@@ -457,7 +466,12 @@ impl Stp {
 
     fn handle_fixup(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
         let addr = msg.addr;
-        let MsgKind::StpFixup { remove, add, from_home } = msg.kind else {
+        let MsgKind::StpFixup {
+            remove,
+            add,
+            from_home,
+        } = msg.kind
+        else {
             unreachable!()
         };
         let kids = self.children.entry((node, addr)).or_default();
@@ -555,7 +569,14 @@ impl Protocol for Stp {
             OpKind::Read => MsgKind::ReadReq { requester: node },
             OpKind::Write => MsgKind::WriteReq { requester: node },
         };
-        ctx.send(home, Msg { addr, src: node, kind });
+        ctx.send(
+            home,
+            Msg {
+                addr,
+                src: node,
+                kind,
+            },
+        );
     }
 
     fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {

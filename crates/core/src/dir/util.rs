@@ -99,7 +99,10 @@ impl AckCollectors {
                 remaining,
             },
         );
-        assert!(prev.is_none(), "collector already open at ({node}, {addr:#x})");
+        assert!(
+            prev.is_none(),
+            "collector already open at ({node}, {addr:#x})"
+        );
     }
 
     /// Is a collection in progress at `(node, addr)`?
@@ -247,7 +250,6 @@ impl FlatCacheSide {
         // Otherwise the line was evicted: the WbEvict already in flight
         // (FIFO ahead of any new request from this node) satisfies the home.
     }
-
 }
 
 /// Send an invalidation acknowledgement.
@@ -362,14 +364,8 @@ mod tests {
     fn gate_finish_releases_and_pops_fifo() {
         let mut g = TxnGate::new();
         assert!(g.admit(5, &msg(5)));
-        let m1 = Msg {
-            src: 2,
-            ..msg(5)
-        };
-        let m2 = Msg {
-            src: 3,
-            ..msg(5)
-        };
+        let m1 = Msg { src: 2, ..msg(5) };
+        let m2 = Msg { src: 3, ..msg(5) };
         g.admit(5, &m1);
         g.admit(5, &m2);
         let next = g.finish(5).expect("queued request");

@@ -311,7 +311,11 @@ mod tests {
         assert!(MsgKind::InvAck { dir: true }.to_directory());
         assert!(!MsgKind::InvAck { dir: false }.to_directory());
         assert!(!MsgKind::ReadReply { adopt: vec![] }.to_directory());
-        assert!(!MsgKind::Inv { also: None, from_dir: true }.to_directory());
+        assert!(!MsgKind::Inv {
+            also: None,
+            from_dir: true
+        }
+        .to_directory());
         assert!(!MsgKind::SciPurgeReq.to_directory());
     }
 
@@ -321,8 +325,13 @@ mod tests {
             MsgKind::ReadReq { requester: 0 },
             MsgKind::WriteReq { requester: 0 },
             MsgKind::ReadReply { adopt: vec![] },
-            MsgKind::WriteReply { kill_self_subtree: false },
-            MsgKind::Inv { also: None, from_dir: true },
+            MsgKind::WriteReply {
+                kill_self_subtree: false,
+            },
+            MsgKind::Inv {
+                also: None,
+                from_dir: true,
+            },
             MsgKind::InvAck { dir: true },
             MsgKind::ReplaceInv,
         ];
@@ -332,8 +341,15 @@ mod tests {
 
     #[test]
     fn write_reply_carries_data() {
-        assert!(MsgKind::WriteReply { kill_self_subtree: false }.carries_data());
-        assert!(MsgKind::WbData { for_op: OpKind::Read, requester: 0 }.carries_data());
+        assert!(MsgKind::WriteReply {
+            kill_self_subtree: false
+        }
+        .carries_data());
+        assert!(MsgKind::WbData {
+            for_op: OpKind::Read,
+            requester: 0
+        }
+        .carries_data());
         assert!(!MsgKind::ReplaceInv.carries_data());
     }
 }

@@ -109,7 +109,10 @@ impl ProtocolKind {
             v.push(ProtocolKind::LimitedNB { pointers: i });
         }
         for i in [8, 4, 2, 1] {
-            v.push(ProtocolKind::DirTree { pointers: i, arity: 2 });
+            v.push(ProtocolKind::DirTree {
+                pointers: i,
+                arity: 2,
+            });
         }
         v
     }
@@ -173,9 +176,9 @@ pub fn build_protocol(kind: ProtocolKind, params: ProtocolParams) -> Box<dyn Pro
         ProtocolKind::Sci => Box::new(crate::dir::sci::Sci::new()),
         ProtocolKind::Stp { arity } => Box::new(crate::dir::stp::Stp::new(arity)),
         ProtocolKind::SciTree => Box::new(crate::dir::sci_tree::SciTree::new()),
-        ProtocolKind::DirTree { pointers, arity } => Box::new(
-            crate::dir::dir_tree::DirTree::new(pointers, arity, params),
-        ),
+        ProtocolKind::DirTree { pointers, arity } => {
+            Box::new(crate::dir::dir_tree::DirTree::new(pointers, arity, params))
+        }
         ProtocolKind::DirTreeUpdate { pointers, arity } => Box::new(
             crate::dir::dir_tree_update::DirTreeUpdate::new(pointers, arity, params),
         ),
@@ -192,11 +195,19 @@ mod tests {
         assert_eq!(ProtocolKind::FullMap.figure_label(), "fm");
         assert_eq!(ProtocolKind::LimitedNB { pointers: 4 }.figure_label(), "L4");
         assert_eq!(
-            ProtocolKind::DirTree { pointers: 4, arity: 2 }.figure_label(),
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2
+            }
+            .figure_label(),
             "4"
         );
         assert_eq!(
-            ProtocolKind::DirTree { pointers: 4, arity: 2 }.name(),
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2
+            }
+            .name(),
             "Dir4Tree2"
         );
     }
@@ -228,8 +239,14 @@ mod tests {
             ProtocolKind::Sci,
             ProtocolKind::Stp { arity: 2 },
             ProtocolKind::SciTree,
-            ProtocolKind::DirTree { pointers: 4, arity: 2 },
-            ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 },
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+            ProtocolKind::DirTreeUpdate {
+                pointers: 4,
+                arity: 2,
+            },
             ProtocolKind::Snoop,
         ] {
             let p = build_protocol(kind, params);

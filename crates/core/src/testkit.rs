@@ -112,9 +112,7 @@ impl MockCtx {
 
     /// States of every node's copy of `addr` (length = `nodes`).
     pub fn states_of(&self, addr: Addr) -> Vec<LineState> {
-        (0..self.nodes)
-            .map(|n| self.line_state(n, addr))
-            .collect()
+        (0..self.nodes).map(|n| self.line_state(n, addr)).collect()
     }
 
     /// Nodes currently holding a readable copy of `addr`.

@@ -115,7 +115,12 @@ mod tests {
         ] {
             assert!(st.transient());
         }
-        for st in [LineState::E, LineState::V, LineState::Iv, LineState::NotPresent] {
+        for st in [
+            LineState::E,
+            LineState::V,
+            LineState::Iv,
+            LineState::NotPresent,
+        ] {
             assert!(!st.transient());
         }
     }

@@ -146,8 +146,7 @@ fn run_model(config: CacheConfig, ops: Vec<Op>, addr_space: u64) {
             }
             Op::SetState(a, s) => {
                 let st = decode_state(s);
-                if fast.state(a) != LineState::NotPresent
-                    && slow.state(a) != LineState::NotPresent
+                if fast.state(a) != LineState::NotPresent && slow.state(a) != LineState::NotPresent
                 {
                     fast.set_state(a, st);
                     slow.set_state(a, st);
@@ -170,6 +169,65 @@ fn run_model(config: CacheConfig, ops: Vec<Op>, addr_space: u64) {
                 "state({a:#x}) after op {i}"
             );
         }
+    }
+}
+
+/// Deterministic replay of the shrunken counterexample recorded in
+/// cache_model.proptest-regressions (the vendored proptest shim does not
+/// read that file, so the case is pinned as an ordinary test). Addresses
+/// fit the direct-mapped geometry, but replay under all three geometries
+/// the properties cover.
+#[test]
+fn recorded_counterexample_matches_reference() {
+    use Op::{Allocate, SetState, Touch};
+    let ops = vec![
+        SetState(7, 3),
+        Touch(9),
+        Allocate(2),
+        Allocate(13),
+        SetState(2, 1),
+        Touch(7),
+        Touch(8),
+        Touch(4),
+        Touch(5),
+        Allocate(10),
+        SetState(10, 2),
+        Allocate(5),
+        Touch(1),
+        SetState(15, 1),
+        Allocate(2),
+        Allocate(6),
+        Touch(12),
+        SetState(0, 3),
+        Touch(6),
+        Allocate(13),
+        Allocate(8),
+        SetState(9, 3),
+        SetState(6, 1),
+        Allocate(10),
+        Allocate(5),
+        Touch(7),
+        Touch(4),
+        SetState(12, 1),
+        Allocate(2),
+        SetState(6, 1),
+        Allocate(0),
+    ];
+    for config in [
+        CacheConfig {
+            lines: 8,
+            associativity: 1,
+        },
+        CacheConfig {
+            lines: 16,
+            associativity: 4,
+        },
+        CacheConfig {
+            lines: 8,
+            associativity: 8,
+        },
+    ] {
+        run_model(config, ops.clone(), 16);
     }
 }
 

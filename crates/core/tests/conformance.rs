@@ -23,17 +23,35 @@ fn kinds() -> Vec<ProtocolKind> {
         ProtocolKind::Stp { arity: 2 },
         ProtocolKind::Stp { arity: 3 },
         ProtocolKind::SciTree,
-        ProtocolKind::DirTree { pointers: 1, arity: 2 },
-        ProtocolKind::DirTree { pointers: 2, arity: 2 },
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
-        ProtocolKind::DirTree { pointers: 8, arity: 2 },
-        ProtocolKind::DirTree { pointers: 4, arity: 4 },
+        ProtocolKind::DirTree {
+            pointers: 1,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 2,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 8,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 4,
+        },
         ProtocolKind::Snoop,
     ]
 }
 
 fn fresh(kind: ProtocolKind) -> (MockCtx, Box<dyn Protocol>) {
-    (MockCtx::new(16), build_protocol(kind, ProtocolParams::default()))
+    (
+        MockCtx::new(16),
+        build_protocol(kind, ProtocolParams::default()),
+    )
 }
 
 /// An update-protocol-aware write helper (writers end V, not E, there).
@@ -167,7 +185,10 @@ fn scenario_alternating_read_write_pairs() {
 
 #[test]
 fn update_variant_keeps_copies_valid() {
-    let kind = ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 };
+    let kind = ProtocolKind::DirTreeUpdate {
+        pointers: 4,
+        arity: 2,
+    };
     let (mut ctx, mut p) = fresh(kind);
     for n in 1..=6 {
         ctx.read(&mut *p, n, A);

@@ -80,8 +80,32 @@ conformance!(singly, ProtocolKind::SinglyList);
 conformance!(sci, ProtocolKind::Sci);
 conformance!(stp, ProtocolKind::Stp { arity: 2 });
 conformance!(sci_tree, ProtocolKind::SciTree);
-conformance!(dir1tree2, ProtocolKind::DirTree { pointers: 1, arity: 2 });
-conformance!(dir4tree2, ProtocolKind::DirTree { pointers: 4, arity: 2 });
-conformance!(dir4tree4, ProtocolKind::DirTree { pointers: 4, arity: 4 });
-conformance!(dir4tree2_update, ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 });
+conformance!(
+    dir1tree2,
+    ProtocolKind::DirTree {
+        pointers: 1,
+        arity: 2
+    }
+);
+conformance!(
+    dir4tree2,
+    ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2
+    }
+);
+conformance!(
+    dir4tree4,
+    ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 4
+    }
+);
+conformance!(
+    dir4tree2_update,
+    ProtocolKind::DirTreeUpdate {
+        pointers: 4,
+        arity: 2
+    }
+);
 conformance!(snoop, ProtocolKind::Snoop);

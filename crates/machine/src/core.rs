@@ -103,7 +103,9 @@ impl MachineCore {
         debug_assert!(self.ctrl_scheduled[n]);
         self.ctrl_scheduled[n] = false;
         self.ctrl_extra = 0;
-        self.ctrl_q[n].pop_front().expect("CtrlExec with empty queue")
+        self.ctrl_q[n]
+            .pop_front()
+            .expect("CtrlExec with empty queue")
     }
 
     /// Apply handler-requested extra occupancy and schedule the next
@@ -194,7 +196,8 @@ impl ProtoCtx for MachineCore {
     }
 
     fn redeliver(&mut self, node: NodeId, msg: Msg, delay: Cycle) {
-        self.queue.push(self.queue.now() + delay, Ev::Deliver(node, msg));
+        self.queue
+            .push(self.queue.now() + delay, Ev::Deliver(node, msg));
     }
 
     fn occupy(&mut self, _node: NodeId, cycles: Cycle) {

@@ -121,7 +121,8 @@ impl Machine {
             }
         }
         assert_eq!(
-            self.done_count, self.core.config.nodes,
+            self.done_count,
+            self.core.config.nodes,
             "deadlock: event queue drained with {} of {} processors unfinished \
              (blocked procs: {:?})",
             self.done_count,
@@ -157,7 +158,9 @@ impl Machine {
     }
 
     fn reschedule(&mut self, n: NodeId, delay: Cycle) {
-        self.core.queue.push(self.core.queue.now() + delay, Ev::Proc(n));
+        self.core
+            .queue
+            .push(self.core.queue.now() + delay, Ev::Proc(n));
     }
 
     fn step_processor(&mut self, n: NodeId, driver: &mut dyn Driver) {
@@ -441,13 +444,7 @@ mod tests {
     #[test]
     fn locks_are_mutually_exclusive_and_fair() {
         let scripts = (0..4)
-            .map(|_| {
-                vec![
-                    DriverOp::Lock(7),
-                    DriverOp::Write(0),
-                    DriverOp::Unlock(7),
-                ]
-            })
+            .map(|_| vec![DriverOp::Lock(7), DriverOp::Write(0), DriverOp::Unlock(7)])
             .collect();
         let (out, _) = run_script(4, ProtocolKind::FullMap, scripts);
         assert_eq!(out.stats.lock_acquires, 4);
@@ -461,8 +458,14 @@ mod tests {
             ProtocolKind::LimitedNB { pointers: 2 },
             ProtocolKind::LimitedB { pointers: 2 },
             ProtocolKind::LimitLess { pointers: 2 },
-            ProtocolKind::DirTree { pointers: 4, arity: 2 },
-            ProtocolKind::DirTree { pointers: 1, arity: 2 },
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+            ProtocolKind::DirTree {
+                pointers: 1,
+                arity: 2,
+            },
         ] {
             let scripts = (0..8u64)
                 .map(|n| {
@@ -486,7 +489,10 @@ mod tests {
         // constant evictions with verification on.
         for kind in [
             ProtocolKind::FullMap,
-            ProtocolKind::DirTree { pointers: 4, arity: 2 },
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
         ] {
             let scripts = (0..4u64)
                 .map(|n| {
@@ -501,7 +507,10 @@ mod tests {
                 })
                 .collect();
             let (out, _) = run_script(4, kind, scripts);
-            assert!(out.stats.evictions > 0, "{kind:?}: storm caused no evictions");
+            assert!(
+                out.stats.evictions > 0,
+                "{kind:?}: storm caused no evictions"
+            );
         }
     }
 
@@ -510,7 +519,10 @@ mod tests {
         let mk = || {
             run_script(
                 8,
-                ProtocolKind::DirTree { pointers: 4, arity: 2 },
+                ProtocolKind::DirTree {
+                    pointers: 4,
+                    arity: 2,
+                },
                 (0..8u64)
                     .map(|n| {
                         vec![
@@ -562,7 +574,10 @@ mod tests {
     fn dirty_data_migrates_between_processors() {
         let (out, _) = run_script(
             4,
-            ProtocolKind::DirTree { pointers: 2, arity: 2 },
+            ProtocolKind::DirTree {
+                pointers: 2,
+                arity: 2,
+            },
             vec![
                 vec![DriverOp::Write(0), DriverOp::Barrier(0)],
                 vec![DriverOp::Barrier(0), DriverOp::Read(0), DriverOp::Write(0)],

@@ -83,7 +83,10 @@ impl MsgTrace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                self.dropped
+            ));
         }
         for e in &self.events {
             out.push_str(&e.to_string());

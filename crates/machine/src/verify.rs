@@ -108,11 +108,7 @@ impl Verifier {
     /// A read hit at `node`: its copy must be current.
     pub fn on_read_hit(&self, node: NodeId, addr: Addr) -> Result<(), Violation> {
         let current = self.version_of(addr);
-        let seen = self
-            .copy_version
-            .get(&(node, addr))
-            .copied()
-            .unwrap_or(0);
+        let seen = self.copy_version.get(&(node, addr)).copied().unwrap_or(0);
         if seen != current {
             return Err(Violation {
                 node,
@@ -130,11 +126,7 @@ impl Verifier {
     ) -> Result<(), Violation> {
         for (node, addr) in survivors {
             let current = self.version_of(addr);
-            let seen = self
-                .copy_version
-                .get(&(node, addr))
-                .copied()
-                .unwrap_or(0);
+            let seen = self.copy_version.get(&(node, addr)).copied().unwrap_or(0);
             if seen != current {
                 return Err(Violation {
                     node,
@@ -172,7 +164,10 @@ mod tests {
         let err = v.on_read_hit(3, 7).unwrap_err();
         assert!(matches!(
             err.kind,
-            ViolationKind::StaleRead { seen: 0, current: 1 }
+            ViolationKind::StaleRead {
+                seen: 0,
+                current: 1
+            }
         ));
     }
 

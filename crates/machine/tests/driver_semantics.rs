@@ -2,8 +2,8 @@
 //! scheduling determinism.
 
 use dirtree_core::protocol::ProtocolKind;
-use dirtree_machine::{Driver, DriverOp, Machine, MachineConfig, ScriptDriver};
 use dirtree_core::types::NodeId;
+use dirtree_machine::{Driver, DriverOp, Machine, MachineConfig, ScriptDriver};
 
 fn machine(nodes: u32) -> Machine {
     Machine::new(MachineConfig::test_default(nodes), ProtocolKind::FullMap)
@@ -40,7 +40,11 @@ fn locks_are_fifo_fair() {
         order: order.clone(),
     };
     machine(4).run(&mut d);
-    assert_eq!(*order.borrow(), vec![0, 1, 2, 3], "lock grants must be FIFO");
+    assert_eq!(
+        *order.borrow(),
+        vec![0, 1, 2, 3],
+        "lock grants must be FIFO"
+    );
 }
 
 #[test]
@@ -63,7 +67,13 @@ fn barriers_are_reusable_across_epochs() {
 #[test]
 fn same_barrier_id_can_repeat() {
     let scripts: Vec<Vec<DriverOp>> = (0..4u64)
-        .map(|_| vec![DriverOp::Barrier(0), DriverOp::Barrier(0), DriverOp::Barrier(0)])
+        .map(|_| {
+            vec![
+                DriverOp::Barrier(0),
+                DriverOp::Barrier(0),
+                DriverOp::Barrier(0),
+            ]
+        })
         .collect();
     let out = machine(4).run(&mut ScriptDriver::new(scripts));
     assert_eq!(out.stats.barriers, 3);
@@ -99,7 +109,10 @@ fn nested_locks_do_not_interfere() {
 #[test]
 #[should_panic(expected = "unlock of unknown lock")]
 fn unlock_without_lock_panics() {
-    machine(2).run(&mut ScriptDriver::new(vec![vec![DriverOp::Unlock(9)], vec![]]));
+    machine(2).run(&mut ScriptDriver::new(vec![
+        vec![DriverOp::Unlock(9)],
+        vec![],
+    ]));
 }
 
 #[test]
@@ -131,7 +144,10 @@ fn deterministic_under_many_equal_time_events() {
             .collect();
         Machine::new(
             MachineConfig::test_default(8),
-            ProtocolKind::DirTree { pointers: 4, arity: 2 },
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
         )
         .run(&mut ScriptDriver::new(scripts))
         .cycles

@@ -37,13 +37,21 @@ fn write_miss_is_constant_bus_transactions() {
         let run = |with_write: bool| -> u64 {
             let nodes = 16;
             let mut active: Vec<(u32, Vec<DriverOp>)> = (0..p)
-                .map(|k| (k + 1, vec![DriverOp::Work((k as u64 + 1) * 50_000), DriverOp::Read(0)]))
+                .map(|k| {
+                    (
+                        k + 1,
+                        vec![DriverOp::Work((k as u64 + 1) * 50_000), DriverOp::Read(0)],
+                    )
+                })
                 .collect();
             if with_write {
-                active.push((15, vec![DriverOp::Work(2_000_000), DriverOp::Write(0)]));
+                active.push((
+                    nodes - 1,
+                    vec![DriverOp::Work(2_000_000), DriverOp::Write(0)],
+                ));
             }
-            let mut m = bus_machine(16);
-            let mut d = ScriptDriver::sparse(16, active);
+            let mut m = bus_machine(nodes);
+            let mut d = ScriptDriver::sparse(nodes, active);
             m.run(&mut d).stats.critical_messages()
         };
         run(true) - run(false)

@@ -4,8 +4,14 @@
 use dirtree_core::protocol::ProtocolKind;
 use dirtree_machine::{DriverOp, Machine, MachineConfig, ScriptDriver};
 
-const UPD: ProtocolKind = ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 };
-const INV: ProtocolKind = ProtocolKind::DirTree { pointers: 4, arity: 2 };
+const UPD: ProtocolKind = ProtocolKind::DirTreeUpdate {
+    pointers: 4,
+    arity: 2,
+};
+const INV: ProtocolKind = ProtocolKind::DirTree {
+    pointers: 4,
+    arity: 2,
+};
 
 fn run(kind: ProtocolKind, scripts: Vec<Vec<DriverOp>>) -> dirtree_machine::RunOutcome {
     let mut m = Machine::new(MachineConfig::test_default(scripts.len() as u32), kind);
@@ -56,7 +62,10 @@ fn private_rewrites_are_cheaper_under_invalidation() {
     ];
     let upd = run(UPD, scripts.clone());
     let inv = run(INV, scripts);
-    assert_eq!(inv.stats.write_hits, 29, "invalidation: E hits after the first");
+    assert_eq!(
+        inv.stats.write_hits, 29,
+        "invalidation: E hits after the first"
+    );
     assert_eq!(upd.stats.write_hits, 0, "update: no exclusive state");
     assert!(upd.cycles > inv.cycles);
 }

@@ -125,6 +125,11 @@ impl Network {
         if src == dst {
             return self.config.local_delay;
         }
+        if self.config.fabric == Fabric::Bus {
+            // One arbitration plus full serialization, distance-independent
+            // — must agree with what `send` charges on an idle bus.
+            return self.config.switch_delay + self.serialization_cycles(bytes);
+        }
         let hops = self.topo.distance(src, dst) as Cycle;
         hops * self.config.switch_delay + self.serialization_cycles(bytes)
     }
@@ -322,6 +327,64 @@ mod tests {
         assert_eq!(n.stats().messages, 0);
         let t = n.send(0, 0, 1, 8);
         assert_eq!(t, n.base_latency(0, 1, 8));
+    }
+
+    #[test]
+    fn reset_then_reuse_under_bus_restores_cold_behaviour() {
+        let mut n = Network::new(Topology::hypercube(8), NetworkConfig::bus());
+        // Load the bus so reservations and stats are non-trivial.
+        for src in 0..8u32 {
+            n.send(0, src, (src + 1) % 8, 64);
+        }
+        assert!(n.stats().contention_cycles > 0);
+        n.reset();
+        // Stats fully cleared, including histogram edge values.
+        let s = n.stats();
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.total_hops, 0);
+        assert_eq!(s.contention_cycles, 0);
+        assert_eq!(s.latency.count(), 0);
+        assert_eq!(s.latency.min(), 0);
+        assert_eq!(s.latency.max(), 0);
+        assert_eq!(s.latency.mean(), 0.0);
+        // The first post-reset send sees an idle bus: exactly base latency,
+        // and base latency on the bus is distance-independent.
+        let t = n.send(0, 0, 7, 8);
+        assert_eq!(t, n.base_latency(0, 7, 8));
+        assert_eq!(n.base_latency(0, 7, 8), n.base_latency(0, 1, 8));
+        assert_eq!(n.stats().contention_cycles, 0);
+    }
+
+    #[test]
+    fn bus_uncontended_send_equals_base_latency_at_any_distance() {
+        // Regression: base_latency used to charge hop-count latency under
+        // Fabric::Bus, disagreeing with what send() charges on an idle bus.
+        for (src, dst) in [(0u32, 1u32), (0, 31), (3, 28)] {
+            let mut n = Network::new(Topology::hypercube(32), NetworkConfig::bus());
+            assert_eq!(n.send(10, src, dst, 8), 10 + n.base_latency(src, dst, 8));
+        }
+    }
+
+    #[test]
+    fn reset_then_reuse_is_bit_identical_to_fresh() {
+        // A reused (reset) network must time a message stream exactly like
+        // a freshly constructed one, on both fabrics.
+        for config in [NetworkConfig::default(), NetworkConfig::bus()] {
+            let mut reused = Network::new(Topology::hypercube(8), config);
+            for i in 0..20u32 {
+                reused.send(i as Cycle, i % 8, (i * 3 + 1) % 8, 8 + i);
+            }
+            reused.reset();
+            let mut fresh = Network::new(Topology::hypercube(8), config);
+            for i in 0..20u32 {
+                let a = reused.send(i as Cycle, i % 8, (i * 3 + 1) % 8, 8 + i);
+                let b = fresh.send(i as Cycle, i % 8, (i * 3 + 1) % 8, 8 + i);
+                assert_eq!(a, b, "send {i} diverged after reset");
+            }
+            assert_eq!(reused.stats().messages, fresh.stats().messages);
+            assert_eq!(reused.stats().latency.sum(), fresh.stats().latency.sum());
+        }
     }
 
     #[test]

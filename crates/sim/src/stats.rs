@@ -111,6 +111,24 @@ impl Histogram {
         self.max
     }
 
+    /// Raw log₂ bucket counts (index 0 holds the value 0, index `b ≥ 1`
+    /// holds `[2^(b-1), 2^b)`), for serialization by the sweep runner.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from serialized parts. `min` is the *reported*
+    /// minimum (0 for an empty histogram), as produced by [`Self::min`].
+    pub fn from_parts(buckets: [u64; 65], count: u64, sum: u64, min: u64, max: u64) -> Self {
+        Self {
+            buckets,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        }
+    }
+
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;

@@ -240,7 +240,14 @@ mod tests {
     fn parallel_matches_reference_dirtree() {
         let f = Fft { points: 64 };
         let want = f.reference();
-        let got = run_parallel(64, 8, ProtocolKind::DirTree { pointers: 4, arity: 2 });
+        let got = run_parallel(
+            64,
+            8,
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+        );
         for (i, (a, b)) in got.iter().zip(want.iter()).enumerate() {
             assert!(close(*a, *b, 1e-9), "bin {i}: {a:?} vs {b:?}");
         }

@@ -135,15 +135,28 @@ mod tests {
 
     #[test]
     fn matches_sequential_reference_fullmap() {
-        let p = Floyd { vertices: 12, seed: 7 };
+        let p = Floyd {
+            vertices: 12,
+            seed: 7,
+        };
         assert_eq!(run(p, 4, ProtocolKind::FullMap), p.reference());
     }
 
     #[test]
     fn matches_sequential_reference_dirtree() {
-        let p = Floyd { vertices: 12, seed: 7 };
+        let p = Floyd {
+            vertices: 12,
+            seed: 7,
+        };
         assert_eq!(
-            run(p, 4, ProtocolKind::DirTree { pointers: 4, arity: 2 }),
+            run(
+                p,
+                4,
+                ProtocolKind::DirTree {
+                    pointers: 4,
+                    arity: 2
+                }
+            ),
             p.reference()
         );
     }
@@ -151,7 +164,10 @@ mod tests {
     #[test]
     fn matches_reference_under_pointer_thrashing() {
         // Dir1NB constantly steals pointers at this sharing degree.
-        let p = Floyd { vertices: 10, seed: 3 };
+        let p = Floyd {
+            vertices: 10,
+            seed: 3,
+        };
         assert_eq!(
             run(p, 8, ProtocolKind::LimitedNB { pointers: 1 }),
             p.reference()
@@ -160,7 +176,10 @@ mod tests {
 
     #[test]
     fn reference_satisfies_triangle_inequality() {
-        let p = Floyd { vertices: 16, seed: 5 };
+        let p = Floyd {
+            vertices: 16,
+            seed: 5,
+        };
         let v = p.vertices as usize;
         let d = p.reference();
         for i in 0..v {
@@ -177,9 +196,15 @@ mod tests {
 
     #[test]
     fn graph_is_deterministic_per_seed() {
-        let p = Floyd { vertices: 8, seed: 42 };
+        let p = Floyd {
+            vertices: 8,
+            seed: 42,
+        };
         assert_eq!(p.graph(), p.graph());
-        let q = Floyd { vertices: 8, seed: 43 };
+        let q = Floyd {
+            vertices: 8,
+            seed: 43,
+        };
         assert_ne!(p.graph(), q.graph());
     }
 }

@@ -142,17 +142,30 @@ mod tests {
 
     #[test]
     fn matches_sequential_reference() {
-        let p = Jacobi { grid: 10, sweeps: 4 };
+        let p = Jacobi {
+            grid: 10,
+            sweeps: 4,
+        };
         assert_close(&run(p, 4, ProtocolKind::FullMap), &p.reference());
         assert_close(
-            &run(p, 4, ProtocolKind::DirTree { pointers: 4, arity: 2 }),
+            &run(
+                p,
+                4,
+                ProtocolKind::DirTree {
+                    pointers: 4,
+                    arity: 2,
+                },
+            ),
             &p.reference(),
         );
     }
 
     #[test]
     fn relaxation_smooths_toward_boundary_values() {
-        let p = Jacobi { grid: 8, sweeps: 40 };
+        let p = Jacobi {
+            grid: 8,
+            sweeps: 40,
+        };
         let field = p.reference();
         let g = p.grid as usize;
         // After many sweeps every interior cell is within the boundary
@@ -181,7 +194,10 @@ mod tests {
     #[test]
     fn sharing_degree_stays_tiny() {
         // Nearest-neighbour sharing: even Dir1NB should not thrash.
-        let p = Jacobi { grid: 10, sweeps: 3 };
+        let p = Jacobi {
+            grid: 10,
+            sweeps: 3,
+        };
         let mut w = p.build(4);
         let mut m = Machine::new(
             MachineConfig::test_default(4),

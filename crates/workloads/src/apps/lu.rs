@@ -92,8 +92,7 @@ impl Lu {
                     env.barrier();
                     // Everyone reads the pivot column once (read-shared),
                     // then updates its own trailing columns.
-                    let owned_trailing: Vec<u64> =
-                        (k + 1..n).filter(|&j| mine(j)).collect();
+                    let owned_trailing: Vec<u64> = (k + 1..n).filter(|&j| mine(j)).collect();
                     if !owned_trailing.is_empty() {
                         let mut col_k = Vec::with_capacity((n - k - 1) as usize);
                         for i in k + 1..n {
@@ -103,10 +102,7 @@ impl Lu {
                             let akj = env.read_f(a.at(k, j));
                             for i in k + 1..n {
                                 let aij = env.read_f(a.at(i, j));
-                                env.write_f(
-                                    a.at(i, j),
-                                    aij - col_k[(i - k - 1) as usize] * akj,
-                                );
+                                env.write_f(a.at(i, j), aij - col_k[(i - k - 1) as usize] * akj);
                             }
                             env.work((n - k) / 8 + 1);
                         }
@@ -153,7 +149,14 @@ mod tests {
     fn matches_sequential_reference_dirtree() {
         let p = Lu { n: 12 };
         assert_close(
-            &run(p, 4, ProtocolKind::DirTree { pointers: 2, arity: 2 }),
+            &run(
+                p,
+                4,
+                ProtocolKind::DirTree {
+                    pointers: 2,
+                    arity: 2,
+                },
+            ),
             &p.reference(),
         );
     }

@@ -224,7 +224,14 @@ mod tests {
     fn matches_sequential_reference_dirtree() {
         let p = LuBlocked { n: 12, block: 4 };
         assert_close(
-            &run(p, 4, ProtocolKind::DirTree { pointers: 4, arity: 2 }),
+            &run(
+                p,
+                4,
+                ProtocolKind::DirTree {
+                    pointers: 4,
+                    arity: 2,
+                },
+            ),
             &p.reference(),
         );
     }

@@ -8,8 +8,8 @@
 //!   protocols with coherence verification enabled.
 
 pub mod fft;
-pub mod jacobi;
 pub mod floyd;
+pub mod jacobi;
 pub mod lu;
 pub mod lu_blocked;
 pub mod mp3d;

@@ -257,7 +257,14 @@ mod tests {
     fn parallel_matches_reference_dirtree() {
         let p = small();
         assert_eq!(
-            run(p, 4, ProtocolKind::DirTree { pointers: 4, arity: 2 }),
+            run(
+                p,
+                4,
+                ProtocolKind::DirTree {
+                    pointers: 4,
+                    arity: 2
+                }
+            ),
             p.reference()
         );
     }

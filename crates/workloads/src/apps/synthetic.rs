@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn sharing_invalidates_readers_every_round() {
-        let s = Sharing { blocks: 4, rounds: 3 };
+        let s = Sharing {
+            blocks: 4,
+            rounds: 3,
+        };
         let (out, w) = run(8, ProtocolKind::FullMap, |n| s.build(n));
         // 7 readers × 4 blocks × (rounds-1) writes-after-share at least.
         assert!(out.stats.invalidations >= 7 * 4 * 2);
@@ -148,8 +151,18 @@ mod tests {
 
     #[test]
     fn migratory_counts_exactly() {
-        let mg = Migratory { blocks: 3, rounds: 8 };
-        let (_, w) = run(4, ProtocolKind::DirTree { pointers: 2, arity: 2 }, |n| mg.build(n));
+        let mg = Migratory {
+            blocks: 3,
+            rounds: 8,
+        };
+        let (_, w) = run(
+            4,
+            ProtocolKind::DirTree {
+                pointers: 2,
+                arity: 2,
+            },
+            |n| mg.build(n),
+        );
         for b in 0..3 {
             assert_eq!(w.value_at(b), 8, "block {b} missed an increment");
         }
@@ -157,21 +170,40 @@ mod tests {
 
     #[test]
     fn storm_forces_evictions_under_tiny_cache() {
-        let st = Storm { words: 512, passes: 2 };
-        let (out, _) = run(4, ProtocolKind::DirTree { pointers: 4, arity: 2 }, |n| st.build(n));
-        assert!(out.stats.evictions > 100, "storm failed to thrash the cache");
+        let st = Storm {
+            words: 512,
+            passes: 2,
+        };
+        let (out, _) = run(
+            4,
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+            |n| st.build(n),
+        );
+        assert!(
+            out.stats.evictions > 100,
+            "storm failed to thrash the cache"
+        );
     }
 
     #[test]
     fn storm_passes_verification_on_every_family() {
         // The storm's writes race intentionally (values are not compared);
         // what matters is that the coherence witness stays silent.
-        let st = Storm { words: 256, passes: 2 };
+        let st = Storm {
+            words: 256,
+            passes: 2,
+        };
         for kind in [
             ProtocolKind::FullMap,
             ProtocolKind::LimitedB { pointers: 2 },
             ProtocolKind::LimitLess { pointers: 2 },
-            ProtocolKind::DirTree { pointers: 1, arity: 2 },
+            ProtocolKind::DirTree {
+                pointers: 1,
+                arity: 2,
+            },
         ] {
             let (out, _) = run(4, kind, |n| st.build(n));
             assert!(out.stats.writes > 0, "{kind:?} made no progress");

@@ -1,6 +1,8 @@
 //! Uniform workload construction for the experiment harness.
 
-use crate::apps::{fft::Fft, floyd::Floyd, jacobi::Jacobi, lu::Lu, lu_blocked::LuBlocked, mp3d::Mp3d, synthetic};
+use crate::apps::{
+    fft::Fft, floyd::Floyd, jacobi::Jacobi, lu::Lu, lu_blocked::LuBlocked, mp3d::Mp3d, synthetic,
+};
 use crate::rendezvous::ThreadedWorkload;
 
 /// A workload selector with its parameters.
@@ -75,6 +77,24 @@ impl WorkloadKind {
         }
     }
 
+    /// Derive the workload variant for a non-default sweep seed: workloads
+    /// that consume an RNG (Floyd's random graph) fold the salt into their
+    /// seed; deterministic-layout workloads are unchanged. Salt 0 is the
+    /// identity, so seed-0 sweep configs reproduce the paper's published
+    /// inputs exactly.
+    pub fn with_seed(self, salt: u64) -> WorkloadKind {
+        if salt == 0 {
+            return self;
+        }
+        match self {
+            WorkloadKind::Floyd { vertices, seed } => WorkloadKind::Floyd {
+                vertices,
+                seed: seed ^ salt,
+            },
+            other => other,
+        }
+    }
+
     /// Build the execution-driven workload for `nprocs` processors.
     pub fn build(&self, nprocs: u32) -> ThreadedWorkload {
         match *self {
@@ -143,10 +163,7 @@ mod tests {
                     steps: 2,
                 },
                 WorkloadKind::Lu { .. } => WorkloadKind::Lu { n: 10 },
-                WorkloadKind::Floyd { seed, .. } => WorkloadKind::Floyd {
-                    vertices: 8,
-                    seed,
-                },
+                WorkloadKind::Floyd { seed, .. } => WorkloadKind::Floyd { vertices: 8, seed },
                 WorkloadKind::Fft { .. } => WorkloadKind::Fft { points: 32 },
                 other => other,
             };

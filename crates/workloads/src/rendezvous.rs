@@ -295,16 +295,24 @@ mod tests {
 
     #[test]
     fn producer_consumer_through_barrier() {
-        let (_, w) = run(4, ProtocolKind::DirTree { pointers: 4, arity: 2 }, 8, |tid| {
-            Box::new(move |env| {
-                if tid == 0 {
-                    env.write(3, 42);
-                }
-                env.barrier();
-                let v = env.read(3);
-                env.write(4 + tid as u64, v * 2);
-            })
-        });
+        let (_, w) = run(
+            4,
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+            8,
+            |tid| {
+                Box::new(move |env| {
+                    if tid == 0 {
+                        env.write(3, 42);
+                    }
+                    env.barrier();
+                    let v = env.read(3);
+                    env.write(4 + tid as u64, v * 2);
+                })
+            },
+        );
         for tid in 0..4u64 {
             assert_eq!(w.value_at(4 + tid), 84, "tid {tid} read a stale value");
         }
@@ -346,16 +354,24 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let go = || {
-            run(4, ProtocolKind::DirTree { pointers: 2, arity: 2 }, 64, |tid| {
-                Box::new(move |env| {
-                    for i in 0..20u64 {
-                        let a = (i * 7 + tid as u64) % 32;
-                        let v = env.read(a);
-                        env.write((a + 1) % 32, v + 1);
-                    }
-                    env.barrier();
-                })
-            })
+            run(
+                4,
+                ProtocolKind::DirTree {
+                    pointers: 2,
+                    arity: 2,
+                },
+                64,
+                |tid| {
+                    Box::new(move |env| {
+                        for i in 0..20u64 {
+                            let a = (i * 7 + tid as u64) % 32;
+                            let v = env.read(a);
+                            env.write((a + 1) % 32, v + 1);
+                        }
+                        env.barrier();
+                    })
+                },
+            )
             .0
         };
         let a = go();
@@ -387,7 +403,15 @@ mod tests {
             })
         };
         let (_, w1) = run(4, ProtocolKind::FullMap, 16, program);
-        let (_, w2) = run(4, ProtocolKind::DirTree { pointers: 4, arity: 2 }, 16, program);
+        let (_, w2) = run(
+            4,
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+            16,
+            program,
+        );
         let (_, w3) = run(4, ProtocolKind::LimitedNB { pointers: 1 }, 16, program);
         assert_eq!(w1.values(), w2.values());
         assert_eq!(w1.values(), w3.values());

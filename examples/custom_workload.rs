@@ -5,8 +5,8 @@
 
 use dirtree::machine::{Machine, MachineConfig};
 use dirtree::prelude::*;
-use dirtree::workloads::rendezvous::{AppFn, ThreadedWorkload};
 use dirtree::workloads::layout::Alloc;
+use dirtree::workloads::rendezvous::{AppFn, ThreadedWorkload};
 
 fn histogram_workload(nprocs: u32) -> ThreadedWorkload {
     let mut alloc = Alloc::new();
@@ -28,7 +28,11 @@ fn histogram_workload(nprocs: u32) -> ThreadedWorkload {
             // Each processor bins its slice of the input.
             let per = input.len / nprocs as u64;
             let lo = tid as u64 * per;
-            let hi = if tid as u32 + 1 == nprocs { input.len } else { lo + per };
+            let hi = if tid as u32 + 1 == nprocs {
+                input.len
+            } else {
+                lo + per
+            };
             for i in lo..hi {
                 let v = env.read(input.at(i));
                 let bin = v % hist.len;
@@ -46,7 +50,10 @@ fn histogram_workload(nprocs: u32) -> ThreadedWorkload {
 fn main() {
     for protocol in [
         ProtocolKind::FullMap,
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
     ] {
         let mut config = MachineConfig::paper_default(8);
         config.verify = true;

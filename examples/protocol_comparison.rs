@@ -8,7 +8,10 @@ use dirtree::machine::MachineConfig;
 use dirtree::prelude::*;
 
 fn main() {
-    let workload = WorkloadKind::Floyd { vertices: 24, seed: 7 };
+    let workload = WorkloadKind::Floyd {
+        vertices: 24,
+        seed: 7,
+    };
     let sizes = [8u32, 16];
     let protocols = ProtocolKind::figure_set();
     let cells = figure_grid(workload, &sizes, &protocols, MachineConfig::paper_default);

@@ -13,11 +13,17 @@ fn main() {
     config.verify = true; // run the coherence witness
 
     // The paper's contribution: 4 directory pointers, binary trees.
-    let protocol = ProtocolKind::DirTree { pointers: 4, arity: 2 };
+    let protocol = ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2,
+    };
 
     // Floyd-Warshall on a 16-vertex random graph: every processor reads
     // row k each iteration, so blocks are widely shared.
-    let workload = WorkloadKind::Floyd { vertices: 16, seed: 42 };
+    let workload = WorkloadKind::Floyd {
+        vertices: 16,
+        seed: 42,
+    };
 
     let outcome = run_workload(&config, protocol, workload);
     let s = &outcome.stats;

@@ -9,9 +9,15 @@ use dirtree::net::NetworkConfig;
 use dirtree::prelude::*;
 
 fn main() {
-    let w = WorkloadKind::Jacobi { grid: 24, sweeps: 4 };
+    let w = WorkloadKind::Jacobi {
+        grid: 24,
+        sweeps: 4,
+    };
     println!("Jacobi 24x24, snooping/bus vs Dir4Tree2/n-cube:");
-    println!("{:>6} {:>16} {:>16} {:>8}", "procs", "snoop-bus cyc", "tree-cube cyc", "ratio");
+    println!(
+        "{:>6} {:>16} {:>16} {:>8}",
+        "procs", "snoop-bus cyc", "tree-cube cyc", "ratio"
+    );
     for nodes in [2u32, 4, 8, 16] {
         let mut bus = MachineConfig::paper_default(nodes);
         bus.net = NetworkConfig::bus();
@@ -19,7 +25,10 @@ fn main() {
         let cube = MachineConfig::paper_default(nodes);
         let tree = run_workload(
             &cube,
-            ProtocolKind::DirTree { pointers: 4, arity: 2 },
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
             w,
         );
         println!(

@@ -42,9 +42,9 @@ pub use dirtree_workloads as workloads;
 /// Convenient re-exports for examples and downstream users.
 pub mod prelude {
     pub use dirtree_analysis::experiments::run_workload;
-    pub use dirtree_workloads::WorkloadKind;
     pub use dirtree_core::protocol::ProtocolKind;
     pub use dirtree_machine::{Machine, MachineConfig};
     pub use dirtree_net::{Network, NetworkConfig, Topology};
     pub use dirtree_sim::SimRng;
+    pub use dirtree_workloads::WorkloadKind;
 }

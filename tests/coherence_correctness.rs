@@ -20,11 +20,26 @@ fn all_protocols() -> Vec<ProtocolKind> {
         ProtocolKind::Sci,
         ProtocolKind::Stp { arity: 2 },
         ProtocolKind::SciTree,
-        ProtocolKind::DirTree { pointers: 1, arity: 2 },
-        ProtocolKind::DirTree { pointers: 2, arity: 2 },
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
-        ProtocolKind::DirTree { pointers: 8, arity: 2 },
-        ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 1,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 2,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 8,
+            arity: 2,
+        },
+        ProtocolKind::DirTreeUpdate {
+            pointers: 4,
+            arity: 2,
+        },
     ]
 }
 
@@ -53,7 +68,10 @@ impl RandomMix {
                 }
                 // Everyone must reach the same number of barriers.
                 let barriers = ops_per_node / 50;
-                let mine = v.iter().filter(|o| matches!(o, DriverOp::Barrier(_))).count();
+                let mine = v
+                    .iter()
+                    .filter(|o| matches!(o, DriverOp::Barrier(_)))
+                    .count();
                 for _ in mine..barriers {
                     v.push(DriverOp::Barrier(0));
                 }
@@ -147,7 +165,10 @@ fn larger_machine_smoke() {
     for kind in [
         ProtocolKind::FullMap,
         ProtocolKind::LimitedNB { pointers: 4 },
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
         ProtocolKind::Sci,
         ProtocolKind::Stp { arity: 2 },
     ] {

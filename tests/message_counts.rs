@@ -11,8 +11,14 @@ fn read_miss_costs_match_table1() {
     for kind in [
         ProtocolKind::FullMap,
         ProtocolKind::LimitLess { pointers: 4 },
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
-        ProtocolKind::DirTree { pointers: 1, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 1,
+            arity: 2,
+        },
     ] {
         for p in [1u32, 3, 7, 12] {
             assert_eq!(read_miss_cost(kind, p), 2, "{} at p={p}", kind.name());
@@ -30,7 +36,15 @@ fn read_miss_costs_match_table1() {
     // flat 2 of Dir_iTree_k.
     let c = read_miss_cost(ProtocolKind::SciTree, 7);
     assert!((3..=16).contains(&c), "SCI-tree read cost {c}");
-    assert!(c > read_miss_cost(ProtocolKind::DirTree { pointers: 4, arity: 2 }, 7));
+    assert!(
+        c > read_miss_cost(
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2
+            },
+            7
+        )
+    );
 }
 
 #[test]
@@ -41,7 +55,13 @@ fn write_miss_costs_match_table1() {
         assert_eq!(write_miss_cost(ProtocolKind::FullMap, p), 2 * pc + 2);
         // Dir_iTree_k: 2P + 2 total messages (the win is latency).
         assert_eq!(
-            write_miss_cost(ProtocolKind::DirTree { pointers: 4, arity: 2 }, p),
+            write_miss_cost(
+                ProtocolKind::DirTree {
+                    pointers: 4,
+                    arity: 2
+                },
+                p
+            ),
             2 * pc + 2,
             "Dir4Tree2 at p={p}"
         );
@@ -83,7 +103,12 @@ fn dir_tree_write_latency_is_logarithmic_in_depth() {
     let latency = |pointers: u32| -> f64 {
         let nodes = 32;
         let mut active: Vec<(u32, Vec<DriverOp>)> = (1..=16u32)
-            .map(|k| (k, vec![DriverOp::Work(k as u64 * 50_000), DriverOp::Read(0)]))
+            .map(|k| {
+                (
+                    k,
+                    vec![DriverOp::Work(k as u64 * 50_000), DriverOp::Read(0)],
+                )
+            })
             .collect();
         active.push((31, vec![DriverOp::Work(1_000_000), DriverOp::Write(0)]));
         let mut m = Machine::new(

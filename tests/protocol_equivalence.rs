@@ -16,8 +16,14 @@ fn protocols() -> Vec<ProtocolKind> {
         ProtocolKind::Sci,
         ProtocolKind::Stp { arity: 2 },
         ProtocolKind::SciTree,
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
-        ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
+        ProtocolKind::DirTreeUpdate {
+            pointers: 4,
+            arity: 2,
+        },
         ProtocolKind::Snoop,
     ]
 }
@@ -33,7 +39,10 @@ fn final_memory(kind: ProtocolKind, workload: WorkloadKind, nodes: u32) -> Vec<u
 
 #[test]
 fn floyd_identical_across_protocols() {
-    let w = WorkloadKind::Floyd { vertices: 16, seed: 11 };
+    let w = WorkloadKind::Floyd {
+        vertices: 16,
+        seed: 11,
+    };
     let reference = final_memory(ProtocolKind::FullMap, w, 4);
     for kind in protocols() {
         assert_eq!(
@@ -66,7 +75,10 @@ fn lu_identical_across_protocols() {
 
 #[test]
 fn mp3d_identical_across_protocols() {
-    let w = WorkloadKind::Mp3d { particles: 60, steps: 3 };
+    let w = WorkloadKind::Mp3d {
+        particles: 60,
+        steps: 3,
+    };
     let reference = final_memory(ProtocolKind::FullMap, w, 4);
     for kind in protocols() {
         assert_eq!(final_memory(kind, w, 4), reference, "{}", kind.name());
@@ -75,7 +87,10 @@ fn mp3d_identical_across_protocols() {
 
 #[test]
 fn jacobi_identical_across_protocols() {
-    let w = WorkloadKind::Jacobi { grid: 10, sweeps: 3 };
+    let w = WorkloadKind::Jacobi {
+        grid: 10,
+        sweeps: 3,
+    };
     let reference = final_memory(ProtocolKind::FullMap, w, 4);
     for kind in protocols() {
         assert_eq!(final_memory(kind, w, 4), reference, "{}", kind.name());
@@ -87,7 +102,10 @@ fn blocked_lu_identical_across_protocols() {
     let w = WorkloadKind::LuBlocked { n: 12, block: 4 };
     let reference = final_memory(ProtocolKind::FullMap, w, 4);
     for kind in [
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
         ProtocolKind::LimitedNB { pointers: 1 },
         ProtocolKind::Sci,
         ProtocolKind::Snoop,
@@ -98,10 +116,16 @@ fn blocked_lu_identical_across_protocols() {
 
 #[test]
 fn eight_processors_floyd_equivalence() {
-    let w = WorkloadKind::Floyd { vertices: 12, seed: 23 };
+    let w = WorkloadKind::Floyd {
+        vertices: 12,
+        seed: 23,
+    };
     let reference = final_memory(ProtocolKind::FullMap, w, 8);
     for kind in [
-        ProtocolKind::DirTree { pointers: 2, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 2,
+            arity: 2,
+        },
         ProtocolKind::SinglyList,
         ProtocolKind::SciTree,
     ] {

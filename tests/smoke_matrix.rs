@@ -15,23 +15,47 @@ fn protocols() -> Vec<ProtocolKind> {
         ProtocolKind::Sci,
         ProtocolKind::Stp { arity: 2 },
         ProtocolKind::SciTree,
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
-        ProtocolKind::DirTree { pointers: 1, arity: 2 },
-        ProtocolKind::DirTreeUpdate { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
+        ProtocolKind::DirTree {
+            pointers: 1,
+            arity: 2,
+        },
+        ProtocolKind::DirTreeUpdate {
+            pointers: 4,
+            arity: 2,
+        },
         ProtocolKind::Snoop,
     ]
 }
 
 fn workloads() -> Vec<WorkloadKind> {
     vec![
-        WorkloadKind::Mp3d { particles: 30, steps: 2 },
+        WorkloadKind::Mp3d {
+            particles: 30,
+            steps: 2,
+        },
         WorkloadKind::Lu { n: 8 },
-        WorkloadKind::Floyd { vertices: 8, seed: 5 },
+        WorkloadKind::Floyd {
+            vertices: 8,
+            seed: 5,
+        },
         WorkloadKind::Fft { points: 32 },
         WorkloadKind::Jacobi { grid: 8, sweeps: 2 },
-        WorkloadKind::Sharing { blocks: 4, rounds: 3 },
-        WorkloadKind::Migratory { blocks: 4, rounds: 8 },
-        WorkloadKind::Storm { words: 96, passes: 1 },
+        WorkloadKind::Sharing {
+            blocks: 4,
+            rounds: 3,
+        },
+        WorkloadKind::Migratory {
+            blocks: 4,
+            rounds: 8,
+        },
+        WorkloadKind::Storm {
+            words: 96,
+            passes: 1,
+        },
     ]
 }
 
@@ -63,7 +87,10 @@ fn stats_are_internally_consistent() {
         let out = dirtree::analysis::experiments::run_workload(
             &MachineConfig::test_default(4),
             kind,
-            WorkloadKind::Floyd { vertices: 10, seed: 2 },
+            WorkloadKind::Floyd {
+                vertices: 10,
+                seed: 2,
+            },
         );
         let s = &out.stats;
         assert_eq!(s.reads, s.read_hits + s.read_misses, "{}", kind.name());
@@ -83,10 +110,17 @@ fn torus_topology_end_to_end() {
     config.topology = dirtree::machine::TopologyKind::KaryNcube { radix: 4 };
     for kind in [
         ProtocolKind::FullMap,
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
     ] {
         let mut machine = Machine::new(config, kind);
-        let mut driver = WorkloadKind::Floyd { vertices: 12, seed: 4 }.build(16);
+        let mut driver = WorkloadKind::Floyd {
+            vertices: 12,
+            seed: 4,
+        }
+        .build(16);
         let out = machine.run(&mut driver);
         assert!(out.cycles > 0);
     }
@@ -98,7 +132,11 @@ fn bus_fabric_end_to_end() {
     config.net = dirtree::net::NetworkConfig::bus();
     for kind in [ProtocolKind::Snoop, ProtocolKind::FullMap] {
         let mut machine = Machine::new(config, kind);
-        let mut driver = WorkloadKind::Sharing { blocks: 4, rounds: 4 }.build(8);
+        let mut driver = WorkloadKind::Sharing {
+            blocks: 4,
+            rounds: 4,
+        }
+        .build(8);
         machine.run(&mut driver);
     }
 }
@@ -106,7 +144,10 @@ fn bus_fabric_end_to_end() {
 #[test]
 fn eight_processor_matrix_on_trees() {
     for w in [
-        WorkloadKind::Floyd { vertices: 10, seed: 9 },
+        WorkloadKind::Floyd {
+            vertices: 10,
+            seed: 9,
+        },
         WorkloadKind::Fft { points: 64 },
     ] {
         for pointers in [1u32, 2, 4, 8] {

@@ -10,7 +10,12 @@ use dirtree::prelude::*;
 fn write_latency(kind: ProtocolKind, sharers: u32) -> f64 {
     let nodes = 32;
     let mut active: Vec<(u32, Vec<DriverOp>)> = (1..=sharers)
-        .map(|k| (k, vec![DriverOp::Work(k as u64 * 50_000), DriverOp::Read(0)]))
+        .map(|k| {
+            (
+                k,
+                vec![DriverOp::Work(k as u64 * 50_000), DriverOp::Read(0)],
+            )
+        })
         .collect();
     active.push((
         nodes - 1,
@@ -36,7 +41,10 @@ fn full_map_invalidation_latency_grows_linearly() {
 
 #[test]
 fn dir_tree_invalidation_latency_grows_sublinearly() {
-    let kind = ProtocolKind::DirTree { pointers: 4, arity: 2 };
+    let kind = ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2,
+    };
     let l4 = write_latency(kind, 4);
     let l16 = write_latency(kind, 16);
     assert!(
@@ -48,7 +56,13 @@ fn dir_tree_invalidation_latency_grows_sublinearly() {
 #[test]
 fn dir_tree_beats_full_map_at_high_sharing() {
     let fm = write_latency(ProtocolKind::FullMap, 24);
-    let dt = write_latency(ProtocolKind::DirTree { pointers: 8, arity: 2 }, 24);
+    let dt = write_latency(
+        ProtocolKind::DirTree {
+            pointers: 8,
+            arity: 2,
+        },
+        24,
+    );
     assert!(
         dt < fm,
         "Dir8Tree2 ({dt}) should beat full-map ({fm}) at 24 sharers"
@@ -58,7 +72,13 @@ fn dir_tree_beats_full_map_at_high_sharing() {
 #[test]
 fn sci_sequential_purge_is_slowest_shape() {
     let sci = write_latency(ProtocolKind::Sci, 16);
-    let dt = write_latency(ProtocolKind::DirTree { pointers: 4, arity: 2 }, 16);
+    let dt = write_latency(
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
+        16,
+    );
     assert!(
         sci > dt,
         "SCI's one-at-a-time purge ({sci}) must exceed the tree fan-out ({dt})"
@@ -116,10 +136,7 @@ fn home_controller_serializes_independent_misses() {
                 (k, vec![DriverOp::Read(addr)])
             })
             .collect();
-        let mut m = Machine::new(
-            MachineConfig::paper_default(nodes),
-            ProtocolKind::FullMap,
-        );
+        let mut m = Machine::new(MachineConfig::paper_default(nodes), ProtocolKind::FullMap);
         let mut d = ScriptDriver::sparse(nodes, active);
         m.run(&mut d).stats.read_miss_latency.max()
     };
@@ -135,7 +152,10 @@ fn home_controller_serializes_independent_misses() {
 fn miss_latencies_are_physically_plausible() {
     for kind in [
         ProtocolKind::FullMap,
-        ProtocolKind::DirTree { pointers: 4, arity: 2 },
+        ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        },
         ProtocolKind::Sci,
         ProtocolKind::Stp { arity: 2 },
     ] {

@@ -2,12 +2,12 @@
 //! insertion algorithm: the analytic replay in `dirtree-analysis` and the
 //! real protocol in `dirtree-core`, driven by a minimal context.
 
+use dirtree::analysis::tree_capacity::TreeBuilder;
 use dirtree::coherence::ctx::{ProtoCtx, ProtoEvent};
 use dirtree::coherence::dir::dir_tree::DirTree;
 use dirtree::coherence::msg::Msg;
 use dirtree::coherence::protocol::{Protocol, ProtocolParams};
 use dirtree::coherence::types::{Addr, LineState, NodeId, OpKind};
-use dirtree::analysis::tree_capacity::TreeBuilder;
 use dirtree::sim::FxHashMap;
 use std::collections::VecDeque;
 

@@ -129,9 +129,23 @@ fn forged_invalidation_ack_is_caught() {
     config.verify = true;
     let mut machine = Machine::with_protocol(config, Box::new(Sabotaged::new()));
     let mut driver = ScriptDriver::new(vec![
-        vec![DriverOp::Read(0), DriverOp::Barrier(0), DriverOp::Barrier(1), DriverOp::Read(0)],
-        vec![DriverOp::Read(0), DriverOp::Barrier(0), DriverOp::Barrier(1), DriverOp::Read(0)],
-        vec![DriverOp::Barrier(0), DriverOp::Write(0), DriverOp::Barrier(1)],
+        vec![
+            DriverOp::Read(0),
+            DriverOp::Barrier(0),
+            DriverOp::Barrier(1),
+            DriverOp::Read(0),
+        ],
+        vec![
+            DriverOp::Read(0),
+            DriverOp::Barrier(0),
+            DriverOp::Barrier(1),
+            DriverOp::Read(0),
+        ],
+        vec![
+            DriverOp::Barrier(0),
+            DriverOp::Write(0),
+            DriverOp::Barrier(1),
+        ],
         vec![DriverOp::Barrier(0), DriverOp::Barrier(1)],
     ]);
     machine.run(&mut driver);

@@ -1,0 +1,182 @@
+//! Offline shim for the subset of [criterion](https://docs.rs/criterion)
+//! used by this workspace's benches.
+//!
+//! Each benchmark runs a short warm-up, then measures wall-clock time for
+//! a fixed budget (~300 ms or 50 iterations, whichever is larger in
+//! coverage) and prints `name ... <mean>/iter` to stdout. There is no
+//! statistical analysis, plotting, or baseline comparison — just enough
+//! to keep `cargo bench` building, running, and useful for eyeballing
+//! relative cost.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility, the
+/// shim measures each batch element individually either way.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Display-formatted benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new<D: Display, P: Display>(name: D, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Re-export so `criterion::black_box` resolves like the real crate.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(30);
+const BUDGET: Duration = Duration::from_millis(300);
+
+/// Measurement driver handed to every benchmark closure.
+pub struct Bencher {
+    /// (iterations, total measured time) of the last run, for reporting.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { result: None }
+    }
+
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warm_end = Instant::now() + WARMUP;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let end = start + BUDGET;
+        while Instant::now() < end {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), start.elapsed()));
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_end = Instant::now() + WARMUP;
+        while Instant::now() < warm_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        let deadline = Instant::now() + BUDGET;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), measured));
+    }
+}
+
+fn report(name: &str, result: Option<(u64, Duration)>) {
+    match result {
+        Some((iters, total)) => {
+            let per = total.as_nanos() / iters as u128;
+            println!("{name:<50} {per:>12} ns/iter ({iters} iters)");
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.result);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes --bench (and possibly filters); the shim
+            // runs everything regardless.
+            $($group();)+
+        }
+    };
+}

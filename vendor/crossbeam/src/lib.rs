@@ -1,0 +1,65 @@
+//! Offline shim for the subset of [crossbeam](https://docs.rs/crossbeam)
+//! used by this workspace: `crossbeam::channel::{bounded, Sender,
+//! Receiver}`, backed by `std::sync::mpsc::sync_channel`.
+//!
+//! The workspace only uses private one-producer/one-consumer rendezvous
+//! channels (capacity 0 or 1), which `sync_channel` models with identical
+//! blocking semantics, so determinism of the simulation rendezvous is
+//! preserved.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Bounded blocking channel; capacity 0 is a rendezvous channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Sending half; clonable like crossbeam's.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while the channel is full; errors once disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), mpsc::TrySendError<T>> {
+            self.inner.try_send(value)
+        }
+    }
+
+    /// Receiving half (single-consumer, unlike crossbeam's — sufficient
+    /// for this workspace's private per-thread channels).
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+}

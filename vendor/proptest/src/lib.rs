@@ -1,0 +1,123 @@
+//! Offline shim for the subset of [proptest](https://docs.rs/proptest) used
+//! by this workspace.
+//!
+//! The build environment cannot reach a crate registry, so this crate
+//! re-implements — with the same names and module paths — exactly the API
+//! surface the workspace's property tests exercise: the [`proptest!`]
+//! macro, `prop_assert*` macros, [`prop_oneof!`], [`strategy::Strategy`]
+//! with `prop_map`, [`collection::vec`], `any::<T>()`, ranges as integer
+//! strategies, tuple strategies, and [`test_runner::Config`]
+//! (`ProptestConfig`).
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` rendering via the ordinary `assert!` machinery.
+//! - **Deterministic seeding.** Each case's RNG is seeded from
+//!   (module path, test name, case index), so runs are bit-reproducible
+//!   without `.proptest-regressions` files (which are ignored).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-importable prelude, mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Each `#[test] fn name(pat in strategy, ...)`
+/// item becomes a normal `#[test]` that generates `config.cases` inputs
+/// and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` under proptest's traditional name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under proptest's traditional name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under proptest's traditional name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Real proptest rejects the case and draws a fresh one; without
+/// shrinking the cheapest faithful behaviour is to skip the case body.
+/// Callers must therefore not rely on post-`prop_assume!` code running
+/// for every case (none of ours do).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted union of strategies sharing a
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::BoxedStrategy::new($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::BoxedStrategy::new($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,63 @@
+//! Test configuration and the deterministic RNG behind every strategy.
+
+/// Mirror of `proptest::test_runner::Config`, exposed in the prelude as
+/// `ProptestConfig`. Only `cases` is honoured; the other fields exist so
+/// `Config { cases: n, ..Config::default() }` spellings (the idiomatic
+/// form against real proptest, which has many more fields) keep working.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+    /// Accepted for compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; this shim ignores regression files
+    /// (counterexamples are pinned as explicit tests instead).
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 1024,
+            failure_persistence: None,
+        }
+    }
+}
+
+/// SplitMix64 generator. Seeded from (test path, case index) so every
+/// run of the suite sees the identical input sequence.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one case of one property test.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounding (Lemire); bias is irrelevant for tests.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
