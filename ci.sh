@@ -1,9 +1,28 @@
 #!/usr/bin/env bash
-# Tier-1 gate: formatting, lints, build, and the full workspace test
-# suite. Run from the repository root; fails fast on the first problem.
+# Tier-1 gate: formatting, lints, build, the full workspace test suite,
+# and the model checker's fast tier (every figure-set protocol,
+# exhaustively explored at P=2 with one block). Run from the repository
+# root; fails fast on the first problem.
+#
+#   ./ci.sh          fast gate (~seconds of model checking)
+#   ./ci.sh --deep   also model-check P=3 and the two-block shapes
 set -euo pipefail
+
+deep=0
+if [[ "${1:-}" == "--deep" ]]; then
+  deep=1
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: $0 [--deep]" >&2
+  exit 64
+fi
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test --workspace -q
+
+if (( deep )); then
+  cargo run --release -p dirtree-check --bin check_all -- --deep
+else
+  cargo run --release -p dirtree-check --bin check_all -- --fast
+fi

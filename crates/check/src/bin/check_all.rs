@@ -1,0 +1,119 @@
+//! Exhaustively model-check every protocol of the paper's figure set.
+//!
+//! Usage:
+//!   cargo run --release -p dirtree-check --bin check_all [-- FLAGS]
+//!
+//! Flags:
+//!   --fast          only P=2 / 1 block (the CI fast tier)
+//!   --deep          additionally P=2 and P=3 with 2 blocks
+//!   --jobs N        worker threads per exploration (default: all cores)
+//!   --filter STR    only protocols whose name contains STR
+//!   --fuel N        override operations per processor
+//!
+//! Exit status: 0 all pass, 1 a violation was found, 2 a resource limit
+//! stopped an exploration before exhaustion.
+
+use dirtree_check::{explore, replay, report, CheckConfig, CheckOutcome};
+use dirtree_core::protocol::{build_protocol, ProtocolKind, ProtocolParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = false;
+    let mut deep = false;
+    let mut jobs: Option<usize> = None;
+    let mut fuel: Option<u32> = None;
+    let mut filter: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--deep" => deep = true,
+            "--jobs" => jobs = Some(expect_arg(&mut it, "--jobs")),
+            "--fuel" => fuel = Some(expect_arg(&mut it, "--fuel")),
+            "--filter" => {
+                filter = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--filter needs a value"))
+                        .clone(),
+                )
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if fast && deep {
+        usage("--fast and --deep are mutually exclusive");
+    }
+
+    let mut shapes: Vec<(u32, u64)> = vec![(2, 1)];
+    if !fast {
+        shapes.push((3, 1));
+    }
+    if deep {
+        shapes.push((2, 2));
+        shapes.push((3, 2));
+    }
+
+    let params = ProtocolParams::default();
+    let mut passed = 0u32;
+    let mut failed = 0u32;
+    let mut limited = 0u32;
+    for kind in ProtocolKind::figure_set() {
+        let name = kind.name();
+        if let Some(f) = &filter {
+            if !name.to_lowercase().contains(&f.to_lowercase()) {
+                continue;
+            }
+        }
+        for &(nodes, blocks) in &shapes {
+            let mut cfg = CheckConfig::small(nodes, blocks);
+            if let Some(j) = jobs {
+                cfg.jobs = j.max(1);
+            }
+            if let Some(f) = fuel {
+                cfg.fuel = f;
+            }
+            let factory = || build_protocol(kind, params);
+            let start = std::time::Instant::now();
+            let outcome = explore(&cfg, factory);
+            let elapsed = start.elapsed();
+            let rep = match &outcome {
+                CheckOutcome::Violation(cx) => {
+                    failed += 1;
+                    Some(replay(&cfg, factory, &cx.choices, 256))
+                }
+                CheckOutcome::Pass { .. } => {
+                    passed += 1;
+                    None
+                }
+                CheckOutcome::ResourceLimit { .. } => {
+                    limited += 1;
+                    None
+                }
+            };
+            println!(
+                "{}  [{:.2?}]",
+                report::render(&name, &cfg, &outcome, rep.as_ref()).trim_end(),
+                elapsed
+            );
+        }
+    }
+    println!("\n{passed} passed, {failed} violated, {limited} resource-limited");
+    if failed > 0 {
+        std::process::exit(1);
+    }
+    if limited > 0 {
+        std::process::exit(2);
+    }
+}
+
+fn expect_arg<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("check_all: {err}");
+    eprintln!("usage: check_all [--fast | --deep] [--jobs N] [--fuel N] [--filter STR]");
+    std::process::exit(64);
+}

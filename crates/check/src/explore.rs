@@ -1,0 +1,247 @@
+//! Exhaustive breadth-first exploration of the choice graph.
+//!
+//! Layer-synchronous BFS over [`CheckState`]s: each layer's states expand
+//! on a scoped worker pool (`jobs` threads claiming frontier indices from
+//! an atomic counter, the same pattern as the sweep runner), and results
+//! merge back sequentially in frontier order. Deduplication uses the
+//! canonical 64-bit state digest; two states with equal digests are
+//! assumed identical and one is pruned (a digest collision could in
+//! principle hide a state — at the few-million-state scale of these runs
+//! the probability is ~1e-7, and a collision can only cause a *missed*
+//! path, never a false alarm).
+//!
+//! BFS + in-order merge make the result independent of `jobs` and the
+//! first reported counterexample *minimal* in choice count: a violation
+//! found in layer `d` has no counterexample shorter than `d` steps, and
+//! ties break by the fixed frontier/choice order.
+
+use crate::state::{CheckState, Choice};
+use dirtree_core::protocol::Protocol;
+use dirtree_core::types::Addr;
+use dirtree_sim::FxHashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One exploration's shape and budgets.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    pub nodes: u32,
+    /// Blocks in play: addresses `0..blocks` (homes interleave mod nodes).
+    pub blocks: u64,
+    /// Processor operations available per node.
+    pub fuel: u32,
+    /// State budget: exceeding it stops with a structured resource report.
+    pub max_states: usize,
+    /// Depth cap — the checker's bounded-step stall guard.
+    pub max_depth: usize,
+    /// Worker threads for frontier expansion.
+    pub jobs: usize,
+}
+
+impl CheckConfig {
+    /// Defaults for the small exhaustively-checkable configurations: fuel
+    /// 3 per node at P=2, fuel 2 at P≥3.
+    pub fn small(nodes: u32, blocks: u64) -> Self {
+        Self {
+            nodes,
+            blocks,
+            fuel: if nodes <= 2 { 3 } else { 2 },
+            max_states: 4_000_000,
+            max_depth: 500,
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    pub fn addrs(&self) -> Vec<Addr> {
+        (0..self.blocks).collect()
+    }
+}
+
+/// The shortest path to a violating state.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Choices from the initial state; applying them in order reproduces
+    /// the violation on the last step.
+    pub choices: Vec<Choice>,
+    /// The violation message (witness, invariant, deadlock, or protocol
+    /// misbehavior flagged by the context).
+    pub violation: String,
+    /// States visited before the violation surfaced.
+    pub states: u64,
+}
+
+/// Structured exploration result.
+#[derive(Clone, Debug)]
+pub enum CheckOutcome {
+    /// Every reachable state checked out; the graph is exhausted.
+    Pass { states: u64, depth: usize },
+    /// A violating state was found (shortest path attached).
+    Violation(Counterexample),
+    /// A budget stopped the search before exhaustion — reported as data,
+    /// not a panic, so harnesses can distinguish "too big" from "broken".
+    ResourceLimit {
+        states: u64,
+        depth: usize,
+        reason: String,
+    },
+}
+
+impl CheckOutcome {
+    pub fn is_pass(&self) -> bool {
+        matches!(self, CheckOutcome::Pass { .. })
+    }
+
+    pub fn states(&self) -> u64 {
+        match self {
+            CheckOutcome::Pass { states, .. } | CheckOutcome::ResourceLimit { states, .. } => {
+                *states
+            }
+            CheckOutcome::Violation(cx) => cx.states,
+        }
+    }
+}
+
+/// Sentinel arena index for the initial state.
+const ROOT: usize = usize::MAX;
+
+struct Expanded {
+    arena_idx: usize,
+    /// First violating choice (in choice order) out of this state.
+    violation: Option<(Choice, String)>,
+    succs: Vec<(Choice, CheckState, u64)>,
+}
+
+fn expand(arena_idx: usize, state: &CheckState) -> Expanded {
+    let choices = state.enabled_choices();
+    let mut succs = Vec::with_capacity(choices.len());
+    for &choice in &choices {
+        let mut s = state.clone();
+        match s.apply(choice) {
+            Ok(()) => {
+                let digest = s.digest();
+                succs.push((choice, s, digest));
+            }
+            Err(violation) => {
+                return Expanded {
+                    arena_idx,
+                    violation: Some((choice, violation)),
+                    succs: Vec::new(),
+                }
+            }
+        }
+    }
+    Expanded {
+        arena_idx,
+        violation: None,
+        succs,
+    }
+}
+
+/// Exhaustively explore every interleaving of `factory()`'s protocol
+/// under `cfg`, checking coherence, deadlock-freedom, and the protocol's
+/// structural invariants at every state.
+pub fn explore<F>(cfg: &CheckConfig, factory: F) -> CheckOutcome
+where
+    F: Fn() -> Box<dyn Protocol> + Sync,
+{
+    let mut root = CheckState::new(cfg.nodes, cfg.fuel, cfg.addrs(), factory());
+    if let Err(violation) = root.post_check() {
+        return CheckOutcome::Violation(Counterexample {
+            choices: Vec::new(),
+            violation,
+            states: 1,
+        });
+    }
+    let mut visited: FxHashSet<u64> = FxHashSet::default();
+    visited.insert(root.digest());
+    // (parent arena index, producing choice) per non-root state ever put
+    // on a frontier; counterexamples walk this chain back to the root.
+    let mut arena: Vec<(usize, Choice)> = Vec::new();
+    let mut frontier: Vec<(usize, CheckState)> = vec![(ROOT, root)];
+    let mut depth = 0usize;
+    loop {
+        if frontier.is_empty() {
+            return CheckOutcome::Pass {
+                states: visited.len() as u64,
+                depth,
+            };
+        }
+        if depth >= cfg.max_depth {
+            return CheckOutcome::ResourceLimit {
+                states: visited.len() as u64,
+                depth,
+                reason: format!(
+                    "no quiescence after {} steps ({} states still expanding)",
+                    cfg.max_depth,
+                    frontier.len()
+                ),
+            };
+        }
+        if visited.len() > cfg.max_states {
+            return CheckOutcome::ResourceLimit {
+                states: visited.len() as u64,
+                depth,
+                reason: format!("state budget of {} exceeded", cfg.max_states),
+            };
+        }
+
+        // Expand the layer on the worker pool; slot per frontier index so
+        // the merge below is deterministic regardless of which worker
+        // finished when.
+        let items = frontier.len();
+        let in_slots: Vec<Mutex<Option<(usize, CheckState)>>> =
+            frontier.drain(..).map(|x| Mutex::new(Some(x))).collect();
+        let out_slots: Vec<Mutex<Option<Expanded>>> =
+            (0..items).map(|_| Mutex::new(None)).collect();
+        let jobs = cfg.jobs.clamp(1, items);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= items {
+                        break;
+                    }
+                    let (arena_idx, state) = in_slots[t].lock().unwrap().take().unwrap();
+                    *out_slots[t].lock().unwrap() = Some(expand(arena_idx, &state));
+                });
+            }
+        });
+        let expanded: Vec<Expanded> = out_slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("worker left a slot empty"))
+            .collect();
+
+        // Violations first: any hit in this layer is depth-minimal, and
+        // taking the first in frontier order keeps the result independent
+        // of the worker schedule.
+        for exp in &expanded {
+            if let Some((choice, violation)) = &exp.violation {
+                let mut choices = vec![*choice];
+                let mut idx = exp.arena_idx;
+                while idx != ROOT {
+                    let (parent, c) = arena[idx];
+                    choices.push(c);
+                    idx = parent;
+                }
+                choices.reverse();
+                return CheckOutcome::Violation(Counterexample {
+                    choices,
+                    violation: violation.clone(),
+                    states: visited.len() as u64,
+                });
+            }
+        }
+        for exp in expanded {
+            for (choice, state, digest) in exp.succs {
+                if visited.insert(digest) {
+                    arena.push((exp.arena_idx, choice));
+                    frontier.push((arena.len() - 1, state));
+                }
+            }
+        }
+        depth += 1;
+    }
+}

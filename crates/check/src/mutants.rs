@@ -1,0 +1,223 @@
+//! Injected protocol bugs — mutation tests for the checker itself.
+//!
+//! Each mutant wraps a correct protocol and corrupts exactly one behavior
+//! via a [`ProtoCtx`] shim, the first time the opportunity arises. The
+//! model checker must find every one of them with a minimal
+//! counterexample; if a mutant ever survives exploration, the checker has
+//! lost its teeth (the same philosophy as `tests/witness_catches_bugs.rs`
+//! for the simulator witness).
+
+use dirtree_core::ctx::{ProtoCtx, ProtoEvent};
+use dirtree_core::msg::{Msg, MsgKind};
+use dirtree_core::protocol::{build_protocol, Protocol, ProtocolKind, ProtocolParams};
+use dirtree_core::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_sim::Cycle;
+
+/// Which single behavior to corrupt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutantKind {
+    /// Swallow the first directory-originated `Inv` and forge its
+    /// `InvAck`: the sharer's copy survives the write.
+    DropInv,
+    /// The first invalidation a cache handles is acknowledged without
+    /// actually killing the copy (the line stays readable).
+    PrematureAck,
+    /// Truncate the first non-empty `ReadReply` adopt list: a subtree is
+    /// orphaned from the directory's recorded forest.
+    StaleTreePointer,
+}
+
+/// A correct protocol with one injected bug.
+pub struct Mutated {
+    inner: Box<dyn Protocol>,
+    kind: MutantKind,
+    tripped: bool,
+}
+
+impl Mutated {
+    pub fn new(inner: Box<dyn Protocol>, kind: MutantKind) -> Self {
+        Self {
+            inner,
+            kind,
+            tripped: false,
+        }
+    }
+
+    /// Factory for the explorer: a fresh mutant around `build_protocol`.
+    pub fn factory(
+        proto: ProtocolKind,
+        params: ProtocolParams,
+        kind: MutantKind,
+    ) -> impl Fn() -> Box<dyn Protocol> + Sync {
+        move || Box::new(Mutated::new(build_protocol(proto, params), kind))
+    }
+}
+
+/// The sabotaging context shim. `active` gates mutations that must only
+/// fire while handling a specific message kind.
+struct MutCtx<'a> {
+    inner: &'a mut dyn ProtoCtx,
+    kind: MutantKind,
+    tripped: &'a mut bool,
+    active: bool,
+}
+
+impl ProtoCtx for MutCtx<'_> {
+    fn now(&self) -> Cycle {
+        self.inner.now()
+    }
+    fn num_nodes(&self) -> u32 {
+        self.inner.num_nodes()
+    }
+    fn home_of(&self, addr: Addr) -> NodeId {
+        self.inner.home_of(addr)
+    }
+
+    fn send(&mut self, dst: NodeId, msg: Msg) {
+        if !*self.tripped {
+            match (self.kind, &msg.kind) {
+                (MutantKind::DropInv, MsgKind::Inv { from_dir: true, .. }) => {
+                    // Swallow the invalidation; forge the ack to its sender.
+                    *self.tripped = true;
+                    let src = msg.src;
+                    self.inner.redeliver(
+                        src,
+                        Msg {
+                            addr: msg.addr,
+                            src: dst,
+                            kind: MsgKind::InvAck { dir: true },
+                        },
+                        1,
+                    );
+                    return;
+                }
+                (MutantKind::StaleTreePointer, MsgKind::ReadReply { adopt })
+                    if !adopt.is_empty() =>
+                {
+                    *self.tripped = true;
+                    let mut adopt = adopt.clone();
+                    adopt.pop();
+                    self.inner.send(
+                        dst,
+                        Msg {
+                            addr: msg.addr,
+                            src: msg.src,
+                            kind: MsgKind::ReadReply { adopt },
+                        },
+                    );
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.inner.send(dst, msg);
+    }
+
+    fn broadcast(&mut self, msg: Msg) -> Cycle {
+        self.inner.broadcast(msg)
+    }
+    fn redeliver(&mut self, node: NodeId, msg: Msg, delay: Cycle) {
+        self.inner.redeliver(node, msg, delay);
+    }
+    fn occupy(&mut self, node: NodeId, cycles: Cycle) {
+        self.inner.occupy(node, cycles);
+    }
+    fn line_state(&self, node: NodeId, addr: Addr) -> LineState {
+        self.inner.line_state(node, addr)
+    }
+
+    fn set_line_state(&mut self, node: NodeId, addr: Addr, state: LineState) {
+        if self.active
+            && !*self.tripped
+            && self.kind == MutantKind::PrematureAck
+            && state == LineState::Iv
+            && self.inner.line_state(node, addr).readable()
+        {
+            // Ack flows, copy survives.
+            *self.tripped = true;
+            return;
+        }
+        self.inner.set_line_state(node, addr, state);
+    }
+
+    fn complete(&mut self, node: NodeId, addr: Addr, op: OpKind) {
+        self.inner.complete(node, addr, op);
+    }
+    fn note(&mut self, event: ProtoEvent) {
+        self.inner.note(event);
+    }
+}
+
+impl Protocol for Mutated {
+    fn kind(&self) -> ProtocolKind {
+        self.inner.kind()
+    }
+
+    fn start_miss(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, op: OpKind) {
+        let mut shim = MutCtx {
+            inner: ctx,
+            kind: self.kind,
+            tripped: &mut self.tripped,
+            active: self.kind != MutantKind::PrematureAck,
+        };
+        self.inner.start_miss(&mut shim, node, addr, op);
+    }
+
+    fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        // PrematureAck only corrupts line-state writes made while handling
+        // an invalidation — not fills, downgrades, or replacements.
+        let active = match self.kind {
+            MutantKind::PrematureAck => matches!(msg.kind, MsgKind::Inv { .. }),
+            _ => true,
+        };
+        let mut shim = MutCtx {
+            inner: ctx,
+            kind: self.kind,
+            tripped: &mut self.tripped,
+            active,
+        };
+        self.inner.handle(&mut shim, node, msg);
+    }
+
+    fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
+        let mut shim = MutCtx {
+            inner: ctx,
+            kind: self.kind,
+            tripped: &mut self.tripped,
+            active: self.kind != MutantKind::PrematureAck,
+        };
+        self.inner.evict(&mut shim, node, addr, state);
+    }
+
+    fn dir_bits_per_mem_block(&self, nodes: u32) -> u64 {
+        self.inner.dir_bits_per_mem_block(nodes)
+    }
+    fn cache_bits_per_line(&self, nodes: u32) -> u64 {
+        self.inner.cache_bits_per_line(nodes)
+    }
+    fn is_update(&self) -> bool {
+        self.inner.is_update()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(Mutated {
+            inner: self.inner.boxed_clone(),
+            kind: self.kind,
+            tripped: self.tripped,
+        })
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        self.inner.fingerprint(h);
+        h.write_u8(self.tripped as u8);
+    }
+
+    fn check_invariants(
+        &self,
+        ctx: &dyn ProtoCtx,
+        addrs: &[Addr],
+        quiescent: bool,
+    ) -> Result<(), String> {
+        self.inner.check_invariants(ctx, addrs, quiescent)
+    }
+}

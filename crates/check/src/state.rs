@@ -1,0 +1,317 @@
+//! One explored state: a protocol instance plus its [`CheckCtx`], with the
+//! enabled-choice enumeration and the transition function.
+//!
+//! A **choice** is one atomic step of the abstract machine:
+//!
+//! * `Deliver { src, dst }` — pop the head of one network channel and run
+//!   the protocol handler at the destination.
+//! * `Local { node }` — pop the head of a node's redelivery queue (gate
+//!   wake-ups, self-messages).
+//! * `Op { node, op }` — a processor issues a read, write, or replacement.
+//!
+//! Completions the protocol announces (`ProtoCtx::complete`) retire
+//! *synchronously* at the end of the triggering choice — this is where
+//! the witness checks fire. The simulator schedules `OpDone` only
+//! `cache_latency` after the fill, before any causally-subsequent
+//! network delivery can land at the node; modeling retirement as a
+//! separate, arbitrarily-delayed choice would explore interleavings the
+//! event queue cannot produce (e.g. a `WbReq` downgrading a just-granted
+//! writer before its completion check) and false-positive the witness.
+//!
+//! Every applied choice ends with [`CheckState::post_check`]: witness
+//! errors, protocol-flagged misbehavior, deadlock (a blocked processor
+//! with nothing in flight anywhere), protocol structural invariants, and —
+//! at quiescence — the stale-survivor sweep.
+
+use crate::ctx::CheckCtx;
+use dirtree_core::protocol::Protocol;
+use dirtree_core::types::{Addr, LineState, NodeId, OpKind};
+
+/// A processor action at one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProcOp {
+    Read(Addr),
+    Write(Addr),
+    /// Voluntary replacement of a stable (`V`/`E`) line — the checker has
+    /// no cache capacity, so replacement is an explicit choice.
+    Evict(Addr),
+}
+
+/// One atomic transition of the abstract machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Choice {
+    Deliver { src: NodeId, dst: NodeId },
+    Local { node: NodeId },
+    Op { node: NodeId, op: ProcOp },
+}
+
+/// A protocol instance embedded in the abstract machine.
+pub struct CheckState {
+    pub ctx: CheckCtx,
+    pub proto: Box<dyn Protocol>,
+    addrs: Vec<Addr>,
+}
+
+impl Clone for CheckState {
+    fn clone(&self) -> Self {
+        Self {
+            ctx: self.ctx.clone(),
+            proto: self.proto.boxed_clone(),
+            addrs: self.addrs.clone(),
+        }
+    }
+}
+
+impl CheckState {
+    pub fn new(nodes: u32, fuel: u32, addrs: Vec<Addr>, proto: Box<dyn Protocol>) -> Self {
+        Self {
+            ctx: CheckCtx::new(nodes, fuel),
+            proto,
+            addrs,
+        }
+    }
+
+    pub fn addrs(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// Canonical digest of the complete state (context + protocol).
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = dirtree_sim::hash::FxHasher::default();
+        self.ctx.digest(&mut h);
+        self.proto.fingerprint(&mut h);
+        h.finish()
+    }
+
+    /// Every choice enabled in this state, in a fixed deterministic order
+    /// (channels by (src, dst), then locals, completions, and processor
+    /// ops by node and block).
+    pub fn enabled_choices(&self) -> Vec<Choice> {
+        let n = self.ctx.nodes();
+        let mut out = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                if self.ctx.channel_len(src, dst) > 0 {
+                    out.push(Choice::Deliver { src, dst });
+                }
+            }
+        }
+        for node in 0..n {
+            if self.ctx.local_len(node) > 0 {
+                out.push(Choice::Local { node });
+            }
+        }
+        for node in 0..n {
+            if self.ctx.outstanding[node as usize].is_some() || self.ctx.fuel[node as usize] == 0 {
+                continue;
+            }
+            for &addr in &self.addrs {
+                let st = self.line_state(node, addr);
+                // A transient line would only make the machine retry the
+                // op — a no-op loop the exploration can skip.
+                if !st.transient() {
+                    out.push(Choice::Op {
+                        node,
+                        op: ProcOp::Read(addr),
+                    });
+                    out.push(Choice::Op {
+                        node,
+                        op: ProcOp::Write(addr),
+                    });
+                }
+                if matches!(st, LineState::V | LineState::E) {
+                    out.push(Choice::Op {
+                        node,
+                        op: ProcOp::Evict(addr),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn line_state(&self, node: NodeId, addr: Addr) -> LineState {
+        use dirtree_core::ctx::ProtoCtx;
+        self.ctx.line_state(node, addr)
+    }
+
+    /// Apply one choice. `Err` carries the violation that makes the
+    /// resulting state a counterexample endpoint.
+    pub fn apply(&mut self, choice: Choice) -> Result<(), String> {
+        self.ctx.now += 1;
+        match choice {
+            Choice::Deliver { src, dst } => {
+                let msg = self
+                    .ctx
+                    .pop_channel(src, dst)
+                    .expect("Deliver choice on an empty channel");
+                self.proto.handle(&mut self.ctx, dst, msg);
+            }
+            Choice::Local { node } => {
+                let msg = self
+                    .ctx
+                    .pop_local(node)
+                    .expect("Local choice on an empty queue");
+                self.proto.handle(&mut self.ctx, node, msg);
+            }
+            Choice::Op { node, op } => self.issue(node, op)?,
+        }
+        // Retire whatever the handler completed before anything else can
+        // happen (see the module docs on why this is synchronous).
+        for node in 0..self.ctx.nodes() {
+            if self.ctx.completion[node as usize].is_some() {
+                self.retire(node)?;
+            }
+        }
+        self.post_check()
+    }
+
+    /// Retire a completion the protocol announced — the checker's
+    /// equivalent of the simulator's `OpDone` event.
+    fn retire(&mut self, node: NodeId) -> Result<(), String> {
+        let (addr, op) = self.ctx.completion[node as usize]
+            .take()
+            .expect("retire without a pending completion");
+        match self.ctx.outstanding[node as usize].take() {
+            Some((a, o)) if a == addr && o == op => {}
+            other => {
+                return Err(format!(
+                    "protocol completed ({addr:#x}, {op:?}) at node {node} but the \
+                     outstanding access was {other:?}"
+                ))
+            }
+        }
+        match op {
+            OpKind::Read => self.ctx.verifier.on_read_fill(node, addr),
+            OpKind::Write => {
+                let others = self.ctx.other_holders(addr, node);
+                if self.proto.is_update() {
+                    self.ctx
+                        .verifier
+                        .on_write_complete_update(node, addr, &others);
+                } else {
+                    self.ctx
+                        .verifier
+                        .on_write_complete(node, addr, &others)
+                        .map_err(|v| v.to_string())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A processor issues one operation, mirroring the machine's
+    /// `issue_access` hit/upgrade/miss split.
+    fn issue(&mut self, node: NodeId, op: ProcOp) -> Result<(), String> {
+        debug_assert!(self.ctx.outstanding[node as usize].is_none());
+        self.ctx.fuel[node as usize] -= 1;
+        match op {
+            ProcOp::Read(addr) => {
+                let st = self.line_state(node, addr);
+                if st.readable() {
+                    self.ctx
+                        .verifier
+                        .on_read_hit(node, addr)
+                        .map_err(|v| v.to_string())?;
+                } else {
+                    self.ctx.set_line(node, addr, LineState::RmIp);
+                    self.ctx.outstanding[node as usize] = Some((addr, OpKind::Read));
+                    self.proto
+                        .start_miss(&mut self.ctx, node, addr, OpKind::Read);
+                }
+            }
+            ProcOp::Write(addr) => {
+                let st = self.line_state(node, addr);
+                if st.writable() {
+                    let others = self.ctx.other_holders(addr, node);
+                    if self.proto.is_update() {
+                        self.ctx
+                            .verifier
+                            .on_write_complete_update(node, addr, &others);
+                    } else {
+                        self.ctx
+                            .verifier
+                            .on_write_complete(node, addr, &others)
+                            .map_err(|v| v.to_string())?;
+                    }
+                } else {
+                    // Upgrade (V) and genuine miss share the same entry
+                    // point, exactly like the machine.
+                    self.ctx.set_line(node, addr, LineState::WmIp);
+                    self.ctx.outstanding[node as usize] = Some((addr, OpKind::Write));
+                    self.proto
+                        .start_miss(&mut self.ctx, node, addr, OpKind::Write);
+                }
+            }
+            ProcOp::Evict(addr) => {
+                let st = self
+                    .ctx
+                    .remove_line(node, addr)
+                    .expect("Evict choice on a non-resident line");
+                debug_assert!(matches!(st, LineState::V | LineState::E));
+                self.proto.evict(&mut self.ctx, node, addr, st);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that run after every transition (and once on the root).
+    pub fn post_check(&mut self) -> Result<(), String> {
+        if let Some(e) = self.ctx.flagged.take() {
+            return Err(e);
+        }
+        let pending = self.ctx.has_pending_event();
+        let quiescent = self.ctx.quiescent();
+        if !pending && !quiescent {
+            let blocked: Vec<(NodeId, (Addr, OpKind))> = self
+                .ctx
+                .outstanding
+                .iter()
+                .enumerate()
+                .filter_map(|(n, o)| o.map(|o| (n as NodeId, o)))
+                .collect();
+            return Err(format!(
+                "deadlock: processors {blocked:?} blocked with no message or \
+                 completion in flight anywhere"
+            ));
+        }
+        if quiescent {
+            self.ctx
+                .verifier
+                .on_finish(self.ctx.survivors().into_iter())
+                .map_err(|v| format!("at quiescence: {v}"))?;
+        }
+        self.proto
+            .check_invariants(&self.ctx, &self.addrs, quiescent)
+            .map_err(|e| format!("invariant violation: {e}"))
+    }
+
+    /// Human-readable description of `choice` as it would apply to *this*
+    /// state (peeks at channel heads to name the message involved).
+    pub fn describe(&self, choice: Choice) -> String {
+        match choice {
+            Choice::Deliver { src, dst } => match self.ctx.peek_channel(src, dst) {
+                Some(m) => format!(
+                    "deliver {src} -> {dst}: {} addr {:#x}",
+                    m.kind.label(),
+                    m.addr
+                ),
+                None => format!("deliver {src} -> {dst}: <empty>"),
+            },
+            Choice::Local { node } => match self.ctx.peek_local(node) {
+                Some(m) => format!(
+                    "local wake-up at {node}: {} addr {:#x}",
+                    m.kind.label(),
+                    m.addr
+                ),
+                None => format!("local wake-up at {node}: <empty>"),
+            },
+            Choice::Op { node, op } => match op {
+                ProcOp::Read(a) => format!("proc {node} read {a:#x}"),
+                ProcOp::Write(a) => format!("proc {node} write {a:#x}"),
+                ProcOp::Evict(a) => format!("proc {node} evict {a:#x}"),
+            },
+        }
+    }
+}

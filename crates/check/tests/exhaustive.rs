@@ -1,0 +1,135 @@
+//! Integration tests for the model checker: the figure-set protocols are
+//! exhaustively clean at the smallest configuration, exploration is
+//! deterministic regardless of worker count, and budgets come back as
+//! structured resource reports instead of hangs.
+
+use dirtree_check::{explore, replay, CheckConfig, CheckOutcome, MutantKind, Mutated};
+use dirtree_core::protocol::{build_protocol, ProtocolKind, ProtocolParams};
+
+/// Every protocol of the paper's figure set survives exhaustive
+/// exploration at P = 2, one block (the CI fast tier; `check_all` covers
+/// the larger shapes).
+#[test]
+fn figure_set_is_exhaustively_clean_at_p2() {
+    let params = ProtocolParams::default();
+    for kind in ProtocolKind::figure_set() {
+        let cfg = CheckConfig::small(2, 1);
+        let outcome = explore(&cfg, || build_protocol(kind, params));
+        assert!(
+            outcome.is_pass(),
+            "{} failed exhaustive exploration: {outcome:?}",
+            kind.name()
+        );
+        assert!(
+            outcome.states() > 1000,
+            "{} explored suspiciously few states ({})",
+            kind.name(),
+            outcome.states()
+        );
+    }
+}
+
+/// The BFS result — including the counterexample, when there is one — is
+/// independent of the worker count.
+#[test]
+fn exploration_is_deterministic_across_jobs() {
+    let factory = Mutated::factory(
+        ProtocolKind::FullMap,
+        ProtocolParams::default(),
+        MutantKind::DropInv,
+    );
+    let mut cfg = CheckConfig::small(2, 1);
+    cfg.jobs = 1;
+    let CheckOutcome::Violation(serial) = explore(&cfg, &factory) else {
+        panic!("mutant survived serial exploration");
+    };
+    cfg.jobs = 4;
+    let CheckOutcome::Violation(parallel) = explore(&cfg, &factory) else {
+        panic!("mutant survived parallel exploration");
+    };
+    assert_eq!(serial.choices, parallel.choices);
+    assert_eq!(serial.violation, parallel.violation);
+    assert_eq!(serial.states, parallel.states);
+}
+
+/// An exhausted depth budget is a structured report, not a hang or a
+/// panic — the checker's bounded-step stall guard.
+#[test]
+fn depth_budget_reports_a_resource_limit() {
+    let mut cfg = CheckConfig::small(2, 1);
+    cfg.max_depth = 3;
+    let outcome = explore(&cfg, || {
+        build_protocol(ProtocolKind::FullMap, ProtocolParams::default())
+    });
+    let CheckOutcome::ResourceLimit { reason, depth, .. } = outcome else {
+        panic!("expected a resource limit, got {outcome:?}");
+    };
+    assert_eq!(depth, 3);
+    assert!(
+        reason.contains("no quiescence after"),
+        "unexpected reason: {reason}"
+    );
+}
+
+/// Same guard for the state budget.
+#[test]
+fn state_budget_reports_a_resource_limit() {
+    let mut cfg = CheckConfig::small(2, 1);
+    cfg.max_states = 50;
+    let outcome = explore(&cfg, || {
+        build_protocol(ProtocolKind::FullMap, ProtocolParams::default())
+    });
+    let CheckOutcome::ResourceLimit { reason, .. } = outcome else {
+        panic!("expected a resource limit, got {outcome:?}");
+    };
+    assert!(
+        reason.contains("state budget"),
+        "unexpected reason: {reason}"
+    );
+}
+
+/// A replayed counterexample narrates every step and renders a message
+/// trace with an explicit dropped-event count.
+#[test]
+fn replay_renders_steps_and_trace() {
+    let factory = Mutated::factory(
+        ProtocolKind::FullMap,
+        ProtocolParams::default(),
+        MutantKind::DropInv,
+    );
+    let cfg = CheckConfig::small(2, 1);
+    let CheckOutcome::Violation(cx) = explore(&cfg, &factory) else {
+        panic!("mutant survived exploration");
+    };
+    let rep = replay(&cfg, &factory, &cx.choices, 256);
+    assert_eq!(rep.violation.as_deref(), Some(cx.violation.as_str()));
+    assert_eq!(rep.steps.len(), cx.choices.len());
+    assert!(!rep.trace.is_empty());
+    assert_eq!(rep.trace_dropped, 0, "256-entry ring should hold it all");
+
+    // A one-entry ring must drop traffic and say so.
+    let tiny = replay(&cfg, &factory, &cx.choices, 1);
+    assert!(tiny.trace_dropped > 0);
+}
+
+/// The silent-replacement / write-grant race the checker found in
+/// Dir_1Tree_2 (fixed by zombie edges): the exact 12-step interleaving —
+/// both processors read, the ex-root evicts and immediately rewrites
+/// while its `ReplaceInv` is still in flight — must stay clean.
+#[test]
+fn dir1tree2_evict_then_write_race_stays_closed() {
+    let cfg = CheckConfig::small(2, 1);
+    let outcome = explore(&cfg, || {
+        build_protocol(
+            ProtocolKind::DirTree {
+                pointers: 1,
+                arity: 2,
+            },
+            ProtocolParams::default(),
+        )
+    });
+    assert!(
+        outcome.is_pass(),
+        "Dir_1Tree_2 regressed (the PR-2 replacement race?): {outcome:?}"
+    );
+}

@@ -29,6 +29,17 @@
 //! directory pointers may go stale; invalidation handling is idempotent so
 //! every `Inv` still produces exactly one ack.
 //!
+//! Because `Replace_INV` is unacknowledged, nothing orders the silent kill
+//! before a later write grant: if the disbanding node forgot its child
+//! edges, a write could complete (all *recorded* sharers acked) while a
+//! `Replace_INV` is still in flight toward a live copy. The disbanded
+//! edges are therefore remembered as **zombie edges** and every
+//! acknowledged invalidation wave re-traverses them; per-channel FIFO
+//! delivery guarantees the wave's `Inv` reaches each ex-child after the
+//! `Replace_INV` did, so its acknowledgement proves the copy is dead.
+//! (The model checker in `crates/check` finds the 12-step counterexample
+//! at P=2 if the edges are dropped instead.)
+//!
 //! ```
 //! use dirtree_core::dir::dir_tree::DirTree;
 //! use dirtree_core::protocol::{Protocol, ProtocolParams};
@@ -52,13 +63,13 @@ use crate::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_sim::FxHashMap;
 
 /// A directory pointer: the root of one sharer tree and its recorded level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Ptr {
     pub node: NodeId,
     pub level: u32,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     dirty: bool,
     owner: NodeId,
@@ -79,6 +90,7 @@ struct DeferredInv {
 }
 
 /// The Dir_iTree_k protocol.
+#[derive(Clone)]
 pub struct DirTree {
     pointers: u32,
     arity: u32,
@@ -87,6 +99,15 @@ pub struct DirTree {
     gate: TxnGate,
     /// Cache-side child pointers (up to `arity` per line).
     children: FxHashMap<(NodeId, Addr), Vec<NodeId>>,
+    /// Edges of a disbanded subtree: children a node has already sent an
+    /// *unacknowledged* `ReplaceInv`, remembered until an acknowledged
+    /// invalidation wave re-traverses them. Nothing orders a silent kill
+    /// before a later write grant except per-channel FIFO — so the wave's
+    /// `Inv` must follow the same channels the `ReplaceInv` took. Dropping
+    /// these edges at replacement time lets a write complete while the
+    /// kill is still in flight (the model checker finds the race in 12
+    /// steps at P=2).
+    zombies: FxHashMap<(NodeId, Addr), Vec<NodeId>>,
     collectors: AckCollectors,
     /// Writeback requests that arrived while the owner was still killing
     /// its own subtree (`WmLip`); served when it becomes exclusive.
@@ -104,6 +125,7 @@ impl DirTree {
             entries: FxHashMap::default(),
             gate: TxnGate::new(),
             children: FxHashMap::default(),
+            zombies: FxHashMap::default(),
             collectors: AckCollectors::new(),
             pending_wb: FxHashMap::default(),
         }
@@ -133,6 +155,39 @@ impl DirTree {
             .get(&(node, addr))
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+
+    /// Disbanded-subtree edges of `(node, addr)` still awaiting an
+    /// acknowledged re-traversal (see the `zombies` field).
+    pub fn zombies_of(&self, node: NodeId, addr: Addr) -> &[NodeId] {
+        self.zombies
+            .get(&(node, addr))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Silently disband `(node, addr)`'s subtree: one unacknowledged
+    /// `ReplaceInv` per child, with the edges moved to the zombie set so
+    /// the next acknowledged invalidation wave still covers them.
+    fn disband(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr) {
+        let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+        if kids.is_empty() {
+            return;
+        }
+        let z = self.zombies.entry((node, addr)).or_default();
+        for k in kids {
+            ctx.send(
+                k,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::ReplaceInv,
+                },
+            );
+            if !z.contains(&k) {
+                z.push(k);
+            }
+        }
     }
 
     /// Collect the whole tree rooted at `root` by following child pointers
@@ -454,7 +509,12 @@ impl DirTree {
         debts: Vec<DeferredInv>,
         invalidate_line: bool,
     ) {
-        let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+        let mut kids = self.children.remove(&(node, addr)).unwrap_or_default();
+        for z in self.zombies.remove(&(node, addr)).unwrap_or_default() {
+            if !kids.contains(&z) {
+                kids.push(z);
+            }
+        }
         let mut outstanding = 0;
         for k in kids {
             ctx.send(
@@ -563,25 +623,14 @@ impl DirTree {
                 // Stale target (or a requester whose read has not been
                 // served yet — the home holds read transactions open until
                 // the FillAck, so no fill can be in flight here): no copy,
-                // no children — but a pairing duty must still be
-                // discharged.
+                // no children. But a disbanded subtree (zombie edges) must
+                // be re-traversed with *acknowledged* invalidations — the
+                // silent `ReplaceInv`s may still be in flight, and this
+                // wave is what orders the kill before the write grant —
+                // and a pairing duty must still be discharged. `kill_copy`
+                // handles all of it (with no live line to invalidate).
                 debug_assert!(self.children_of(node, addr).is_empty());
-                if let Some(partner) = debt.also {
-                    ctx.send(
-                        partner,
-                        Msg {
-                            addr,
-                            src: node,
-                            kind: MsgKind::Inv {
-                                also: None,
-                                from_dir: false,
-                            },
-                        },
-                    );
-                    self.collectors.open(node, addr, debt.from, debt.dir, 1);
-                } else {
-                    ack(ctx, node, addr, debt.from, debt.dir);
-                }
+                self.kill_copy(ctx, node, addr, vec![debt], false);
             }
             LineState::E => {
                 // Unreachable by construction (see module docs); be safe.
@@ -675,17 +724,7 @@ impl DirTree {
         // stale parent thought it was killing; only a live shared copy dies.
         if ctx.line_state(node, addr) == LineState::V {
             ctx.note(ProtoEvent::ReplacementInvalidation);
-            let kids = self.children.remove(&(node, addr)).unwrap_or_default();
-            for k in kids {
-                ctx.send(
-                    k,
-                    Msg {
-                        addr,
-                        src: node,
-                        kind: MsgKind::ReplaceInv,
-                    },
-                );
-            }
+            self.disband(ctx, node, addr);
             ctx.set_line_state(node, addr, LineState::Iv);
         }
     }
@@ -739,7 +778,7 @@ impl Protocol for DirTree {
             MsgKind::ReadReply { .. } => self.handle_read_reply(ctx, node, msg),
             MsgKind::WriteReply { kill_self_subtree } => {
                 debug_assert_eq!(ctx.line_state(node, addr), LineState::WmIp);
-                let kids = if kill_self_subtree {
+                let mut kids = if kill_self_subtree {
                     self.children.remove(&(node, addr)).unwrap_or_default()
                 } else {
                     // Any children the writer had were killed when the
@@ -748,6 +787,15 @@ impl Protocol for DirTree {
                     debug_assert!(self.children_of(node, addr).is_empty());
                     Vec::new()
                 };
+                // A subtree this writer disbanded earlier (silent
+                // replacement, then re-miss) may still have its
+                // `ReplaceInv`s in flight: re-kill it with acknowledged
+                // invalidations so the write cannot complete first.
+                for z in self.zombies.remove(&(node, addr)).unwrap_or_default() {
+                    if !kids.contains(&z) {
+                        kids.push(z);
+                    }
+                }
                 if kids.is_empty() {
                     ctx.set_line_state(node, addr, LineState::E);
                     ctx.complete(node, addr, OpKind::Write);
@@ -794,17 +842,7 @@ impl Protocol for DirTree {
     fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
         match state {
             LineState::V => {
-                let kids = self.children.remove(&(node, addr)).unwrap_or_default();
-                for k in kids {
-                    ctx.send(
-                        k,
-                        Msg {
-                            addr,
-                            src: node,
-                            kind: MsgKind::ReplaceInv,
-                        },
-                    );
-                }
+                self.disband(ctx, node, addr);
                 if !self.params.dir_tree_silent_replace {
                     let home = ctx.home_of(addr);
                     ctx.send(
@@ -840,6 +878,204 @@ impl Protocol for DirTree {
     fn cache_bits_per_line(&self, nodes: u32) -> u64 {
         // k child pointers of log n bits, plus state.
         self.arity as u64 * ptr_bits(nodes) + 3
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        use crate::fingerprint::digest_map;
+        digest_map(h, &self.entries);
+        self.gate.digest(h);
+        digest_map(h, &self.children);
+        digest_map(h, &self.zombies);
+        self.collectors.digest(h);
+        digest_map(h, &self.pending_wb);
+    }
+
+    /// Dir_iTree_k structural invariants (§3 well-formedness).
+    ///
+    /// Checked at **every** state:
+    /// * every directory entry keeps exactly `i` pointer slots (≤ i roots);
+    /// * pointers reference valid nodes with level ≥ 1;
+    /// * no two pointers of one block reference the same root;
+    /// * cache-side child lists hold ≤ `k` distinct children, never the
+    ///   node itself;
+    /// * zombie (disbanded-subtree) edge lists hold distinct valid nodes,
+    ///   never the node itself.
+    ///
+    /// Checked only at **quiescence** (no message in flight — mid-
+    /// transaction these are legitimately violated, e.g. while a recalled
+    /// owner's data is on the wire):
+    /// * no ack collector or home transaction is left open;
+    /// * `dirty` entries have an empty forest, no child or zombie edges
+    ///   (the granting wave drains both), and the recorded owner exclusive;
+    /// * clean blocks have no exclusive copy, and every valid copy is
+    ///   reachable from the recorded roots through child and zombie
+    ///   pointers — a sharer the forest cannot see would silently survive
+    ///   the next write invalidation.
+    ///
+    /// Note the *absence* of a height-vs-level claim: recorded levels are
+    /// upper bounds at insertion time, and silent replacement + rejoin can
+    /// leave stale cross-tree edges that make a traversal longer than any
+    /// recorded level, so levels are deliberately only sanity-checked.
+    fn check_invariants(
+        &self,
+        ctx: &dyn ProtoCtx,
+        addrs: &[Addr],
+        quiescent: bool,
+    ) -> Result<(), String> {
+        let nodes = ctx.num_nodes();
+        for (&(node, addr), kids) in &self.children {
+            if kids.len() > self.arity as usize {
+                return Err(format!(
+                    "node {node} holds {} children for {addr:#x}, arity is {}",
+                    kids.len(),
+                    self.arity
+                ));
+            }
+            let mut seen = kids.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != kids.len() {
+                return Err(format!(
+                    "duplicate child pointer at node {node} for {addr:#x}"
+                ));
+            }
+            if kids.contains(&node) {
+                return Err(format!(
+                    "self-loop child pointer at node {node} for {addr:#x}"
+                ));
+            }
+            if kids.iter().any(|&k| k >= nodes) {
+                return Err(format!(
+                    "out-of-range child pointer at node {node} for {addr:#x}"
+                ));
+            }
+        }
+        for (&(node, addr), kids) in &self.zombies {
+            let mut seen = kids.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != kids.len() {
+                return Err(format!(
+                    "duplicate zombie edge at node {node} for {addr:#x}"
+                ));
+            }
+            if kids.contains(&node) {
+                return Err(format!(
+                    "self-loop zombie edge at node {node} for {addr:#x}"
+                ));
+            }
+            if kids.iter().any(|&k| k >= nodes) {
+                return Err(format!(
+                    "out-of-range zombie edge at node {node} for {addr:#x}"
+                ));
+            }
+        }
+        for (&addr, e) in &self.entries {
+            if e.ptrs.len() != self.pointers as usize {
+                return Err(format!(
+                    "directory entry for {addr:#x} has {} pointer slots, expected {}",
+                    e.ptrs.len(),
+                    self.pointers
+                ));
+            }
+            let roots: Vec<Ptr> = e.ptrs.iter().flatten().copied().collect();
+            for p in &roots {
+                if p.node >= nodes {
+                    return Err(format!("pointer at {addr:#x} references node {}", p.node));
+                }
+                if p.level == 0 {
+                    return Err(format!("pointer at {addr:#x} has level 0"));
+                }
+            }
+            let mut root_nodes: Vec<NodeId> = roots.iter().map(|p| p.node).collect();
+            root_nodes.sort_unstable();
+            root_nodes.dedup();
+            if root_nodes.len() != roots.len() {
+                return Err(format!("duplicate root pointer at {addr:#x}"));
+            }
+        }
+        if !quiescent {
+            return Ok(());
+        }
+        if self.collectors.open_count() != 0 {
+            return Err(format!(
+                "{} ack collector(s) still open at quiescence",
+                self.collectors.open_count()
+            ));
+        }
+        if self.gate.open_transactions() != 0 {
+            return Err(format!(
+                "{} home transaction(s) still open at quiescence",
+                self.gate.open_transactions()
+            ));
+        }
+        for &addr in addrs {
+            let Some(e) = self.entries.get(&addr) else {
+                continue;
+            };
+            if e.dirty {
+                if e.ptrs.iter().any(Option::is_some) {
+                    return Err(format!("dirty block {addr:#x} still records roots"));
+                }
+                if ctx.line_state(e.owner, addr) != LineState::E {
+                    return Err(format!(
+                        "dirty block {addr:#x}: recorded owner {} is not exclusive",
+                        e.owner
+                    ));
+                }
+                if self
+                    .children
+                    .iter()
+                    .any(|(&(_, a), k)| a == addr && !k.is_empty())
+                {
+                    return Err(format!("dirty block {addr:#x} still has child edges"));
+                }
+                if self
+                    .zombies
+                    .iter()
+                    .any(|(&(_, a), k)| a == addr && !k.is_empty())
+                {
+                    return Err(format!("dirty block {addr:#x} still has zombie edges"));
+                }
+                continue;
+            }
+            // Clean block: no exclusive copy, and every valid copy must be
+            // reachable from the recorded roots.
+            let mut reachable: Vec<NodeId> = Vec::new();
+            let mut frontier: Vec<NodeId> = self
+                .entries
+                .get(&addr)
+                .map(|e| e.ptrs.iter().flatten().map(|p| p.node).collect())
+                .unwrap_or_default();
+            while let Some(n) = frontier.pop() {
+                if reachable.contains(&n) {
+                    continue;
+                }
+                reachable.push(n);
+                frontier.extend_from_slice(self.children_of(n, addr));
+                frontier.extend_from_slice(self.zombies_of(n, addr));
+            }
+            for n in 0..nodes {
+                match ctx.line_state(n, addr) {
+                    LineState::E => {
+                        return Err(format!(
+                            "clean block {addr:#x} has an exclusive copy at node {n}"
+                        ));
+                    }
+                    LineState::V if !reachable.contains(&n) => {
+                        return Err(format!(
+                            "valid copy at node {n} for {addr:#x} unreachable from the forest"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -24,7 +24,7 @@ use dirtree_sim::FxHashMap;
 
 use super::dir_tree::Ptr;
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     ptrs: Vec<Option<Ptr>>,
     pending_writer: Option<NodeId>,
@@ -32,6 +32,7 @@ struct Entry {
 }
 
 /// The update-write Dir_iTree_k variant.
+#[derive(Clone)]
 pub struct DirTreeUpdate {
     pointers: u32,
     arity: u32,
@@ -481,6 +482,18 @@ impl Protocol for DirTreeUpdate {
 
     fn cache_bits_per_line(&self, nodes: u32) -> u64 {
         self.arity as u64 * ptr_bits(nodes) + 3
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        use crate::fingerprint::digest_map;
+        digest_map(h, &self.entries);
+        self.gate.digest(h);
+        digest_map(h, &self.children);
+        self.collectors.digest(h);
     }
 }
 

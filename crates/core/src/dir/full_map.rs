@@ -13,7 +13,7 @@ use crate::protocol::{Protocol, ProtocolKind};
 use crate::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_sim::FxHashMap;
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     dirty: bool,
     owner: NodeId,
@@ -31,6 +31,7 @@ impl Entry {
 }
 
 /// The Dir_nNB full bit-map directory protocol.
+#[derive(Clone)]
 pub struct FullMap {
     entries: FxHashMap<Addr, Entry>,
     gate: TxnGate,
@@ -301,6 +302,15 @@ impl Protocol for FullMap {
     fn cache_bits_per_line(&self, nodes: u32) -> u64 {
         let _ = nodes;
         3 // state encoding only
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        crate::fingerprint::digest_map(h, &self.entries);
+        self.gate.digest(h);
     }
 }
 

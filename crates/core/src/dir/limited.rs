@@ -19,7 +19,7 @@ use crate::protocol::{ptr_bits, Protocol, ProtocolKind};
 use crate::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_sim::FxHashMap;
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     dirty: bool,
     owner: NodeId,
@@ -33,6 +33,7 @@ struct Entry {
 }
 
 /// Dir_iNB / Dir_iB limited directory.
+#[derive(Clone)]
 pub struct Limited {
     pointers: u32,
     broadcast: bool,
@@ -349,6 +350,15 @@ impl Protocol for Limited {
 
     fn cache_bits_per_line(&self, _nodes: u32) -> u64 {
         3
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        crate::fingerprint::digest_map(h, &self.entries);
+        self.gate.digest(h);
     }
 }
 

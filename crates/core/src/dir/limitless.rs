@@ -16,7 +16,7 @@ use crate::protocol::{ptr_bits, Protocol, ProtocolKind};
 use crate::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_sim::{Cycle, FxHashMap};
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     dirty: bool,
     owner: NodeId,
@@ -28,6 +28,7 @@ struct Entry {
 }
 
 /// The LimitLESS_i protocol.
+#[derive(Clone)]
 pub struct LimitLess {
     pointers: u32,
     trap_cycles: Cycle,
@@ -309,6 +310,15 @@ impl Protocol for LimitLess {
 
     fn cache_bits_per_line(&self, _nodes: u32) -> u64 {
         3
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        crate::fingerprint::digest_map(h, &self.entries);
+        self.gate.digest(h);
     }
 }
 

@@ -20,20 +20,21 @@ use crate::protocol::{ptr_bits, Protocol, ProtocolKind};
 use crate::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_sim::FxHashMap;
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     head: Option<NodeId>,
     dirty: bool,
     wait_fill: bool,
 }
 
-#[derive(Default, Clone, Copy)]
+#[derive(Default, Clone, Copy, Hash)]
 struct Links {
     prev: Option<NodeId>,
     next: Option<NodeId>,
 }
 
 /// The SCI doubly-linked-list protocol.
+#[derive(Clone)]
 pub struct Sci {
     entries: FxHashMap<Addr, Entry>,
     gate: TxnGate,
@@ -552,6 +553,18 @@ impl Protocol for Sci {
 
     fn cache_bits_per_line(&self, nodes: u32) -> u64 {
         2 * ptr_bits(nodes) + 2 + 3 // prev + next + null flags + state
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        use crate::fingerprint::digest_map;
+        digest_map(h, &self.entries);
+        self.gate.digest(h);
+        digest_map(h, &self.links);
+        digest_map(h, &self.tombstone);
     }
 }
 

@@ -22,7 +22,7 @@ use crate::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_sim::FxHashMap;
 
 /// A node of the home-side AVL tree.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 struct AvlN {
     l: Option<NodeId>,
     r: Option<NodeId>,
@@ -34,6 +34,21 @@ struct AvlN {
 pub struct Avl {
     nodes: FxHashMap<NodeId, AvlN>,
     root: Option<NodeId>,
+}
+
+// Canonical (sorted-key) hash so the model checker's state digest is
+// independent of the map's insertion history.
+impl std::hash::Hash for Avl {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut entries: Vec<(&NodeId, &AvlN)> = self.nodes.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        state.write_usize(entries.len());
+        for (k, v) in entries {
+            k.hash(state);
+            v.hash(state);
+        }
+        self.root.hash(state);
+    }
 }
 
 impl Avl {
@@ -257,7 +272,7 @@ impl Avl {
     }
 }
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     dirty: bool,
     owner: NodeId,
@@ -270,6 +285,7 @@ struct Entry {
 }
 
 /// The SCI tree extension protocol.
+#[derive(Clone)]
 pub struct SciTree {
     entries: FxHashMap<Addr, Entry>,
     gate: TxnGate,
@@ -776,6 +792,18 @@ impl Protocol for SciTree {
     fn cache_bits_per_line(&self, nodes: u32) -> u64 {
         // Two child pointers + balance bits + state.
         2 * ptr_bits(nodes) + 2 + 3
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        use crate::fingerprint::digest_map;
+        digest_map(h, &self.entries);
+        self.gate.digest(h);
+        digest_map(h, &self.children);
+        self.collectors.digest(h);
     }
 }
 

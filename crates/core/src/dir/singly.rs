@@ -22,7 +22,7 @@ use crate::protocol::{ptr_bits, Protocol, ProtocolKind};
 use crate::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_sim::FxHashMap;
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     head: Option<NodeId>,
     dirty: bool,
@@ -33,6 +33,7 @@ struct Entry {
 }
 
 /// The singly-linked-list protocol.
+#[derive(Clone)]
 pub struct SinglyList {
     entries: FxHashMap<Addr, Entry>,
     gate: TxnGate,
@@ -464,6 +465,17 @@ impl Protocol for SinglyList {
 
     fn cache_bits_per_line(&self, nodes: u32) -> u64 {
         ptr_bits(nodes) + 1 + 3 // next pointer + tail flag + state
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        use crate::fingerprint::digest_map;
+        digest_map(h, &self.entries);
+        self.gate.digest(h);
+        digest_map(h, &self.next);
     }
 }
 

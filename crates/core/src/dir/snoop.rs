@@ -27,7 +27,7 @@ use dirtree_sim::{Cycle, FxHashMap};
 /// plus slack), modeling the synchronous wired snoop-result lines.
 const SNOOP_WINDOW: Cycle = 4;
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     /// The memory controller snoops the bus too, so it always knows the
     /// modified owner.
@@ -35,6 +35,7 @@ struct Entry {
 }
 
 /// The snooping MSI protocol.
+#[derive(Clone)]
 pub struct Snoop {
     entries: FxHashMap<Addr, Entry>,
     gate: TxnGate,
@@ -241,6 +242,15 @@ impl Protocol for Snoop {
 
     fn cache_bits_per_line(&self, _nodes: u32) -> u64 {
         2 // MSI state
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        crate::fingerprint::digest_map(h, &self.entries);
+        self.gate.digest(h);
     }
 }
 

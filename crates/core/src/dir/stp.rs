@@ -21,7 +21,7 @@ use crate::protocol::{ptr_bits, Protocol, ProtocolKind};
 use crate::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_sim::FxHashMap;
 
-#[derive(Default)]
+#[derive(Clone, Default, Hash)]
 struct Entry {
     dirty: bool,
     owner: NodeId,
@@ -33,6 +33,7 @@ struct Entry {
 }
 
 /// The STP protocol with `arity`-ary trees.
+#[derive(Clone)]
 pub struct Stp {
     arity: u32,
     entries: FxHashMap<Addr, Entry>,
@@ -679,6 +680,19 @@ impl Protocol for Stp {
 
     fn cache_bits_per_line(&self, nodes: u32) -> u64 {
         self.arity as u64 * ptr_bits(nodes) + 3
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        use crate::fingerprint::digest_map;
+        digest_map(h, &self.entries);
+        self.gate.digest(h);
+        digest_map(h, &self.children);
+        self.collectors.digest(h);
+        digest_map(h, &self.fixups);
     }
 }
 

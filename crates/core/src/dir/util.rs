@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 /// block is busy the request is queued and `admit` returns `false`. When the
 /// transaction retires, [`TxnGate::finish`] releases the block and returns
 /// the next queued request (if any) for the protocol to redeliver to itself.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct TxnGate {
     waiting: FxHashMap<Addr, VecDeque<Msg>>,
     busy: dirtree_sim::FxHashSet<Addr>,
@@ -59,6 +59,12 @@ impl TxnGate {
     pub fn open_transactions(&self) -> usize {
         self.busy.len()
     }
+
+    /// Canonical digest of the gate state (model-checker support).
+    pub fn digest(&self, h: &mut dyn std::hash::Hasher) {
+        crate::fingerprint::digest_map(h, &self.waiting);
+        crate::fingerprint::digest_set(h, &self.busy);
+    }
 }
 
 /// Cache-side invalidation-ack collector for tree protocols.
@@ -70,11 +76,12 @@ impl TxnGate {
 /// re-join the forest while stale parent edges still point at them, a node
 /// can receive *several* `Inv`s for the same block concurrently; each one
 /// deserves exactly one ack, so the collector keeps a list of ack targets.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct AckCollectors {
     map: FxHashMap<(NodeId, Addr), Collector>,
 }
 
+#[derive(Clone, Hash)]
 struct Collector {
     /// `(target, dir)` pairs: who to ack and whether the ack is
     /// directory-bound.
@@ -146,6 +153,11 @@ impl AckCollectors {
     pub fn open_count(&self) -> usize {
         self.map.len()
     }
+
+    /// Canonical digest of all open collections (model-checker support).
+    pub fn digest(&self, h: &mut dyn std::hash::Hasher) {
+        crate::fingerprint::digest_map(h, &self.map);
+    }
 }
 
 /// Cache-controller behaviour shared by the flat (non-tree) bit-map
@@ -153,7 +165,7 @@ impl AckCollectors {
 /// no coherence metadata in the caches, so the cache side only fills lines,
 /// answers invalidations (deferring those that race an outstanding read
 /// fill), and serves writeback requests.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct FlatCacheSide;
 
 impl FlatCacheSide {
@@ -267,7 +279,7 @@ pub fn ack(ctx: &mut dyn crate::ctx::ProtoCtx, node: NodeId, addr: Addr, to: Nod
 use crate::msg::MsgKind;
 
 /// A dense bitset of node ids (the full-map presence vector).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct NodeSet {
     words: Vec<u64>,
     len: u32,

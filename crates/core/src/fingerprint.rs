@@ -1,0 +1,95 @@
+//! Canonical state digests for model checking.
+//!
+//! The model checker (`dirtree-check`) dedups explored states by a single
+//! `u64` digest of the *complete* machine + protocol state. Protocol
+//! metadata lives in hash maps whose iteration order is unspecified, so a
+//! naive `for (k, v) in map` hash would make the digest depend on insertion
+//! history — two identical states could digest differently and the visited
+//! set would leak. These helpers sort by key first, making the digest a
+//! pure function of the state's *content*.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Digest a map canonically: length, then `(key, value)` pairs in key order.
+pub fn digest_map<K, V, S>(h: &mut dyn Hasher, map: &HashMap<K, V, S>)
+where
+    K: Ord + Hash,
+    V: Hash,
+{
+    let mut entries: Vec<(&K, &V)> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    h.write_usize(entries.len());
+    let mut h = h;
+    for (k, v) in entries {
+        k.hash(&mut h);
+        v.hash(&mut h);
+    }
+}
+
+/// Digest a set canonically: length, then elements in order.
+pub fn digest_set<K, S>(h: &mut dyn Hasher, set: &std::collections::HashSet<K, S>)
+where
+    K: Ord + Hash,
+{
+    let mut keys: Vec<&K> = set.iter().collect();
+    keys.sort();
+    h.write_usize(keys.len());
+    let mut h = h;
+    for k in keys {
+        k.hash(&mut h);
+    }
+}
+
+/// Digest any `Hash` value (slices, tuples, options, ...) through the
+/// object-safe hasher.
+pub fn digest<T: Hash + ?Sized>(h: &mut dyn Hasher, value: &T) {
+    let mut h = h;
+    value.hash(&mut h);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirtree_sim::hash::{FxHashMap, FxHashSet, FxHasher};
+
+    fn run<F: Fn(&mut dyn Hasher)>(f: F) -> u64 {
+        let mut h = FxHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn map_digest_ignores_insertion_order() {
+        let mut a = FxHashMap::<u64, u32>::default();
+        let mut b = FxHashMap::<u64, u32>::default();
+        for i in 0..100 {
+            a.insert(i, (i * 7) as u32);
+        }
+        for i in (0..100).rev() {
+            b.insert(i, (i * 7) as u32);
+        }
+        assert_eq!(run(|h| digest_map(h, &a)), run(|h| digest_map(h, &b)));
+        b.insert(3, 999);
+        assert_ne!(run(|h| digest_map(h, &a)), run(|h| digest_map(h, &b)));
+    }
+
+    #[test]
+    fn set_digest_ignores_insertion_order() {
+        let mut a = FxHashSet::<u32>::default();
+        let mut b = FxHashSet::<u32>::default();
+        for i in 0..50 {
+            a.insert(i);
+            b.insert(49 - i);
+        }
+        assert_eq!(run(|h| digest_set(h, &a)), run(|h| digest_set(h, &b)));
+    }
+
+    #[test]
+    fn empty_and_missing_differ_from_present() {
+        let empty = FxHashMap::<u64, u32>::default();
+        let mut one = FxHashMap::<u64, u32>::default();
+        one.insert(0, 0);
+        assert_ne!(run(|h| digest_map(h, &empty)), run(|h| digest_map(h, &one)));
+    }
+}

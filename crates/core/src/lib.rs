@@ -21,9 +21,11 @@
 pub mod cache;
 pub mod ctx;
 pub mod dir;
+pub mod fingerprint;
 pub mod msg;
 pub mod protocol;
 pub mod types;
+pub mod verify;
 
 pub mod testkit;
 

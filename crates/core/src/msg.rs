@@ -9,7 +9,7 @@
 use crate::types::{Addr, NodeId, OpKind};
 
 /// A protocol message in flight.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Msg {
     /// Block this message concerns.
     pub addr: Addr,
@@ -20,7 +20,7 @@ pub struct Msg {
 }
 
 /// Every message kind used by any of the nine protocols.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum MsgKind {
     // ---- bit-map family (full-map, Dir_iNB, Dir_iB, LimitLESS, DirTree) ----
     /// Cache → home: read miss request.

@@ -151,6 +151,34 @@ pub trait Protocol: Send {
     fn is_update(&self) -> bool {
         false
     }
+
+    /// Snapshot the complete internal protocol state, so the model checker
+    /// (`dirtree-check`) can branch an exploration from it.
+    fn boxed_clone(&self) -> Box<dyn Protocol>;
+
+    /// Feed a canonical digest of the internal state to `h`, for the model
+    /// checker's visited-set dedup. The digest must be independent of hash
+    /// map iteration order (use [`crate::fingerprint`]) and must cover
+    /// *every* field that can influence future behavior: two states with
+    /// equal digests are assumed to behave identically and one of them is
+    /// pruned.
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher);
+
+    /// Protocol-specific structural invariants, checked by the model
+    /// checker at every explored state. `ctx` exposes cache line states,
+    /// `addrs` is the blocks in play, and `quiescent` is true when no
+    /// message or completion is pending (some invariants — e.g. "readable
+    /// copies are reachable from recorded roots" — only hold between
+    /// transactions). Default: nothing protocol-specific to check.
+    fn check_invariants(
+        &self,
+        ctx: &dyn ProtoCtx,
+        addrs: &[Addr],
+        quiescent: bool,
+    ) -> Result<(), String> {
+        let _ = (ctx, addrs, quiescent);
+        Ok(())
+    }
 }
 
 /// Number of bits in a node pointer for an `n`-node machine.

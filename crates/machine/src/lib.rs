@@ -28,6 +28,6 @@ pub mod verify;
 
 pub use config::{MachineConfig, TopologyKind};
 pub use driver::{Driver, DriverOp, ScriptDriver};
-pub use machine::{Machine, RunOutcome};
+pub use machine::{Machine, RunOutcome, StallError};
 pub use stats::MachineStats;
 pub use trace::MsgTrace;

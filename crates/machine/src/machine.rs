@@ -41,6 +41,48 @@ pub struct RunOutcome {
     pub net: NetworkStats,
 }
 
+/// The machine failed to reach quiescence: a structured progress/stall
+/// report, so programmatic harnesses (the sweep runner, the model checker)
+/// can classify the failure instead of parsing a panic message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StallError {
+    /// The bounded-step cap fired: the event loop processed `events`
+    /// events without every processor finishing — a livelock or an
+    /// unproductive retry storm.
+    Livelock { events: u64, protocol: ProtocolKind },
+    /// The event queue drained with processors still blocked.
+    Deadlock {
+        finished: u32,
+        nodes: u32,
+        /// `(node, state)` for every unfinished processor.
+        blocked: Vec<(u32, String)>,
+        protocol: ProtocolKind,
+    },
+}
+
+impl std::fmt::Display for StallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StallError::Livelock { events, protocol } => write!(
+                f,
+                "livelock: no quiescence after {events} events (protocol {protocol:?})"
+            ),
+            StallError::Deadlock {
+                finished,
+                nodes,
+                blocked,
+                protocol,
+            } => write!(
+                f,
+                "deadlock: event queue drained with {finished} of {nodes} processors \
+                 unfinished (blocked procs: {blocked:?}, protocol {protocol:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StallError {}
+
 /// A simulated multiprocessor running one coherence protocol.
 pub struct Machine {
     core: MachineCore,
@@ -89,19 +131,36 @@ impl Machine {
     ///
     /// # Panics
     /// Panics on coherence violations (when verification is enabled) and on
-    /// deadlock (event queue drained with processors still blocked).
+    /// stalls (livelock or deadlock); see [`Machine::try_run`] for the
+    /// non-panicking variant with a structured [`StallError`].
     pub fn run(&mut self, driver: &mut dyn Driver) -> RunOutcome {
+        match self.try_run(driver) {
+            Ok(out) => out,
+            Err(stall) => panic!("{stall}"),
+        }
+    }
+
+    /// Run the machine to completion under `driver`, reporting stalls
+    /// (livelock: bounded-step cap exceeded without quiescence; deadlock:
+    /// event queue drained with processors still blocked) as a structured
+    /// [`StallError`] instead of panicking.
+    ///
+    /// # Panics
+    /// Still panics on coherence violations when verification is enabled —
+    /// those indicate a broken protocol, not a stalled run.
+    pub fn try_run(&mut self, driver: &mut dyn Driver) -> Result<RunOutcome, StallError> {
         for n in 0..self.core.config.nodes {
             self.core.queue.push(0, Ev::Proc(n));
         }
         let mut events: u64 = 0;
         while let Some((_, ev)) = self.core.queue.pop() {
             events += 1;
-            assert!(
-                events <= self.core.config.max_events,
-                "livelock: {events} events without completion (protocol {:?})",
-                self.protocol.kind()
-            );
+            if events > self.core.config.max_events {
+                return Err(StallError::Livelock {
+                    events,
+                    protocol: self.protocol.kind(),
+                });
+            }
             match ev {
                 Ev::Proc(n) => self.step_processor(n, driver),
                 Ev::Deliver(n, msg) => {
@@ -120,20 +179,20 @@ impl Machine {
                 Ev::OpDone(n, addr, op) => self.op_done(n, addr, op),
             }
         }
-        assert_eq!(
-            self.done_count,
-            self.core.config.nodes,
-            "deadlock: event queue drained with {} of {} processors unfinished \
-             (blocked procs: {:?})",
-            self.done_count,
-            self.core.config.nodes,
-            self.procs
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| **s != ProcState::Done)
-                .map(|(i, s)| (i, *s))
-                .collect::<Vec<_>>()
-        );
+        if self.done_count != self.core.config.nodes {
+            return Err(StallError::Deadlock {
+                finished: self.done_count,
+                nodes: self.core.config.nodes,
+                blocked: self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s != ProcState::Done)
+                    .map(|(i, s)| (i as u32, format!("{s:?}")))
+                    .collect(),
+                protocol: self.protocol.kind(),
+            });
+        }
         if let Some(v) = &self.core.verifier {
             if let Err(violation) = v.on_finish(self.core.survivors().into_iter()) {
                 panic!("{violation} (protocol {:?})", self.protocol.kind());
@@ -150,11 +209,11 @@ impl Machine {
         };
         self.core.stats.max_controller_busy = busy_max;
         self.core.stats.mean_controller_busy = busy_sum as f64 / nodes as f64;
-        RunOutcome {
+        Ok(RunOutcome {
             cycles: self.core.stats.cycles,
             stats: self.core.stats.clone(),
             net: self.core.net.stats().clone(),
-        }
+        })
     }
 
     fn reschedule(&mut self, n: NodeId, delay: Cycle) {
@@ -551,6 +610,40 @@ mod tests {
             ProtocolKind::FullMap,
             vec![vec![DriverOp::Barrier(0)], vec![]],
         );
+    }
+
+    #[test]
+    fn try_run_reports_deadlock_structurally() {
+        let mut m = Machine::new(MachineConfig::test_default(2), ProtocolKind::FullMap);
+        let mut d = ScriptDriver::new(vec![vec![DriverOp::Barrier(0)], vec![]]);
+        match m.try_run(&mut d) {
+            Err(StallError::Deadlock {
+                finished,
+                nodes,
+                blocked,
+                ..
+            }) => {
+                assert_eq!(nodes, 2);
+                assert!(finished < nodes);
+                assert!(!blocked.is_empty());
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_run_reports_livelock_at_the_step_cap() {
+        let mut cfg = MachineConfig::test_default(2);
+        cfg.max_events = 3;
+        let mut m = Machine::new(cfg, ProtocolKind::FullMap);
+        let mut d = ScriptDriver::new(vec![
+            vec![DriverOp::Read(0), DriverOp::Write(0)],
+            vec![DriverOp::Read(0)],
+        ]);
+        match m.try_run(&mut d) {
+            Err(StallError::Livelock { events, .. }) => assert!(events > 3),
+            other => panic!("expected livelock, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,194 +1,8 @@
-//! Sequential-consistency witness.
+//! Sequential-consistency witness — re-exported from `dirtree-core`.
 //!
-//! The simulator enforces strong consistency (a writer stalls until all
-//! invalidation acks arrive), so at every *completed* operation these
-//! invariants must hold machine-wide:
-//!
-//! * **Write completion**: no other cache holds a readable copy — the
-//!   single-writer invariant. A protocol that loses an invalidation (stale
-//!   pointer, miscounted ack) fails here.
-//! * **Read (hit or completed miss)**: the copy being read carries the
-//!   latest global version of the block — i.e. no write completed since
-//!   this copy was filled. A protocol that acks an invalidation without
-//!   actually killing the copy fails here.
-//! * **Final state**: every surviving readable copy is current.
-//!
-//! Versions are per-block write counters maintained by the machine itself,
-//! independent of the protocol under test.
+//! The witness logic lives in [`dirtree_core::verify`] so that the machine
+//! and the exhaustive model checker (`dirtree-check`) share one
+//! implementation of the SWMR and data-freshness invariants and cannot
+//! drift apart.
 
-use dirtree_core::types::{Addr, NodeId};
-use dirtree_sim::FxHashMap;
-
-/// The witness state.
-#[derive(Default)]
-pub struct Verifier {
-    /// Global per-block write counter.
-    version: FxHashMap<Addr, u64>,
-    /// Version each cached copy was filled/written at.
-    copy_version: FxHashMap<(NodeId, Addr), u64>,
-}
-
-/// A detected coherence violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Violation {
-    pub node: NodeId,
-    pub addr: Addr,
-    pub kind: ViolationKind,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ViolationKind {
-    /// A write completed while another readable copy survived at `other`.
-    WriterNotExclusive { other: NodeId },
-    /// A read observed version `seen` but the block is at `current`.
-    StaleRead { seen: u64, current: u64 },
-    /// A readable copy at end-of-run is stale.
-    StaleSurvivor { seen: u64, current: u64 },
-}
-
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "coherence violation at node {} addr {:#x}: {:?}",
-            self.node, self.addr, self.kind
-        )
-    }
-}
-
-impl Verifier {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub fn version_of(&self, addr: Addr) -> u64 {
-        self.version.get(&addr).copied().unwrap_or(0)
-    }
-
-    /// A write by `node` completed. `other_holders` must be the nodes (≠
-    /// writer) whose caches currently hold a readable copy.
-    pub fn on_write_complete(
-        &mut self,
-        node: NodeId,
-        addr: Addr,
-        other_holders: &[NodeId],
-    ) -> Result<(), Violation> {
-        if let Some(&other) = other_holders.first() {
-            return Err(Violation {
-                node,
-                addr,
-                kind: ViolationKind::WriterNotExclusive { other },
-            });
-        }
-        let v = self.version.entry(addr).or_insert(0);
-        *v += 1;
-        self.copy_version.insert((node, addr), *v);
-        Ok(())
-    }
-
-    /// A write by `node` completed under an *update* protocol: all listed
-    /// holders received the new value synchronously within the transaction.
-    pub fn on_write_complete_update(&mut self, node: NodeId, addr: Addr, holders: &[NodeId]) {
-        let v = self.version.entry(addr).or_insert(0);
-        *v += 1;
-        let v = *v;
-        self.copy_version.insert((node, addr), v);
-        for &h in holders {
-            self.copy_version.insert((h, addr), v);
-        }
-    }
-
-    /// A read by `node` completed (miss fill) — the filled copy carries the
-    /// current version by construction of the strong-consistency ordering.
-    pub fn on_read_fill(&mut self, node: NodeId, addr: Addr) {
-        let v = self.version_of(addr);
-        self.copy_version.insert((node, addr), v);
-    }
-
-    /// A read hit at `node`: its copy must be current.
-    pub fn on_read_hit(&self, node: NodeId, addr: Addr) -> Result<(), Violation> {
-        let current = self.version_of(addr);
-        let seen = self.copy_version.get(&(node, addr)).copied().unwrap_or(0);
-        if seen != current {
-            return Err(Violation {
-                node,
-                addr,
-                kind: ViolationKind::StaleRead { seen, current },
-            });
-        }
-        Ok(())
-    }
-
-    /// End-of-run check over all surviving readable copies.
-    pub fn on_finish<'a>(
-        &self,
-        survivors: impl Iterator<Item = (NodeId, Addr)> + 'a,
-    ) -> Result<(), Violation> {
-        for (node, addr) in survivors {
-            let current = self.version_of(addr);
-            let seen = self.copy_version.get(&(node, addr)).copied().unwrap_or(0);
-            if seen != current {
-                return Err(Violation {
-                    node,
-                    addr,
-                    kind: ViolationKind::StaleSurvivor { seen, current },
-                });
-            }
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn write_bumps_version_and_requires_exclusivity() {
-        let mut v = Verifier::new();
-        assert!(v.on_write_complete(1, 10, &[]).is_ok());
-        assert_eq!(v.version_of(10), 1);
-        let err = v.on_write_complete(2, 10, &[5]).unwrap_err();
-        assert!(matches!(
-            err.kind,
-            ViolationKind::WriterNotExclusive { other: 5 }
-        ));
-    }
-
-    #[test]
-    fn stale_read_detected() {
-        let mut v = Verifier::new();
-        v.on_read_fill(3, 7);
-        assert!(v.on_read_hit(3, 7).is_ok());
-        v.on_write_complete(1, 7, &[]).unwrap();
-        let err = v.on_read_hit(3, 7).unwrap_err();
-        assert!(matches!(
-            err.kind,
-            ViolationKind::StaleRead {
-                seen: 0,
-                current: 1
-            }
-        ));
-    }
-
-    #[test]
-    fn refetched_copy_is_current_again() {
-        let mut v = Verifier::new();
-        v.on_read_fill(3, 7);
-        v.on_write_complete(1, 7, &[]).unwrap();
-        v.on_read_fill(3, 7);
-        assert!(v.on_read_hit(3, 7).is_ok());
-    }
-
-    #[test]
-    fn final_check_flags_stale_survivors() {
-        let mut v = Verifier::new();
-        v.on_read_fill(3, 7);
-        v.on_write_complete(1, 7, &[]).unwrap();
-        // Node 3's copy should have been invalidated; pretend it survived.
-        let err = v.on_finish([(3u32, 7u64)].into_iter()).unwrap_err();
-        assert!(matches!(err.kind, ViolationKind::StaleSurvivor { .. }));
-        // Writer's own copy is fine.
-        assert!(v.on_finish([(1u32, 7u64)].into_iter()).is_ok());
-    }
-}
+pub use dirtree_core::verify::{Verifier, Violation, ViolationKind};

@@ -117,6 +117,69 @@ impl Protocol for Sabotaged {
     fn cache_bits_per_line(&self, nodes: u32) -> u64 {
         self.inner.cache_bits_per_line(nodes)
     }
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(Sabotaged {
+            inner: self.inner.boxed_clone(),
+            forged: self.forged,
+        })
+    }
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        self.inner.fingerprint(h);
+        h.write_u8(self.forged as u8);
+    }
+}
+
+/// The same philosophy applied to the model checker: a protocol with one
+/// injected bug ([`dirtree_check::MutantKind`]) must be caught by
+/// exhaustive exploration, and the minimal counterexample must replay
+/// deterministically to the *same* violation (proving `boxed_clone` /
+/// `fingerprint` carry the complete state).
+mod model_checker_catches_mutants {
+    use dirtree::coherence::protocol::{ProtocolKind, ProtocolParams};
+    use dirtree_check::{explore, replay, CheckConfig, CheckOutcome, MutantKind, Mutated};
+
+    fn mutant_is_caught(proto: ProtocolKind, kind: MutantKind) {
+        let cfg = CheckConfig::small(2, 1);
+        let factory = Mutated::factory(proto, ProtocolParams::default(), kind);
+        let outcome = explore(&cfg, &factory);
+        let CheckOutcome::Violation(cx) = outcome else {
+            panic!(
+                "{kind:?} on {} survived exploration: {outcome:?}",
+                proto.name()
+            );
+        };
+        assert!(!cx.choices.is_empty(), "violation needs at least one step");
+        let rep = replay(&cfg, &factory, &cx.choices, 256);
+        assert_eq!(
+            rep.violation.as_deref(),
+            Some(cx.violation.as_str()),
+            "replay diverged from the explorer's violation"
+        );
+        assert_eq!(rep.steps.len(), cx.choices.len());
+    }
+
+    #[test]
+    fn dropped_invalidation_is_caught() {
+        mutant_is_caught(ProtocolKind::FullMap, MutantKind::DropInv);
+    }
+
+    #[test]
+    fn premature_ack_is_caught() {
+        mutant_is_caught(ProtocolKind::FullMap, MutantKind::PrematureAck);
+    }
+
+    #[test]
+    fn stale_tree_pointer_is_caught() {
+        // i = 1 forces a push-down on the second reader, so the first
+        // non-empty adopt list (the mutant's target) appears at P = 2.
+        mutant_is_caught(
+            ProtocolKind::DirTree {
+                pointers: 1,
+                arity: 2,
+            },
+            MutantKind::StaleTreePointer,
+        );
+    }
 }
 
 #[test]
