@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 gate: formatting, lints, build, the full workspace test suite,
-# and the model checker's fast tier (every figure-set protocol,
-# exhaustively explored at P=2 with one block). Run from the repository
-# root; fails fast on the first problem.
+# Tier-1 gate: formatting, lints, build, the full workspace test suite
+# (which includes the paper-claims and cross-protocol differential
+# suites), the feature-off observability check, and the model checker's
+# fast tier (every figure-set protocol, exhaustively explored at P=2 with
+# one block). Run from the repository root; fails fast on the first
+# problem.
 #
 #   ./ci.sh          fast gate (~seconds of model checking)
 #   ./ci.sh --deep   also model-check P=3 and the two-block shapes
@@ -19,7 +21,17 @@ fi
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
+# Workspace tests build with the `trace` feature unified in (dirtree-bench
+# always enables it), so the observability layer is exercised end to end —
+# including tests/paper_claims.rs and tests/protocol_differential.rs.
 cargo test --workspace -q
+# Feature-off path: without dirtree-bench in the graph the metrics sink
+# must compile to a zero-sized no-op (pinned by `zero_sized_when_disabled`
+# and `metrics_are_empty_when_trace_feature_is_off`).
+cargo test -q -p dirtree-sim -p dirtree-net -p dirtree-machine
+# The paper-claims suite by name, so a claim regression is called out
+# directly even when some other workspace test fails first.
+cargo test -q --test paper_claims
 
 if (( deep )); then
   cargo run --release -p dirtree-check --bin check_all -- --deep

@@ -5,6 +5,9 @@
 //! - `--jobs N` — worker threads (default: available parallelism)
 //! - `--no-cache` — ignore cached results, re-simulate everything
 //! - `--out-dir PATH` — sweep output root (default `target/sweep`)
+//! - `--trace` — dump a Chrome-trace-format event timeline per config
+//!   under `<out-dir>/trace/` (forces re-simulation; cached records
+//!   carry no timeline)
 //! - `--full` — the paper's exact workload sizes instead of scaled-down
 //! - `--filter SUBSTR` — `reproduce_all` only: run the experiments whose
 //!   name contains the substring
@@ -18,6 +21,7 @@ use std::path::PathBuf;
 pub struct Cli {
     pub jobs: Option<usize>,
     pub no_cache: bool,
+    pub trace: bool,
     pub full: bool,
     pub filter: Option<String>,
     pub out_dir: Option<PathBuf>,
@@ -48,6 +52,7 @@ impl Cli {
                     }
                 }
                 "--no-cache" => cli.no_cache = true,
+                "--trace" => cli.trace = true,
                 "--full" => cli.full = true,
                 "--filter" => cli.filter = take_value(&flag, inline.clone(), &mut args),
                 "--out-dir" => {
@@ -66,6 +71,7 @@ impl Cli {
             opts.jobs = jobs;
         }
         opts.no_cache = self.no_cache;
+        opts.trace = self.trace;
         if let Some(dir) = &self.out_dir {
             opts.out_dir = dir.clone();
         }
@@ -99,6 +105,7 @@ mod tests {
             "--jobs",
             "4",
             "--no-cache",
+            "--trace",
             "--full",
             "--filter=fig",
             "--out-dir",
@@ -106,19 +113,21 @@ mod tests {
         ]);
         assert_eq!(cli.jobs, Some(4));
         assert!(cli.no_cache);
+        assert!(cli.trace);
         assert!(cli.full);
         assert_eq!(cli.filter.as_deref(), Some("fig"));
         assert_eq!(cli.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
         let opts = cli.sweep_options();
         assert_eq!(opts.jobs, 4);
         assert!(opts.no_cache);
+        assert!(opts.trace);
     }
 
     #[test]
     fn equals_form_and_defaults() {
         let cli = parse(&["--jobs=2"]);
         assert_eq!(cli.jobs, Some(2));
-        assert!(!cli.no_cache && !cli.full && cli.filter.is_none());
+        assert!(!cli.no_cache && !cli.trace && !cli.full && cli.filter.is_none());
         let cli = parse(&[]);
         assert!(cli.jobs.is_none());
         assert!(cli.sweep_options().jobs >= 1);

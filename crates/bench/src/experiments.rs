@@ -1123,8 +1123,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let runner = Runner::new(SweepOptions {
             jobs: 2,
-            no_cache: false,
             out_dir: dir.clone(),
+            ..SweepOptions::default()
         });
         let t4 = ProtocolKind::DirTree {
             pointers: 4,

@@ -18,7 +18,7 @@
 //! the outcome (and never cached), the rest of the sweep continues.
 
 use crate::sweep::{RunRecord, SweepConfig, SweepSpec};
-use dirtree_machine::Machine;
+use dirtree_machine::{Machine, MsgTrace};
 use std::fs;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -36,6 +36,10 @@ pub struct SweepOptions {
     /// Root for results: JSONL under `<out_dir>/`, cache under
     /// `<out_dir>/cache/`.
     pub out_dir: PathBuf,
+    /// Dump a Chrome-trace (`trace_events`) JSON per config under
+    /// `<out_dir>/trace/`. Forces every config to simulate (a cached
+    /// record carries no event timeline to dump).
+    pub trace: bool,
 }
 
 impl Default for SweepOptions {
@@ -46,6 +50,7 @@ impl Default for SweepOptions {
                 .unwrap_or(1),
             no_cache: false,
             out_dir: PathBuf::from("target/sweep"),
+            trace: false,
         }
     }
 }
@@ -117,7 +122,12 @@ impl Runner {
         let mut slots: Vec<Option<Result<RunRecord, String>>> = Vec::with_capacity(n);
         let mut todo: Vec<usize> = Vec::new();
         for (i, config) in spec.configs.iter().enumerate() {
-            match self.cache_lookup(config) {
+            let hit = if self.opts.trace {
+                None // tracing re-simulates: cached records have no timeline
+            } else {
+                self.cache_lookup(config)
+            };
+            match hit {
                 Some(record) => slots.push(Some(Ok(record))),
                 None => {
                     slots.push(None);
@@ -131,7 +141,8 @@ impl Runner {
         // indices from `next`; each result lands in its own slot, so the
         // final assembly below is in spec order no matter which worker
         // finished when.
-        let results: Vec<Mutex<Option<Result<RunRecord, String>>>> =
+        type ConfigResult = Result<(RunRecord, Option<String>), String>;
+        let results: Vec<Mutex<Option<ConfigResult>>> =
             todo.iter().map(|_| Mutex::new(None)).collect();
         let jobs = self.opts.jobs.clamp(1, todo.len().max(1));
         let next = AtomicUsize::new(0);
@@ -140,7 +151,7 @@ impl Runner {
                 scope.spawn(|| loop {
                     let t = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = todo.get(t) else { break };
-                    let outcome = run_config(&spec.configs[i]);
+                    let outcome = run_config(&spec.configs[i], self.opts.trace);
                     *results[t].lock().unwrap() = Some(outcome);
                 });
             }
@@ -151,10 +162,13 @@ impl Runner {
                 .unwrap()
                 .take()
                 .expect("worker pool exited without producing a result");
-            if let Ok(record) = &outcome {
+            if let Ok((record, trace)) = &outcome {
                 self.cache_store(&spec.configs[i], record);
+                if let Some(trace_json) = trace {
+                    self.write_trace(spec, i, &spec.configs[i], trace_json);
+                }
             }
-            slots[i] = Some(outcome);
+            slots[i] = Some(outcome.map(|(record, _)| record));
         }
 
         let mut outcome = SweepOutcome {
@@ -223,6 +237,24 @@ impl Runner {
         let _ = write_atomic(&self.cache_path(config), &record.to_json());
     }
 
+    /// Write one config's Chrome-trace JSON. The filename is fully
+    /// determined by (spec name, spec index, config hash), so repeated
+    /// `--trace` runs overwrite rather than accumulate.
+    fn write_trace(&self, spec: &SweepSpec, idx: usize, config: &SweepConfig, json: &str) {
+        let name = if spec.name.is_empty() {
+            "adhoc"
+        } else {
+            &spec.name
+        };
+        let path = self.opts.out_dir.join("trace").join(format!(
+            "{name}-{idx:03}-{:016x}.trace.json",
+            config.config_hash()
+        ));
+        if let Err(e) = write_atomic(&path, json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+
     fn write_jsonl(&self, spec: &SweepSpec, records: &[RunRecord]) {
         if spec.name.is_empty() {
             return;
@@ -239,13 +271,24 @@ impl Runner {
     }
 }
 
-/// Simulate one config, catching panics into an `Err` message.
-fn run_config(config: &SweepConfig) -> Result<RunRecord, String> {
+/// Ring-buffer capacity for `--trace` timelines: enough for every message
+/// of the bundled experiment workloads; older events beyond it are dropped
+/// (the trace is for inspection, the metrics are exact regardless).
+const TRACE_CAPACITY: usize = 1 << 18;
+
+/// Simulate one config, catching panics into an `Err` message. With
+/// `trace`, the machine records every send and the Chrome-trace JSON is
+/// returned alongside the record.
+fn run_config(config: &SweepConfig, trace: bool) -> Result<(RunRecord, Option<String>), String> {
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut machine = Machine::new(config.machine, config.protocol);
+        if trace {
+            machine.set_trace(MsgTrace::new(TRACE_CAPACITY, None));
+        }
         let mut driver = config.effective_workload().build(config.machine.nodes);
         let outcome = machine.run(&mut driver);
-        RunRecord::from_outcome(config, &outcome)
+        let trace_json = machine.take_trace().map(|t| t.chrome_trace_json());
+        (RunRecord::from_outcome(config, &outcome), trace_json)
     }));
     result.map_err(|payload| {
         if let Some(s) = payload.downcast_ref::<&str>() {
@@ -324,8 +367,8 @@ mod tests {
     fn runner_in(dir: &Path, jobs: usize) -> Runner {
         Runner::new(SweepOptions {
             jobs,
-            no_cache: false,
             out_dir: dir.to_path_buf(),
+            ..SweepOptions::default()
         })
     }
 
@@ -380,10 +423,50 @@ mod tests {
             jobs: 4,
             no_cache: true,
             out_dir: dir.clone(),
+            ..SweepOptions::default()
         };
         let bypass = Runner::new(opts.clone()).run(&spec);
         assert_eq!(bypass.executed, spec.configs.len());
         opts.no_cache = false;
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_option_dumps_deterministic_chrome_traces_and_skips_cache_hits() {
+        let dir = scratch_dir("trace");
+        let spec = tiny_spec("traced");
+        // Warm the cache first, then run with tracing: every config must
+        // re-simulate (cached records have no timeline).
+        runner_in(&dir, 2).run(&spec);
+        let traced = Runner::new(SweepOptions {
+            jobs: 2,
+            out_dir: dir.clone(),
+            trace: true,
+            ..SweepOptions::default()
+        })
+        .run(&spec);
+        assert_eq!(traced.executed, spec.configs.len());
+        assert_eq!(traced.cached, 0);
+        let trace_dir = dir.join("trace");
+        let mut files: Vec<_> = fs::read_dir(&trace_dir)
+            .expect("trace dir exists")
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), spec.configs.len());
+        let first = fs::read_to_string(&files[0]).unwrap();
+        assert!(first.starts_with("{\"displayTimeUnit\""));
+        assert!(first.contains("\"traceEvents\":["));
+        assert!(first.contains("\"name\":\"read_req\""));
+        // Re-running with --trace overwrites byte-identically.
+        Runner::new(SweepOptions {
+            jobs: 1,
+            out_dir: dir.clone(),
+            trace: true,
+            ..SweepOptions::default()
+        })
+        .run(&spec);
+        assert_eq!(fs::read_to_string(&files[0]).unwrap(), first);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -18,6 +18,7 @@ use dirtree_core::protocol::ProtocolKind;
 use dirtree_machine::{MachineConfig, RunOutcome, TopologyKind};
 use dirtree_net::Fabric;
 use dirtree_sim::hash::FxHasher;
+use dirtree_sim::metrics::{ClassCounts, MetricsSnapshot, MsgClass};
 use dirtree_sim::Histogram;
 use dirtree_workloads::WorkloadKind;
 use std::fmt::Write as _;
@@ -206,6 +207,10 @@ pub struct RunRecord {
     pub read_miss_latency: Histogram,
     pub write_miss_latency: Histogram,
     pub sharers_at_write: Histogram,
+    /// Observability export: per-class message counts, transaction latency,
+    /// wave geometry, link utilization (all-zero when the machine was
+    /// built without the `trace` feature; this crate enables it).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunRecord {
@@ -247,6 +252,7 @@ impl RunRecord {
             read_miss_latency: s.read_miss_latency.clone(),
             write_miss_latency: s.write_miss_latency.clone(),
             sharers_at_write: s.sharers_at_write.clone(),
+            metrics: outcome.metrics.clone(),
         }
     }
 
@@ -305,6 +311,7 @@ impl RunRecord {
         json_hist(&mut out, "read_miss_latency", &self.read_miss_latency);
         json_hist(&mut out, "write_miss_latency", &self.write_miss_latency);
         json_hist(&mut out, "sharers_at_write", &self.sharers_at_write);
+        json_metrics(&mut out, "metrics", &self.metrics);
         // Remove the trailing comma the field helpers append.
         out.pop();
         out.push('}');
@@ -367,6 +374,7 @@ impl RunRecord {
             read_miss_latency: get_hist("read_miss_latency")?,
             write_miss_latency: get_hist("write_miss_latency")?,
             sharers_at_write: get_hist("sharers_at_write")?,
+            metrics: parse_metrics(get("metrics")?)?,
         })
     }
 }
@@ -419,6 +427,112 @@ fn json_hist(out: &mut String, name: &str, h: &Histogram) {
         }
     }
     out.push_str("]},");
+}
+
+/// The metrics snapshot serializes as a nested object (see EXPERIMENTS.md
+/// for the schema): sparse per-class entries `["label",count,bytes,to_dir]`
+/// in enum order, four histograms, link-utilization scalars, queue-depth
+/// histograms, and the busiest blocks as `[addr,messages]` pairs. All
+/// values are integers, so the encoding is exact and byte-stable.
+fn json_metrics(out: &mut String, name: &str, m: &MetricsSnapshot) {
+    let _ = write!(out, "\"{name}\":{{\"classes\":[");
+    let mut first = true;
+    for class in MsgClass::ALL {
+        let c = m.class(class);
+        if c.count > 0 {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "[\"{}\",{},{},{}]",
+                class.label(),
+                c.count,
+                c.bytes,
+                c.to_dir
+            );
+            first = false;
+        }
+    }
+    out.push_str("],");
+    json_hist(out, "read_tx_latency", &m.read_tx_latency);
+    json_hist(out, "write_tx_latency", &m.write_tx_latency);
+    json_hist(out, "inv_wave_depth", &m.inv_wave_depth);
+    json_hist(out, "inv_wave_acks", &m.inv_wave_acks);
+    json_u64(out, "links", m.links);
+    json_u64(out, "max_link_busy", m.max_link_busy);
+    json_u64(out, "total_link_busy", m.total_link_busy);
+    json_hist(out, "inject_queue", &m.inject_queue);
+    json_hist(out, "link_queue", &m.link_queue);
+    out.push_str("\"top_blocks\":[");
+    for (i, (addr, msgs)) in m.top_blocks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{addr},{msgs}]");
+    }
+    out.push_str("]},");
+}
+
+fn parse_metrics(v: &json::Value) -> Result<MetricsSnapshot, String> {
+    let obj = v.as_object().ok_or("metrics is not an object")?;
+    let get = |name: &str| -> Result<&json::Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("metrics field {name} missing"))
+    };
+    let mut m = MetricsSnapshot::default();
+    for entry in get("classes")?
+        .as_array()
+        .ok_or("classes is not an array")?
+    {
+        let e = entry.as_array().ok_or("class entry is not an array")?;
+        let label = e
+            .first()
+            .and_then(json::Value::as_str)
+            .ok_or("class entry has no label")?;
+        let class = MsgClass::from_label(label)
+            .ok_or_else(|| format!("unknown message class {label:?}"))?;
+        let num = |i: usize| -> Result<u64, String> {
+            e.get(i)
+                .and_then(json::Value::as_u64)
+                .ok_or_else(|| format!("class {label} entry [{i}] is not a u64"))
+        };
+        m.classes[class.index()] = ClassCounts {
+            count: num(1)?,
+            bytes: num(2)?,
+            to_dir: num(3)?,
+        };
+    }
+    m.read_tx_latency = parse_hist(get("read_tx_latency")?)?;
+    m.write_tx_latency = parse_hist(get("write_tx_latency")?)?;
+    m.inv_wave_depth = parse_hist(get("inv_wave_depth")?)?;
+    m.inv_wave_acks = parse_hist(get("inv_wave_acks")?)?;
+    let scalar = |name: &str| -> Result<u64, String> {
+        get(name)?
+            .as_u64()
+            .ok_or_else(|| format!("metrics field {name} is not a u64"))
+    };
+    m.links = scalar("links")?;
+    m.max_link_busy = scalar("max_link_busy")?;
+    m.total_link_busy = scalar("total_link_busy")?;
+    m.inject_queue = parse_hist(get("inject_queue")?)?;
+    m.link_queue = parse_hist(get("link_queue")?)?;
+    for pair in get("top_blocks")?
+        .as_array()
+        .ok_or("top_blocks is not an array")?
+    {
+        let pair = pair.as_array().ok_or("top_blocks entry is not an array")?;
+        match (
+            pair.first().and_then(json::Value::as_u64),
+            pair.get(1).and_then(json::Value::as_u64),
+        ) {
+            (Some(addr), Some(msgs)) => m.top_blocks.push((addr, msgs)),
+            _ => return Err("top_blocks entry is not [addr, messages]".into()),
+        }
+    }
+    Ok(m)
 }
 
 fn parse_hist(v: &json::Value) -> Result<Histogram, String> {
@@ -740,6 +854,20 @@ mod tests {
         assert_eq!(
             parsed.sharers_at_write.percentile(90.0),
             record.sharers_at_write.percentile(90.0)
+        );
+        // This crate builds the machine with the `trace` feature, so the
+        // record's metrics are populated and agree with the message total.
+        assert!(record.metrics.total_messages() > 0);
+        assert_eq!(record.metrics.total_messages(), record.messages);
+        assert!(line.contains("\"metrics\":{\"classes\":["));
+        assert_eq!(
+            parsed.metrics.total_messages(),
+            record.metrics.total_messages()
+        );
+        assert_eq!(parsed.metrics.top_blocks, record.metrics.top_blocks);
+        assert_eq!(
+            parsed.metrics.inv_wave_depth.max(),
+            record.metrics.inv_wave_depth.max()
         );
     }
 

@@ -7,6 +7,7 @@
 //! occupies on the wire (control header vs. header + data block).
 
 use crate::types::{Addr, NodeId, OpKind};
+use dirtree_sim::metrics::MsgClass;
 
 /// A protocol message in flight.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -239,6 +240,70 @@ impl MsgKind {
         }
     }
 
+    /// Coarse observability class ([`MsgClass`]) for the metrics layer.
+    ///
+    /// This is the single mapping from the full 40-kind wire vocabulary
+    /// onto the paper's 10-class accounting; every protocol's messages
+    /// classify through it (the machine's shared send hook calls it), so
+    /// no protocol carries its own instrumentation.
+    pub fn class(&self) -> MsgClass {
+        match self {
+            // Read-miss requests, including their protocol-specific
+            // forwards (bus snoop reads, list supplies, tree descents).
+            MsgKind::ReadReq { .. }
+            | MsgKind::BusRead { .. }
+            | MsgKind::SllSupply { .. }
+            | MsgKind::SciAttachReq
+            | MsgKind::SctDescend { .. } => MsgClass::ReadReq,
+            // Write-miss / upgrade requests.
+            MsgKind::WriteReq { .. } | MsgKind::BusReadX { .. } => MsgClass::WriteReq,
+            // Data replies that also hand off sharing-tree pointers.
+            MsgKind::ReadReply { adopt } | MsgKind::UpdateGrant { adopt } if !adopt.is_empty() => {
+                MsgClass::Adopt
+            }
+            MsgKind::ReadReply { .. }
+            | MsgKind::UpdateGrant { .. }
+            | MsgKind::WriteReply { .. }
+            | MsgKind::BusData { .. }
+            | MsgKind::SllData
+            | MsgKind::SciReadResp { .. }
+            | MsgKind::SciWriteResp { .. }
+            | MsgKind::SciAttachResp
+            | MsgKind::StpJoinResp { .. }
+            | MsgKind::SctInsertResp => MsgClass::DataReply,
+            // The write-propagation wave (invalidate or update flavor).
+            MsgKind::Inv { .. }
+            | MsgKind::Update { .. }
+            | MsgKind::SllInv { .. }
+            | MsgKind::SciPurgeReq => MsgClass::Inv,
+            MsgKind::InvAck { .. }
+            | MsgKind::UpdateAck { .. }
+            | MsgKind::SllChainDone { .. }
+            | MsgKind::SciPurgeResp { .. }
+            | MsgKind::SciPurgeDone { .. }
+            | MsgKind::StpAttachAck
+            | MsgKind::StpFixupAck { .. } => MsgClass::Ack,
+            MsgKind::ReplaceInv | MsgKind::ReplNotify => MsgClass::ReplaceInv,
+            MsgKind::WbReq { .. } | MsgKind::WbData { .. } | MsgKind::WbEvict => {
+                MsgClass::Writeback
+            }
+            MsgKind::FillAck => MsgClass::FillAck,
+            // Sharing-structure management and fabric bookkeeping.
+            MsgKind::BusWindow { .. }
+            | MsgKind::SllSupplyFail { .. }
+            | MsgKind::SciUnlinkPrev { .. }
+            | MsgKind::SciUnlinkNext { .. }
+            | MsgKind::SciNewHead { .. }
+            | MsgKind::StpAttach
+            | MsgKind::StpLeave
+            | MsgKind::StpMove { .. }
+            | MsgKind::StpFixup { .. }
+            | MsgKind::StpLeaveDone
+            | MsgKind::SctFixup { .. }
+            | MsgKind::SctLeave => MsgClass::Mgmt,
+        }
+    }
+
     /// Short label for statistics.
     pub fn label(&self) -> &'static str {
         match self {
@@ -337,6 +402,47 @@ mod tests {
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn classes_follow_table1_accounting() {
+        assert_eq!(MsgKind::ReadReq { requester: 1 }.class(), MsgClass::ReadReq);
+        assert_eq!(
+            MsgKind::WriteReq { requester: 1 }.class(),
+            MsgClass::WriteReq
+        );
+        // A read reply without tree hand-off is plain data; with a
+        // non-empty adopt list it is the Dir_iTree_k adoption message.
+        assert_eq!(
+            MsgKind::ReadReply { adopt: vec![] }.class(),
+            MsgClass::DataReply
+        );
+        assert_eq!(
+            MsgKind::ReadReply { adopt: vec![3, 5] }.class(),
+            MsgClass::Adopt
+        );
+        assert_eq!(
+            MsgKind::UpdateGrant { adopt: vec![3] }.class(),
+            MsgClass::Adopt
+        );
+        // Both ablation flavors of replacement traffic share a class, so
+        // the silent-replacement claim ("zero replacement messages reach
+        // the home") is one per-class to_dir assertion.
+        assert_eq!(MsgKind::ReplaceInv.class(), MsgClass::ReplaceInv);
+        assert_eq!(MsgKind::ReplNotify.class(), MsgClass::ReplaceInv);
+        assert_eq!(
+            MsgKind::Inv {
+                also: None,
+                from_dir: true
+            }
+            .class(),
+            MsgClass::Inv
+        );
+        assert_eq!(MsgKind::SllInv { writer: 0 }.class(), MsgClass::Inv);
+        assert_eq!(MsgKind::InvAck { dir: true }.class(), MsgClass::Ack);
+        assert_eq!(MsgKind::FillAck.class(), MsgClass::FillAck);
+        assert_eq!(MsgKind::WbEvict.class(), MsgClass::Writeback);
+        assert_eq!(MsgKind::StpLeave.class(), MsgClass::Mgmt);
     }
 
     #[test]

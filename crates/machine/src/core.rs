@@ -7,12 +7,14 @@
 
 use crate::config::MachineConfig;
 use crate::stats::MachineStats;
+use crate::trace::MsgTrace;
 use crate::verify::Verifier;
 use dirtree_core::cache::Cache;
 use dirtree_core::ctx::{ProtoCtx, ProtoEvent};
-use dirtree_core::msg::Msg;
+use dirtree_core::msg::{Msg, MsgKind};
 use dirtree_core::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_net::Network;
+use dirtree_sim::metrics::{Metrics, MsgClass};
 use dirtree_sim::{Cycle, EventQueue, FxHashMap};
 use std::collections::VecDeque;
 
@@ -36,6 +38,12 @@ pub struct MachineCore {
     pub caches: Vec<Cache>,
     pub stats: MachineStats,
     pub verifier: Option<Verifier>,
+    /// Observability sink fed by the shared send hook below. A zero-sized
+    /// no-op unless the `trace` feature is on.
+    pub metrics: Metrics,
+    /// Optional structured event trace (Chrome-trace export), also fed by
+    /// the send hook.
+    pub trace_sink: Option<MsgTrace>,
     /// Issue time of each outstanding miss (latency accounting).
     pub pending_miss: FxHashMap<(NodeId, Addr), Cycle>,
     ctrl_q: Vec<VecDeque<Msg>>,
@@ -56,6 +64,8 @@ impl MachineCore {
             caches: (0..n).map(|_| Cache::new(config.cache)).collect(),
             stats: MachineStats::default(),
             verifier: config.verify.then(Verifier::new),
+            metrics: Metrics::default(),
+            trace_sink: None,
             pending_miss: FxHashMap::default(),
             ctrl_q: (0..n).map(|_| VecDeque::new()).collect(),
             ctrl_free: vec![0; n],
@@ -132,6 +142,52 @@ impl MachineCore {
         &self.ctrl_busy
     }
 
+    /// The single observability hook: every unicast protocol message flows
+    /// through here (from [`ProtoCtx::send`]), so no protocol carries its
+    /// own instrumentation. With the `trace` feature off, [`Metrics`] is a
+    /// no-op ZST and `trace_sink` stays `None`, so this reduces to one
+    /// untaken branch.
+    fn record_msg(&mut self, dst: NodeId, msg: &Msg, bytes: u32, arrival: Cycle) {
+        let class = msg.kind.class();
+        self.metrics
+            .on_msg(class, msg.addr, bytes as u64, msg.kind.to_directory());
+        if class == MsgClass::Inv {
+            // Wave-depth accounting: the tree level a message is received
+            // at. Directory protocols flag home-originated waves
+            // explicitly; list protocols start chains at the writer.
+            let from_home = match &msg.kind {
+                MsgKind::Inv { from_dir, .. } | MsgKind::Update { from_dir, .. } => *from_dir,
+                _ => msg.src == (msg.addr % self.config.nodes as u64) as NodeId,
+            };
+            self.metrics.on_inv(msg.addr, msg.src, dst, from_home);
+        }
+        if matches!(
+            msg.kind,
+            MsgKind::InvAck { dir: true } | MsgKind::UpdateAck { dir: true }
+        ) {
+            self.metrics.on_home_ack(msg.addr);
+        }
+        let now = self.queue.now();
+        if let Some(t) = self.trace_sink.as_mut() {
+            t.record_timed(now, arrival, dst, msg);
+        }
+    }
+
+    /// Broadcast counterpart of [`MachineCore::record_msg`]: `wire_msgs`
+    /// is 1 on the bus (all snoopers observe one transaction) and n − 1 on
+    /// a point-to-point fabric.
+    fn record_broadcast(&mut self, msg: &Msg, bytes: u32, wire_msgs: u64, arrival: Cycle) {
+        let class = msg.kind.class();
+        for _ in 0..wire_msgs {
+            self.metrics
+                .on_msg(class, msg.addr, bytes as u64, msg.kind.to_directory());
+        }
+        let now = self.queue.now();
+        if let Some(t) = self.trace_sink.as_mut() {
+            t.record_timed(now, arrival, msg.src, msg);
+        }
+    }
+
     /// All surviving readable copies (for the final verification pass).
     pub fn survivors(&self) -> Vec<(NodeId, Addr)> {
         let mut out = Vec::new();
@@ -166,10 +222,11 @@ impl ProtoCtx for MachineCore {
             .wire_bytes(self.config.header_bytes, self.config.block_bytes);
         let arrival = self.net.send(self.queue.now(), msg.src, dst, bytes);
         self.stats.messages += 1;
-        if matches!(msg.kind, dirtree_core::msg::MsgKind::FillAck) {
+        if matches!(msg.kind, MsgKind::FillAck) {
             self.stats.fill_acks += 1;
         }
         self.stats.bytes += bytes as u64;
+        self.record_msg(dst, &msg, bytes, arrival);
         self.queue.push(arrival, Ev::Deliver(dst, msg));
     }
 
@@ -187,6 +244,7 @@ impl ProtoCtx for MachineCore {
         };
         self.stats.messages += wire_msgs;
         self.stats.bytes += bytes as u64 * wire_msgs;
+        self.record_broadcast(&msg, bytes, wire_msgs, arrival);
         for dst in 0..self.config.nodes {
             if dst != msg.src {
                 self.queue.push(arrival, Ev::Deliver(dst, msg.clone()));

@@ -30,4 +30,6 @@ pub use config::{MachineConfig, TopologyKind};
 pub use driver::{Driver, DriverOp, ScriptDriver};
 pub use machine::{Machine, RunOutcome, StallError};
 pub use stats::MachineStats;
-pub use trace::MsgTrace;
+pub use trace::{MsgTrace, TraceEvent};
+
+pub use dirtree_sim::metrics::{ClassCounts, Metrics, MetricsSnapshot, MsgClass};

@@ -4,10 +4,12 @@ use crate::config::MachineConfig;
 use crate::core::{Ev, MachineCore};
 use crate::driver::{Driver, DriverOp};
 use crate::stats::MachineStats;
+use crate::trace::MsgTrace;
 use dirtree_core::cache::AllocOutcome;
 use dirtree_core::protocol::{build_protocol, Protocol, ProtocolKind};
 use dirtree_core::types::{Addr, LineState, NodeId, OpKind};
 use dirtree_net::NetworkStats;
+use dirtree_sim::metrics::{Metrics, MetricsSnapshot};
 use dirtree_sim::{Cycle, FxHashMap};
 use std::collections::VecDeque;
 
@@ -39,6 +41,8 @@ pub struct RunOutcome {
     pub cycles: Cycle,
     pub stats: MachineStats,
     pub net: NetworkStats,
+    /// Observability export (all-zero unless the `trace` feature is on).
+    pub metrics: MetricsSnapshot,
 }
 
 /// The machine failed to reach quiescence: a structured progress/stall
@@ -127,6 +131,23 @@ impl Machine {
         &self.core.stats
     }
 
+    /// The live observability sink (a no-op ZST unless the `trace` feature
+    /// is enabled; see `dirtree_sim::metrics`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Install a structured message trace; every subsequent protocol send
+    /// is recorded through the shared hook (for Chrome-trace export).
+    pub fn set_trace(&mut self, trace: MsgTrace) {
+        self.core.trace_sink = Some(trace);
+    }
+
+    /// Remove and return the installed message trace, if any.
+    pub fn take_trace(&mut self) -> Option<MsgTrace> {
+        self.core.trace_sink.take()
+    }
+
     /// Run the machine to completion under `driver`.
     ///
     /// # Panics
@@ -209,10 +230,18 @@ impl Machine {
         };
         self.core.stats.max_controller_busy = busy_max;
         self.core.stats.mean_controller_busy = busy_sum as f64 / nodes as f64;
+        let mut metrics = self.core.metrics.snapshot();
+        let links = self.core.net.link_metrics();
+        metrics.links = links.links;
+        metrics.max_link_busy = links.max_link_busy;
+        metrics.total_link_busy = links.total_link_busy;
+        metrics.inject_queue = links.inject_queue;
+        metrics.link_queue = links.link_queue;
         Ok(RunOutcome {
             cycles: self.core.stats.cycles,
             stats: self.core.stats.clone(),
             net: self.core.net.stats().clone(),
+            metrics,
         })
     }
 
@@ -346,8 +375,14 @@ impl Machine {
         if let Some(issued) = self.core.pending_miss.remove(&(n, addr)) {
             let lat = self.core.queue.now() - issued;
             match op {
-                OpKind::Read => self.core.stats.read_miss_latency.record(lat),
-                OpKind::Write => self.core.stats.write_miss_latency.record(lat),
+                OpKind::Read => {
+                    self.core.stats.read_miss_latency.record(lat);
+                    self.core.metrics.on_read_done(addr, lat);
+                }
+                OpKind::Write => {
+                    self.core.stats.write_miss_latency.record(lat);
+                    self.core.metrics.on_write_done(addr, lat);
+                }
             }
         }
         // (see note above about the split borrow)
@@ -661,6 +696,104 @@ mod tests {
         // The home of address 0 (node 0) must be the busiest controller.
         assert!(out.stats.max_controller_busy > 0);
         assert!(out.stats.max_controller_busy as f64 >= out.stats.mean_controller_busy);
+    }
+
+    #[test]
+    fn trace_sink_records_sends_with_arrival_times() {
+        let mut m = Machine::new(
+            MachineConfig::test_default(2),
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+        );
+        m.set_trace(MsgTrace::new(64, None));
+        let mut d = ScriptDriver::new(vec![vec![], vec![DriverOp::Read(0)]]);
+        m.run(&mut d);
+        let t = m.take_trace().expect("trace was installed");
+        let events: Vec<_> = t.events().cloned().collect();
+        assert!(!events.is_empty(), "a read miss sends messages");
+        assert!(events.iter().any(|e| e.label == "read_req"));
+        assert!(
+            events.iter().all(|e| e.arrival > e.at),
+            "network delivery takes time"
+        );
+        assert!(t.chrome_trace_json().contains("read_req"));
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn metrics_are_empty_when_trace_feature_is_off() {
+        let (out, m) = run_script(
+            2,
+            ProtocolKind::FullMap,
+            vec![vec![DriverOp::Read(0), DriverOp::Write(0)], vec![]],
+        );
+        assert_eq!(out.metrics.total_messages(), 0);
+        assert_eq!(out.metrics.read_tx_latency.count(), 0);
+        assert_eq!(out.metrics.links, 0);
+        assert_eq!(std::mem::size_of_val(m.metrics()), 0, "no-op ZST sink");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn metrics_classify_messages_and_latencies() {
+        use dirtree_sim::metrics::MsgClass;
+        // Node 1 read-misses on 0 (clean at home 0): ReadReq + DataReply
+        // (+ off-critical-path FillAck).
+        let (out, _) = run_script(
+            2,
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+            vec![vec![], vec![DriverOp::Read(0)]],
+        );
+        let m = &out.metrics;
+        assert_eq!(m.class(MsgClass::ReadReq).count, 1);
+        assert_eq!(m.class(MsgClass::ReadReq).to_dir, 1);
+        assert_eq!(m.class(MsgClass::DataReply).count, 1);
+        assert_eq!(m.class(MsgClass::FillAck).count, 1);
+        assert_eq!(m.total_messages(), out.stats.messages);
+        // Transaction latency mirrors the stats histogram.
+        assert_eq!(
+            m.read_tx_latency.count(),
+            out.stats.read_miss_latency.count()
+        );
+        assert_eq!(m.read_tx_latency.sum(), out.stats.read_miss_latency.sum());
+        // Link occupancy was observed.
+        assert!(m.links > 0);
+        assert!(m.total_link_busy > 0);
+        assert!(m.max_link_busy <= m.total_link_busy);
+        assert_eq!(m.top_blocks[0].0, 0, "block 0 is the only traffic");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn metrics_see_invalidation_waves() {
+        use dirtree_sim::metrics::MsgClass;
+        // Two sharers, then a third node writes: the home must invalidate,
+        // and the wave metrics record depth ≥ 1 with ≥ 1 home-bound ack.
+        let (out, _) = run_script(
+            4,
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+            vec![
+                vec![DriverOp::Read(0), DriverOp::Barrier(0)],
+                vec![DriverOp::Read(0), DriverOp::Barrier(0)],
+                vec![DriverOp::Barrier(0), DriverOp::Write(0)],
+                vec![DriverOp::Barrier(0)],
+            ],
+        );
+        let m = &out.metrics;
+        assert!(m.class(MsgClass::Inv).count >= 1);
+        assert!(m.class(MsgClass::Ack).count >= 1);
+        assert_eq!(m.inv_wave_depth.count(), 1, "one write wave");
+        assert!(m.inv_wave_depth.max() >= 1);
+        assert!(m.inv_wave_acks.max() >= 1);
+        assert_eq!(m.write_tx_latency.count(), 1);
     }
 
     #[test]

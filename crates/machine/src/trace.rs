@@ -13,6 +13,9 @@ use std::collections::VecDeque;
 #[derive(Clone, Debug)]
 pub struct TraceEvent {
     pub at: Cycle,
+    /// Network delivery time (equals `at` for events recorded without
+    /// timing, e.g. the checker's logical replays).
+    pub arrival: Cycle,
     pub src: NodeId,
     pub dst: NodeId,
     pub addr: Addr,
@@ -51,6 +54,11 @@ impl MsgTrace {
 
     /// Record a send if it passes the filter.
     pub fn record(&mut self, at: Cycle, dst: NodeId, msg: &Msg) {
+        self.record_timed(at, at, dst, msg);
+    }
+
+    /// Record a send with its network delivery time (send hook path).
+    pub fn record_timed(&mut self, at: Cycle, arrival: Cycle, dst: NodeId, msg: &Msg) {
         if let Some(f) = self.filter {
             if msg.addr != f {
                 return;
@@ -62,6 +70,7 @@ impl MsgTrace {
         }
         self.events.push_back(TraceEvent {
             at,
+            arrival,
             src: msg.src,
             dst,
             addr: msg.addr,
@@ -77,6 +86,32 @@ impl MsgTrace {
     /// Events evicted from the ring because of the capacity bound.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Render the retained events in Chrome trace-event format
+    /// (`chrome://tracing` / Perfetto `trace_events` JSON): one complete
+    /// ("X") event per message, one timeline row (`tid`) per sending node,
+    /// timestamps in simulated cycles. Output is deterministic — events in
+    /// recorded order, no wall-clock or environment input.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"msg\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"addr\":{},\"dst\":{}}}}}",
+                e.label,
+                e.at,
+                e.arrival.saturating_sub(e.at).max(1),
+                e.src,
+                e.addr,
+                e.dst
+            ));
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Render the retained events as one line per message.
@@ -118,6 +153,24 @@ mod tests {
         assert!(s.contains("read_req"));
         assert!(s.contains("3 -> 0"));
         assert_eq!(t.events().count(), 2);
+    }
+
+    #[test]
+    fn record_timed_keeps_arrival_and_chrome_export_is_valid_shape() {
+        let mut t = MsgTrace::new(8, None);
+        t.record_timed(10, 25, 2, &msg(5, 3));
+        t.record(30, 0, &msg(5, 2));
+        let evs: Vec<_> = t.events().collect();
+        assert_eq!(evs[0].arrival, 25);
+        assert_eq!(evs[1].arrival, evs[1].at, "record() defaults arrival");
+        let json = t.chrome_trace_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"read_req\""));
+        assert!(json.contains("\"ts\":10"));
+        assert!(json.contains("\"dur\":15"));
+        // Zero-duration events get a minimum visible width of 1.
+        assert!(json.contains("\"ts\":30,\"dur\":1"));
     }
 
     #[test]

@@ -17,4 +17,4 @@ pub mod topology;
 pub mod wormhole;
 
 pub use topology::{NodeId, Topology};
-pub use wormhole::{Fabric, Network, NetworkConfig, NetworkStats};
+pub use wormhole::{Fabric, LinkMetrics, Network, NetworkConfig, NetworkStats};

@@ -76,6 +76,35 @@ pub struct NetworkStats {
     pub contention_cycles: u64,
 }
 
+/// Link-utilization export for the observability layer. Always present so
+/// downstream record schemas are feature-stable; default (all-zero) when
+/// the `trace` feature is off.
+#[derive(Clone, Debug, Default)]
+pub struct LinkMetrics {
+    /// Directed links in the fabric (1 for the bus).
+    pub links: u64,
+    /// Busy (streaming) cycles on the single most utilized link.
+    pub max_link_busy: u64,
+    /// Busy cycles summed over all links.
+    pub total_link_busy: u64,
+    /// Injection-channel backlog in cycles, sampled at each send.
+    pub inject_queue: Histogram,
+    /// Per-link backlog in cycles, sampled as each packet head arrives.
+    pub link_queue: Histogram,
+}
+
+/// Per-link observability accumulators (feature `trace` only).
+#[cfg(feature = "trace")]
+#[derive(Default)]
+struct LinkObs {
+    /// Streaming cycles reserved on each directed link.
+    link_busy: Vec<u64>,
+    /// Streaming cycles on the shared bus (Fabric::Bus).
+    bus_busy: u64,
+    inject_queue: Histogram,
+    link_queue: Histogram,
+}
+
 /// The interconnection network: topology + per-link reservation state.
 pub struct Network {
     topo: Topology,
@@ -89,6 +118,8 @@ pub struct Network {
     /// Shared-bus availability (Fabric::Bus).
     bus_free: Cycle,
     stats: NetworkStats,
+    #[cfg(feature = "trace")]
+    obs: LinkObs,
     route_buf: Vec<usize>,
 }
 
@@ -98,6 +129,11 @@ impl Network {
             link_free: vec![0; topo.num_directed_links()],
             inject_free: vec![0; topo.num_nodes() as usize],
             bus_free: 0,
+            #[cfg(feature = "trace")]
+            obs: LinkObs {
+                link_busy: vec![0; topo.num_directed_links()],
+                ..LinkObs::default()
+            },
             topo,
             config,
             stats: NetworkStats::default(),
@@ -154,6 +190,11 @@ impl Network {
             self.stats.total_hops += 1;
             let start = now.max(self.bus_free);
             self.stats.contention_cycles += start - now;
+            #[cfg(feature = "trace")]
+            {
+                self.obs.link_queue.record(start - now);
+                self.obs.bus_busy += self.config.switch_delay + ser;
+            }
             let arrival = start + self.config.switch_delay + ser;
             self.bus_free = arrival;
             self.stats.latency.record(arrival - now);
@@ -166,10 +207,12 @@ impl Network {
 
         let arrival = if self.config.contention {
             // Head departs when the injection port frees up.
-            let inj = &mut self.inject_free[src as usize];
-            let depart = now.max(*inj);
+            let inj_free = self.inject_free[src as usize];
+            let depart = now.max(inj_free);
             self.stats.contention_cycles += depart - now;
-            *inj = depart + ser;
+            self.inject_free[src as usize] = depart + ser;
+            #[cfg(feature = "trace")]
+            self.obs.inject_queue.record(inj_free.saturating_sub(now));
 
             let mut head = depart;
             for &link in &route {
@@ -178,10 +221,21 @@ impl Network {
                 self.stats.contention_cycles += enter - head;
                 // The link streams the whole packet once the head passes.
                 self.link_free[link] = enter + ser;
+                #[cfg(feature = "trace")]
+                {
+                    self.obs.link_queue.record(free.saturating_sub(head));
+                    self.obs.link_busy[link] += ser;
+                }
                 head = enter + self.config.switch_delay;
             }
             head + ser
         } else {
+            // No reservations to sample, but link occupancy is still
+            // well-defined: each link on the path streams the packet once.
+            #[cfg(feature = "trace")]
+            for &link in &route {
+                self.obs.link_busy[link] += ser;
+            }
             now + route.len() as Cycle * self.config.switch_delay + ser
         };
 
@@ -202,6 +256,11 @@ impl Network {
             self.stats.total_hops += 1;
             let start = now.max(self.bus_free);
             self.stats.contention_cycles += start - now;
+            #[cfg(feature = "trace")]
+            {
+                self.obs.link_queue.record(start - now);
+                self.obs.bus_busy += self.config.switch_delay + ser;
+            }
             let arrival = start + self.config.switch_delay + ser;
             self.bus_free = arrival;
             self.stats.latency.record(arrival - now);
@@ -221,6 +280,32 @@ impl Network {
         &self.stats
     }
 
+    /// Link-utilization metrics for the observability layer. Always
+    /// callable; all-zero when the `trace` feature is off.
+    pub fn link_metrics(&self) -> LinkMetrics {
+        #[cfg(feature = "trace")]
+        {
+            let (links, max_link_busy, total_link_busy) = if self.config.fabric == Fabric::Bus {
+                (1, self.obs.bus_busy, self.obs.bus_busy)
+            } else {
+                (
+                    self.link_free.len() as u64,
+                    self.obs.link_busy.iter().copied().max().unwrap_or(0),
+                    self.obs.link_busy.iter().sum(),
+                )
+            };
+            LinkMetrics {
+                links,
+                max_link_busy,
+                total_link_busy,
+                inject_queue: self.obs.inject_queue.clone(),
+                link_queue: self.obs.link_queue.clone(),
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        LinkMetrics::default()
+    }
+
     /// Reset link reservations and statistics (for reusing a network across
     /// experiment repetitions).
     pub fn reset(&mut self) {
@@ -228,6 +313,13 @@ impl Network {
         self.inject_free.iter_mut().for_each(|c| *c = 0);
         self.bus_free = 0;
         self.stats = NetworkStats::default();
+        #[cfg(feature = "trace")]
+        {
+            self.obs.link_busy.iter_mut().for_each(|c| *c = 0);
+            self.obs.bus_busy = 0;
+            self.obs.inject_queue = Histogram::new();
+            self.obs.link_queue = Histogram::new();
+        }
     }
 }
 
@@ -423,6 +515,64 @@ mod tests {
         let t = n.broadcast(0, 0, 8);
         assert_eq!(n.stats().messages, 7);
         assert_eq!(t, n.base_latency(0, 7, 8)); // farthest node bounds it
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn link_metrics_default_when_trace_disabled() {
+        let mut n = net(8, true);
+        n.send(0, 0, 7, 8);
+        let m = n.link_metrics();
+        assert_eq!(m.links, 0);
+        assert_eq!(m.total_link_busy, 0);
+        assert_eq!(m.inject_queue.count(), 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn link_metrics_accumulate_and_reset() {
+        let mut n = net(8, true);
+        // 3 hops, 8-byte message: each traversed link streams 8 cycles.
+        n.send(0, 0, 7, 8);
+        let m = n.link_metrics();
+        assert_eq!(m.links, n.topology().num_directed_links() as u64);
+        assert_eq!(m.total_link_busy, 3 * 8);
+        assert_eq!(m.max_link_busy, 8);
+        assert_eq!(m.inject_queue.count(), 1);
+        assert_eq!(m.inject_queue.max(), 0, "idle port has no backlog");
+        assert_eq!(m.link_queue.count(), 3);
+        // A back-to-back send on the same path queues at the injection port.
+        n.send(0, 0, 7, 8);
+        assert!(n.link_metrics().inject_queue.max() > 0);
+        n.reset();
+        let m = n.link_metrics();
+        assert_eq!(m.total_link_busy, 0);
+        assert_eq!(m.inject_queue.count(), 0);
+        assert_eq!(m.link_queue.count(), 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn link_metrics_uncontended_still_counts_occupancy() {
+        let mut n = net(8, false);
+        n.send(0, 0, 7, 8);
+        let m = n.link_metrics();
+        assert_eq!(m.total_link_busy, 3 * 8);
+        assert_eq!(m.inject_queue.count(), 0, "no reservations to sample");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn link_metrics_bus_is_one_link() {
+        let mut n = Network::new(Topology::hypercube(8), NetworkConfig::bus());
+        n.send(0, 0, 1, 8);
+        n.broadcast(9, 3, 8);
+        let m = n.link_metrics();
+        assert_eq!(m.links, 1);
+        // Each bus transaction occupies arbitration (1) + serialization (8).
+        assert_eq!(m.total_link_busy, 2 * 9);
+        assert_eq!(m.max_link_busy, m.total_link_busy);
+        assert_eq!(m.link_queue.count(), 2);
     }
 
     #[test]

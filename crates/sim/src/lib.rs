@@ -13,10 +13,12 @@
 
 pub mod event;
 pub mod hash;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 
 pub use event::{Cycle, EventQueue};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use metrics::{ClassCounts, Metrics, MetricsSnapshot, MsgClass, NUM_MSG_CLASSES};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, StatTable};

@@ -96,6 +96,11 @@ impl Histogram {
 
     /// Approximate p-th percentile (0..=100) from the bucket boundaries.
     /// Exact enough for latency reporting; not used for assertions.
+    ///
+    /// The bucket lower bound is clamped into `[min, max]`: with a single
+    /// sample of 1000 the covering bucket starts at 512, and reporting a
+    /// "p100" below the exact maximum (or a low percentile below the exact
+    /// minimum) would be nonsense.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -105,7 +110,8 @@ impl Histogram {
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target.max(1) {
-                return if b == 0 { 0 } else { 1u64 << (b - 1) };
+                let bound = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                return bound.clamp(self.min(), self.max);
             }
         }
         self.max
@@ -119,7 +125,17 @@ impl Histogram {
 
     /// Rebuild a histogram from serialized parts. `min` is the *reported*
     /// minimum (0 for an empty histogram), as produced by [`Self::min`].
+    ///
+    /// Debug builds cross-check that the bucket vector is consistent with
+    /// `count`, so a sweep record corrupted on disk fails loudly at parse
+    /// time instead of poisoning downstream merges.
     pub fn from_parts(buckets: [u64; 65], count: u64, sum: u64, min: u64, max: u64) -> Self {
+        debug_assert_eq!(
+            buckets.iter().fold(0u64, |a, &n| a.saturating_add(n)),
+            count,
+            "histogram parts disagree: bucket total != count"
+        );
+        debug_assert!(count == 0 || min <= max, "histogram parts: min > max");
         Self {
             buckets,
             count,
@@ -129,11 +145,18 @@ impl Histogram {
         }
     }
 
+    /// Merge another histogram in. The two always agree on bucket geometry
+    /// (the log₂ boundaries are fixed, not range-derived), so merging
+    /// histograms built from runs of very different magnitudes — e.g.
+    /// latency histograms from different machine shapes in one sweep
+    /// summary — is just an element-wise sum. All totals saturate, matching
+    /// [`Counter`] and `record`, so near-overflow inputs degrade to pinned
+    /// values instead of wrapping into nonsense.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -249,6 +272,98 @@ mod tests {
         assert_eq!(a.sum(), 21);
         assert_eq!(a.max(), 9);
         assert_eq!(a.min(), 5);
+    }
+
+    #[test]
+    fn histogram_percentile_clamped_to_observed_range() {
+        // A single sample of 1000 lands in bucket [512, 1024): the bucket
+        // lower bound (512) is below the true min/max (1000). Every
+        // percentile of a one-sample histogram must report that sample.
+        let mut h = Histogram::new();
+        h.record(1000);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 1000, "p{p}");
+        }
+        // Low percentiles can never drop below the exact minimum.
+        let mut h = Histogram::new();
+        h.record(700);
+        h.record(900);
+        h.record(1000);
+        assert!(h.percentile(1.0) >= h.min());
+        assert!(h.percentile(100.0) <= h.max());
+    }
+
+    #[test]
+    fn histogram_merge_saturates_instead_of_wrapping() {
+        let mut big = Histogram::new();
+        // Build a near-overflow histogram via from_parts with a consistent
+        // bucket vector: u64::MAX samples of value 0 in bucket 0.
+        let mut buckets = [0u64; 65];
+        buckets[0] = u64::MAX;
+        let huge = Histogram::from_parts(buckets, u64::MAX, u64::MAX, 0, 0);
+        big.merge(&huge);
+        big.merge(&huge);
+        assert_eq!(big.count(), u64::MAX, "count saturates");
+        assert_eq!(big.sum(), u64::MAX, "sum saturates");
+        assert_eq!(big.buckets()[0], u64::MAX, "bucket saturates");
+    }
+
+    #[test]
+    fn histogram_merge_across_magnitudes_and_empty() {
+        // Merging an empty histogram must not disturb min (empty min is the
+        // internal sentinel, not the reported 0).
+        let mut a = Histogram::new();
+        a.record(100);
+        a.merge(&Histogram::new());
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 100);
+        // Merging into an empty histogram adopts the other's range.
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e.min(), 100);
+        assert_eq!(e.count(), 1);
+        // Different-magnitude sources (shape-dependent latencies) share the
+        // fixed log₂ geometry, so totals and extremes are exact.
+        let mut small = Histogram::new();
+        small.record(1);
+        small.record(2);
+        let mut large = Histogram::new();
+        large.record(1 << 40);
+        small.merge(&large);
+        assert_eq!(small.count(), 3);
+        assert_eq!(small.min(), 1);
+        assert_eq!(small.max(), 1 << 40);
+        assert_eq!(small.sum(), 3 + (1u64 << 40));
+    }
+
+    #[test]
+    fn histogram_from_parts_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let r = Histogram::from_parts(*h.buckets(), h.count(), h.sum(), h.min(), h.max());
+        assert_eq!(r.count(), h.count());
+        assert_eq!(r.sum(), h.sum());
+        assert_eq!(r.min(), h.min());
+        assert_eq!(r.max(), h.max());
+        assert_eq!(r.buckets(), h.buckets());
+        // Empty round-trip restores the sentinel min so later merges work.
+        let e = Histogram::from_parts([0; 65], 0, 0, 0, 0);
+        let mut m = Histogram::new();
+        m.record(9);
+        let mut merged = e.clone();
+        merged.merge(&m);
+        assert_eq!(merged.min(), 9, "empty from_parts min must not pin 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket total != count")]
+    #[cfg(debug_assertions)]
+    fn histogram_from_parts_rejects_inconsistent_count() {
+        let mut buckets = [0u64; 65];
+        buckets[1] = 2;
+        let _ = Histogram::from_parts(buckets, 3, 10, 1, 4);
     }
 
     #[test]

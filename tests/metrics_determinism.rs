@@ -1,0 +1,83 @@
+//! The observability layer must not cost the sweep runner its PR 1
+//! contract: records — now carrying the full per-class metrics block —
+//! stay byte-identical at any `--jobs` level, and a warm cache round-trips
+//! them (metrics included) without recomputing a single simulation.
+
+use dirtree_bench::runner::{Runner, SweepOptions};
+use dirtree_bench::sweep::{RunRecord, SweepSpec};
+use dirtree_core::protocol::ProtocolKind;
+use dirtree_machine::{MachineConfig, MsgClass};
+use dirtree_workloads::WorkloadKind;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn spec() -> SweepSpec {
+    SweepSpec::grid(
+        "metrics-determinism",
+        WorkloadKind::Floyd {
+            vertices: 10,
+            seed: 7,
+        },
+        &[2, 4],
+        &[
+            ProtocolKind::FullMap,
+            ProtocolKind::DirTree {
+                pointers: 2,
+                arity: 2,
+            },
+        ],
+        MachineConfig::test_default,
+    )
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dirtree-metrics-determinism-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn runner_in(dir: &Path, jobs: usize) -> Runner {
+    Runner::new(SweepOptions {
+        jobs,
+        out_dir: dir.to_path_buf(),
+        ..SweepOptions::default()
+    })
+}
+
+#[test]
+fn metrics_json_is_byte_identical_across_jobs_and_survives_the_cache() {
+    let spec = spec();
+    let (d1, d8) = (scratch_dir("j1"), scratch_dir("j8"));
+
+    let serial = runner_in(&d1, 1).run(&spec);
+    let parallel = runner_in(&d8, 8).run(&spec);
+    assert_eq!(serial.executed, spec.configs.len());
+    assert_eq!(parallel.executed, spec.configs.len());
+
+    let jsonl = |d: &Path| fs::read_to_string(d.join("metrics-determinism.jsonl")).unwrap();
+    let (f1, f8) = (jsonl(&d1), jsonl(&d8));
+    assert_eq!(f1, f8, "--jobs 1 and --jobs 8 disagree byte-for-byte");
+
+    // Every line carries a populated metrics block whose class totals
+    // reconcile with the machine's own message counter.
+    for line in f1.lines() {
+        assert!(line.contains("\"metrics\":{"), "metrics block missing");
+        let record = RunRecord::from_json(line).unwrap();
+        assert!(record.metrics.total_messages() > 0, "empty metrics block");
+        assert_eq!(record.metrics.total_messages(), record.messages);
+        assert!(record.metrics.class(MsgClass::ReadReq).count > 0);
+    }
+
+    // Warm rerun: all hits, zero simulations, and the reparsed records —
+    // metrics included — reproduce the identical file.
+    let warm = runner_in(&d1, 4).run(&spec);
+    assert_eq!(warm.executed, 0, "warm cache recomputed a simulation");
+    assert_eq!(warm.cached, spec.configs.len());
+    assert_eq!(jsonl(&d1), f8, "cache round-trip changed the records");
+
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d8);
+}
