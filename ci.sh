@@ -38,3 +38,13 @@ if (( deep )); then
 else
   cargo run --release -p dirtree-check --bin check_all -- --fast
 fi
+
+# Perf smoke: the P=64 slice of the hot-path scaling study must finish
+# inside a generous wall-clock budget (catches order-of-magnitude
+# simulator regressions, not noise) and its records must stay
+# byte-identical to the committed golden — the determinism gate for the
+# whole record/replay + cached-sweep pipeline.
+timeout 300 ./target/release/scale_up \
+  --filter P=64 --no-cache --jobs 2 --out-dir target/perf_smoke >/dev/null
+cmp target/perf_smoke/scale_up.jsonl tests/golden/scale_up_p64.jsonl
+echo "perf-smoke: records match tests/golden/scale_up_p64.jsonl"

@@ -746,6 +746,100 @@ pub fn scaling(runner: &Runner) -> String {
     out
 }
 
+/// The machine sizes of the [`scale_up`] study.
+pub const SCALE_UP_SIZES: [u32; 3] = [64, 128, 256];
+
+/// Configurations of the [`scale_up`] hot-path study, optionally
+/// restricted by a `--filter` substring matched against `P=<nodes>`
+/// (so `--filter P=64` runs only the 64-processor group). Returns the
+/// sizes kept and the grid cells.
+pub fn scale_up_cells(runner: &Runner, filter: Option<&str>) -> (Vec<u32>, Vec<RecordCell>) {
+    let sizes: Vec<u32> = SCALE_UP_SIZES
+        .into_iter()
+        .filter(|p| filter.is_none_or(|f| format!("P={p}").contains(f)))
+        .collect();
+    assert!(
+        !sizes.is_empty(),
+        "--filter {:?} matches none of P=64/P=128/P=256",
+        filter.unwrap_or_default()
+    );
+    let w = WorkloadKind::Floyd {
+        vertices: 64,
+        seed: 1996,
+    };
+    let cells = record_grid(
+        runner,
+        "scale_up",
+        w,
+        &sizes,
+        &[
+            ProtocolKind::FullMap,
+            ProtocolKind::DirTree {
+                pointers: 2,
+                arity: 2,
+            },
+            ProtocolKind::DirTree {
+                pointers: 4,
+                arity: 2,
+            },
+            ProtocolKind::LimitedNB { pointers: 4 },
+        ],
+        MachineConfig::paper_default,
+    );
+    (sizes, cells)
+}
+
+/// Render the [`scale_up`] grid: normalized execution time plus the
+/// simulator-throughput columns (`events`, `peak queue depth`) the
+/// hot-path benchmark reads.
+pub fn scale_up_report(sizes: &[u32], cells: &[RecordCell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Hot-path scaling study (Floyd-Warshall 64v, normalized to full-map):"
+    );
+    let mut t = AsciiTable::new(&[
+        "procs",
+        "protocol",
+        "cycles",
+        "norm",
+        "events",
+        "peak queue",
+        "msgs",
+    ]);
+    for &nodes in sizes {
+        for c in cells.iter().filter(|c| c.nodes == nodes) {
+            let r = &c.record;
+            t.row(&[
+                nodes.to_string(),
+                r.protocol.clone(),
+                r.cycles.to_string(),
+                format!("{:.3}", c.normalized),
+                r.events.to_string(),
+                r.peak_queue_depth.to_string(),
+                r.messages.to_string(),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "Per-size full-map baselines; `events` and `peak queue` are\n\
+         deterministic simulator-throughput denominators (see\n\
+         BENCH_sim_hotpath.json for the wall-clock side)."
+    );
+    out
+}
+
+/// **Beyond the paper (ours)** — the hot-path scaling study at
+/// P ∈ {64, 128, 256}. Not in [`registry`] (like [`scaling`], it is an
+/// explicit opt-in via the `scale_up` binary; CI's perf-smoke step runs
+/// the `--filter P=64` slice).
+pub fn scale_up(runner: &Runner, filter: Option<&str>) -> String {
+    let (sizes, cells) = scale_up_cells(runner, filter);
+    scale_up_report(&sizes, &cells)
+}
+
 /// **Sensitivity study (ours)** — how the Figure-10 protocol ranking
 /// responds to the simulator knobs the paper fixes silently.
 pub fn sensitivity(runner: &Runner) -> String {
@@ -1106,6 +1200,27 @@ mod tests {
         assert_eq!(names.len(), 17);
         assert!(names.contains(&"table1") && names.contains(&"ablation_arity"));
         assert!(!names.contains(&"scaling"), "scaling is opt-in only");
+        assert!(
+            !names.contains(&"scale_up"),
+            "scale_up is opt-in only (own binary + CI perf-smoke)"
+        );
+    }
+
+    #[test]
+    fn scale_up_filter_selects_size_groups() {
+        // Pure config-side check (no simulation): the filter grammar the
+        // CI perf-smoke step relies on.
+        let keep = |f: Option<&str>| -> Vec<u32> {
+            SCALE_UP_SIZES
+                .into_iter()
+                .filter(|p| f.is_none_or(|f| format!("P={p}").contains(f)))
+                .collect()
+        };
+        assert_eq!(keep(None), vec![64, 128, 256]);
+        assert_eq!(keep(Some("P=64")), vec![64]);
+        assert_eq!(keep(Some("P=128")), vec![128]);
+        assert_eq!(keep(Some("P=256")), vec![256]);
+        assert_eq!(keep(Some("P=")), vec![64, 128, 256]);
     }
 
     #[test]

@@ -17,14 +17,16 @@
 //! Panicking simulations are caught per-config: the failure is recorded in
 //! the outcome (and never cached), the rest of the sweep continues.
 
-use crate::sweep::{RunRecord, SweepConfig, SweepSpec};
+use crate::sweep::{workload_key, RunRecord, SweepConfig, SweepSpec};
 use dirtree_machine::{Machine, MsgTrace};
+use dirtree_workloads::trace::{record_ops, OpTrace, ReplayDriver};
+use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Execution policy for a [`Runner`].
 #[derive(Clone, Debug)]
@@ -285,7 +287,7 @@ fn run_config(config: &SweepConfig, trace: bool) -> Result<(RunRecord, Option<St
         if trace {
             machine.set_trace(MsgTrace::new(TRACE_CAPACITY, None));
         }
-        let mut driver = config.effective_workload().build(config.machine.nodes);
+        let mut driver = ReplayDriver::new(op_trace_for(config));
         let outcome = machine.run(&mut driver);
         let trace_json = machine.take_trace().map(|t| t.chrome_trace_json());
         (RunRecord::from_outcome(config, &outcome), trace_json)
@@ -299,6 +301,31 @@ fn run_config(config: &SweepConfig, trace: bool) -> Result<(RunRecord, Option<St
             "non-string panic payload".to_string()
         }
     })
+}
+
+/// Process-wide operation-trace cache: one recording per
+/// `(workload, nodes)` pair, shared by every protocol config and every
+/// spec the process runs. The recording (thread-rendezvous) cost is paid
+/// once; all simulations replay it with zero context switches — see
+/// `dirtree_workloads::trace` for why the streams are config-independent.
+/// The per-key `OnceLock` lets distinct workloads record concurrently
+/// under `--jobs` while duplicate requests block on the first recorder;
+/// the trace content is a pure function of the key either way, so sweep
+/// records stay byte-identical at any jobs level.
+fn op_trace_for(config: &SweepConfig) -> Arc<OpTrace> {
+    type Slot = Arc<OnceLock<Arc<OpTrace>>>;
+    static TRACES: OnceLock<Mutex<HashMap<(String, u32), Slot>>> = OnceLock::new();
+    let workload = config.effective_workload();
+    let key = (workload_key(&workload), config.machine.nodes);
+    let slot: Slot = {
+        let mut map = TRACES.get_or_init(Default::default).lock().unwrap();
+        map.entry(key).or_default().clone()
+    };
+    slot.get_or_init(|| {
+        let mut w = workload.build(config.machine.nodes);
+        Arc::new(record_ops(&mut w))
+    })
+    .clone()
 }
 
 /// Write `text` (plus trailing newline) atomically: tmp file + rename, so

@@ -200,6 +200,11 @@ pub struct RunRecord {
     pub barriers: u64,
     pub lock_acquires: u64,
     pub max_controller_busy: u64,
+    /// Simulation events delivered (throughput denominator for the
+    /// hot-path benchmarks; deterministic).
+    pub events: u64,
+    /// Event-queue high-water mark (deterministic schedule property).
+    pub peak_queue_depth: u64,
     pub net_messages: u64,
     pub net_bytes: u64,
     pub net_hops: u64,
@@ -245,6 +250,8 @@ impl RunRecord {
             barriers: s.barriers,
             lock_acquires: s.lock_acquires,
             max_controller_busy: s.max_controller_busy,
+            events: s.events,
+            peak_queue_depth: s.peak_queue_depth,
             net_messages: n.messages,
             net_bytes: n.bytes,
             net_hops: n.total_hops,
@@ -300,6 +307,8 @@ impl RunRecord {
         json_u64(&mut out, "barriers", self.barriers);
         json_u64(&mut out, "lock_acquires", self.lock_acquires);
         json_u64(&mut out, "max_controller_busy", self.max_controller_busy);
+        json_u64(&mut out, "events", self.events);
+        json_u64(&mut out, "peak_queue_depth", self.peak_queue_depth);
         json_u64(&mut out, "net_messages", self.net_messages);
         json_u64(&mut out, "net_bytes", self.net_bytes);
         json_u64(&mut out, "net_hops", self.net_hops);
@@ -367,6 +376,8 @@ impl RunRecord {
             barriers: get_u64("barriers")?,
             lock_acquires: get_u64("lock_acquires")?,
             max_controller_busy: get_u64("max_controller_busy")?,
+            events: get_u64("events")?,
+            peak_queue_depth: get_u64("peak_queue_depth")?,
             net_messages: get_u64("net_messages")?,
             net_bytes: get_u64("net_bytes")?,
             net_hops: get_u64("net_hops")?,

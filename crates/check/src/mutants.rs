@@ -25,6 +25,12 @@ pub enum MutantKind {
     /// Truncate the first non-empty `ReadReply` adopt list: a subtree is
     /// orphaned from the directory's recorded forest.
     StaleTreePointer,
+    /// Alias the directory's invalidation-wave scratch buffer across two
+    /// waves: the second wave's first invalidation is redirected to a
+    /// target *recorded during the first wave*, as if `wave_scratch` in
+    /// `dir_tree` were reused without being cleared. The real target's
+    /// copy survives the write.
+    StaleWaveScratch,
 }
 
 /// A correct protocol with one injected bug.
@@ -32,6 +38,13 @@ pub struct Mutated {
     inner: Box<dyn Protocol>,
     kind: MutantKind,
     tripped: bool,
+    /// Targets of the first directory-originated invalidation wave — the
+    /// "stale scratch contents" `StaleWaveScratch` replays on the second
+    /// wave. Explored state, so it participates in `fingerprint`.
+    first_wave: Vec<NodeId>,
+    /// Directory invalidation waves observed so far (a wave = all
+    /// `Inv { from_dir: true }` sends within one handler call).
+    waves_seen: u32,
 }
 
 impl Mutated {
@@ -40,6 +53,8 @@ impl Mutated {
             inner,
             kind,
             tripped: false,
+            first_wave: Vec::new(),
+            waves_seen: 0,
         }
     }
 
@@ -60,6 +75,12 @@ struct MutCtx<'a> {
     kind: MutantKind,
     tripped: &'a mut bool,
     active: bool,
+    first_wave: &'a mut Vec<NodeId>,
+    waves_seen: &'a mut u32,
+    /// Whether *this* handler call has already emitted a directory-wave
+    /// invalidation (the shim lives for one call, so this groups one
+    /// call's `from_dir` sends into one wave).
+    wave_started: bool,
 }
 
 impl ProtoCtx for MutCtx<'_> {
@@ -108,6 +129,26 @@ impl ProtoCtx for MutCtx<'_> {
                     return;
                 }
                 _ => {}
+            }
+        }
+        if self.kind == MutantKind::StaleWaveScratch {
+            if let MsgKind::Inv { from_dir: true, .. } = msg.kind {
+                if !self.wave_started {
+                    self.wave_started = true;
+                    *self.waves_seen += 1;
+                }
+                if *self.waves_seen == 1 {
+                    self.first_wave.push(dst);
+                } else if !*self.tripped {
+                    // Second wave: replay a stale target from the first
+                    // wave's "scratch" instead of the real one (only a
+                    // *different* target models an aliasing bug).
+                    if let Some(&stale) = self.first_wave.iter().find(|&&t| t != dst) {
+                        *self.tripped = true;
+                        self.inner.send(stale, msg);
+                        return;
+                    }
+                }
             }
         }
         self.inner.send(dst, msg);
@@ -159,6 +200,9 @@ impl Protocol for Mutated {
             kind: self.kind,
             tripped: &mut self.tripped,
             active: self.kind != MutantKind::PrematureAck,
+            first_wave: &mut self.first_wave,
+            waves_seen: &mut self.waves_seen,
+            wave_started: false,
         };
         self.inner.start_miss(&mut shim, node, addr, op);
     }
@@ -175,6 +219,9 @@ impl Protocol for Mutated {
             kind: self.kind,
             tripped: &mut self.tripped,
             active,
+            first_wave: &mut self.first_wave,
+            waves_seen: &mut self.waves_seen,
+            wave_started: false,
         };
         self.inner.handle(&mut shim, node, msg);
     }
@@ -185,6 +232,9 @@ impl Protocol for Mutated {
             kind: self.kind,
             tripped: &mut self.tripped,
             active: self.kind != MutantKind::PrematureAck,
+            first_wave: &mut self.first_wave,
+            waves_seen: &mut self.waves_seen,
+            wave_started: false,
         };
         self.inner.evict(&mut shim, node, addr, state);
     }
@@ -204,12 +254,18 @@ impl Protocol for Mutated {
             inner: self.inner.boxed_clone(),
             kind: self.kind,
             tripped: self.tripped,
+            first_wave: self.first_wave.clone(),
+            waves_seen: self.waves_seen,
         })
     }
 
     fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
         self.inner.fingerprint(h);
         h.write_u8(self.tripped as u8);
+        h.write_u32(self.waves_seen);
+        for &t in &self.first_wave {
+            h.write_u32(t);
+        }
     }
 
     fn check_invariants(

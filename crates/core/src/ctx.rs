@@ -54,11 +54,19 @@ pub trait ProtoCtx {
     /// which every recipient has the message (so callers can anchor
     /// snoop-window timing to the actual delivery, not the send). The
     /// default expansion suits mocks, whose delivery is immediate.
+    ///
+    /// The original message is moved into the final send rather than
+    /// cloned once more — broadcast payloads that carry heap data (adopt
+    /// lists) would otherwise allocate per recipient on the hot path.
     fn broadcast(&mut self, msg: Msg) -> Cycle {
+        let last = (0..self.num_nodes()).rev().find(|&d| d != msg.src);
         for dst in 0..self.num_nodes() {
-            if dst != msg.src {
+            if dst != msg.src && Some(dst) != last {
                 self.send(dst, msg.clone());
             }
+        }
+        if let Some(dst) = last {
+            self.send(dst, msg);
         }
         self.now()
     }

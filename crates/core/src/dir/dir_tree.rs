@@ -112,6 +112,13 @@ pub struct DirTree {
     /// Writeback requests that arrived while the owner was still killing
     /// its own subtree (`WmLip`); served when it becomes exclusive.
     pending_wb: FxHashMap<(NodeId, Addr), (OpKind, NodeId)>,
+    /// Reusable scratch for one invalidation wave's `(target, partner)`
+    /// fan-out — cleared before every use, so its carry-over contents are
+    /// *not* protocol state: it is excluded from [`Protocol::fingerprint`]
+    /// (the model checker must never observe scratch reuse; a mutant that
+    /// aliases this buffer across waves is caught by the witness — see
+    /// `dirtree-check`'s `MutantKind::StaleWaveScratch`).
+    wave_scratch: Vec<(NodeId, Option<NodeId>)>,
 }
 
 impl DirTree {
@@ -128,6 +135,7 @@ impl DirTree {
             zombies: FxHashMap::default(),
             collectors: AckCollectors::new(),
             pending_wb: FxHashMap::default(),
+            wave_scratch: Vec::new(),
         }
     }
 
@@ -333,10 +341,13 @@ impl DirTree {
         requester: NodeId,
     ) -> (u32, bool) {
         let pairing = self.params.dir_tree_pairing;
+        // Reuse the wave scratch buffer (taken, cleared, and put back) so a
+        // write's fan-out list never allocates on the hot path.
+        let mut sends = std::mem::take(&mut self.wave_scratch);
+        sends.clear();
         let e = self.entries.get_mut(&addr).unwrap();
         let self_root = e.ptrs.iter().flatten().any(|p| p.node == requester);
         let mut expected = 0;
-        let mut sends: Vec<(NodeId, Option<NodeId>)> = Vec::new();
         if pairing {
             // Even-numbered roots invalidate their odd partners: the home
             // receives at most ceil(i/2) acknowledgements.
@@ -364,7 +375,8 @@ impl DirTree {
                 }
             }
         }
-        for (dst, also) in sends {
+        e.ptrs.iter_mut().for_each(|p| *p = None);
+        for &(dst, also) in &sends {
             ctx.send(
                 dst,
                 Msg {
@@ -378,7 +390,7 @@ impl DirTree {
             );
             expected += 1;
         }
-        e.ptrs.iter_mut().for_each(|p| *p = None);
+        self.wave_scratch = sends;
         (expected, self_root)
     }
 
@@ -499,14 +511,17 @@ impl DirTree {
     }
 
     /// Perform the invalidation of a live copy at `node`: forward to
-    /// children and any `also` partners, then ack the debts (immediately or
-    /// through a collector).
+    /// children and any `also` partner, then ack the debt (immediately or
+    /// through a collector). Every invalidation delivery settles exactly one
+    /// debt — later arrivals find the collector open and are absorbed in
+    /// [`Self::handle_inv`] — so the debt is passed by value, not boxed in a
+    /// single-element `Vec`.
     fn kill_copy(
         &mut self,
         ctx: &mut dyn ProtoCtx,
         node: NodeId,
         addr: Addr,
-        debts: Vec<DeferredInv>,
+        debt: DeferredInv,
         invalidate_line: bool,
     ) {
         let mut kids = self.children.remove(&(node, addr)).unwrap_or_default();
@@ -530,40 +545,31 @@ impl DirTree {
             );
             outstanding += 1;
         }
-        for d in &debts {
-            if let Some(partner) = d.also {
-                ctx.send(
-                    partner,
-                    Msg {
-                        addr,
-                        src: node,
-                        kind: MsgKind::Inv {
-                            also: None,
-                            from_dir: false,
-                        },
+        if let Some(partner) = debt.also {
+            ctx.send(
+                partner,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::Inv {
+                        also: None,
+                        from_dir: false,
                     },
-                );
-                outstanding += 1;
-            }
+                },
+            );
+            outstanding += 1;
         }
         if outstanding == 0 {
             if invalidate_line {
                 ctx.set_line_state(node, addr, LineState::Iv);
             }
-            for d in debts {
-                ack(ctx, node, addr, d.from, d.dir);
-            }
+            ack(ctx, node, addr, debt.from, debt.dir);
         } else {
             if invalidate_line {
                 ctx.set_line_state(node, addr, LineState::InvIp);
             }
-            let mut debts = debts.into_iter();
-            let first = debts.next().expect("kill_copy with no debts");
             self.collectors
-                .open(node, addr, first.from, first.dir, outstanding);
-            for d in debts {
-                self.collectors.absorb(node, addr, d.from, d.dir, 0);
-            }
+                .open(node, addr, debt.from, debt.dir, outstanding);
         }
     }
 
@@ -606,12 +612,12 @@ impl DirTree {
         match ctx.line_state(node, addr) {
             LineState::V => {
                 ctx.note(ProtoEvent::Invalidation);
-                self.kill_copy(ctx, node, addr, vec![debt], true);
+                self.kill_copy(ctx, node, addr, debt, true);
             }
             LineState::WmIp | LineState::WmLip => {
                 // Upgrading writer: its old copy (and subtree) dies, but the
                 // line stays transient awaiting the grant.
-                self.kill_copy(ctx, node, addr, vec![debt], false);
+                self.kill_copy(ctx, node, addr, debt, false);
             }
             LineState::InvIp => {
                 // InvIp with a closed collector cannot happen (the state is
@@ -630,7 +636,7 @@ impl DirTree {
                 // and a pairing duty must still be discharged. `kill_copy`
                 // handles all of it (with no live line to invalidate).
                 debug_assert!(self.children_of(node, addr).is_empty());
-                self.kill_copy(ctx, node, addr, vec![debt], false);
+                self.kill_copy(ctx, node, addr, debt, false);
             }
             LineState::E => {
                 // Unreachable by construction (see module docs); be safe.

@@ -56,10 +56,16 @@ pub struct MachineCore {
 }
 
 impl MachineCore {
+    /// Event-queue capacity from the machine shape: every node can have a
+    /// handful of messages and one processor/controller event in flight.
+    fn queue_capacity(config: &MachineConfig) -> usize {
+        (config.nodes as usize * 8).max(1024)
+    }
+
     pub fn new(config: MachineConfig) -> Self {
         let n = config.nodes as usize;
         Self {
-            queue: EventQueue::with_capacity(1024),
+            queue: EventQueue::with_capacity(Self::queue_capacity(&config)),
             net: Network::new(config.topology.build(config.nodes), config.net),
             caches: (0..n).map(|_| Cache::new(config.cache)).collect(),
             stats: MachineStats::default(),
@@ -74,6 +80,31 @@ impl MachineCore {
             ctrl_busy: vec![0; n],
             config,
         }
+    }
+
+    /// Restore the core to its post-construction state so the allocation
+    /// (caches, controller queues, route tables) can be reused for another
+    /// run. Every field a simulation mutates is covered — the PR-1
+    /// bus-latency bug came from a reset path drifting away from the send
+    /// path, so the controller-occupancy state (`ctrl_q` / `ctrl_free` /
+    /// `ctrl_scheduled` / `ctrl_extra` / `ctrl_busy`) is reset explicitly
+    /// and pinned by `machine::tests::reset_then_reuse_is_bit_identical_to_fresh`.
+    pub fn reset(&mut self) {
+        self.queue = EventQueue::with_capacity(Self::queue_capacity(&self.config));
+        self.net.reset();
+        for c in &mut self.caches {
+            *c = Cache::new(self.config.cache);
+        }
+        self.stats = MachineStats::default();
+        self.verifier = self.config.verify.then(Verifier::new);
+        self.metrics = Metrics::default();
+        self.trace_sink = None;
+        self.pending_miss.clear();
+        self.ctrl_q.iter_mut().for_each(VecDeque::clear);
+        self.ctrl_free.iter_mut().for_each(|c| *c = 0);
+        self.ctrl_scheduled.iter_mut().for_each(|s| *s = false);
+        self.ctrl_extra = 0;
+        self.ctrl_busy.iter_mut().for_each(|c| *c = 0);
     }
 
     /// Controller occupancy for a message: directory-bound messages pay the
@@ -118,6 +149,22 @@ impl MachineCore {
             .expect("CtrlExec with empty queue")
     }
 
+    /// Charge occupancy requested by a handler that ran *outside* the
+    /// [`MachineCore::ctrl_take`] / [`MachineCore::ctrl_finish`] bracket
+    /// (the dedicated snoop port handles messages at delivery time).
+    /// Without this, `ctrl_extra` accrued there would silently leak into
+    /// the next unrelated `ctrl_finish` and bill the wrong node's
+    /// controller. `max` (not overwrite) because this node may also have a
+    /// scheduled controller reservation in the future.
+    pub fn apply_direct_occupancy(&mut self, node: NodeId) {
+        let n = node as usize;
+        if self.ctrl_extra > 0 {
+            self.ctrl_busy[n] += self.ctrl_extra;
+            self.ctrl_free[n] = self.ctrl_free[n].max(self.queue.now()) + self.ctrl_extra;
+            self.ctrl_extra = 0;
+        }
+    }
+
     /// Apply handler-requested extra occupancy and schedule the next
     /// message if any.
     pub fn ctrl_finish(&mut self, node: NodeId) {
@@ -130,11 +177,25 @@ impl MachineCore {
         self.schedule_ctrl(node);
     }
 
-    /// Readable copies of `addr` held by nodes other than `except`.
-    pub fn other_holders(&self, addr: Addr, except: NodeId) -> Vec<NodeId> {
+    /// Readable copies of `addr` held by nodes other than `except`,
+    /// appended to the caller's scratch buffer — the write-verification
+    /// paths reuse one buffer per machine instead of allocating a `Vec`
+    /// per checked write (the [`Verifier`] consumes `&[NodeId]` views).
+    pub fn other_holders_into(&self, addr: Addr, except: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            (0..self.config.nodes)
+                .filter(|&m| m != except && self.caches[m as usize].state(addr).readable()),
+        );
+    }
+
+    /// Number of readable copies of `addr` outside `except` — the
+    /// allocation-free variant for pure counting (per-write sharer stats on
+    /// the hot path).
+    pub fn count_other_holders(&self, addr: Addr, except: NodeId) -> u64 {
         (0..self.config.nodes)
             .filter(|&m| m != except && self.caches[m as usize].state(addr).readable())
-            .collect()
+            .count() as u64
     }
 
     /// Busy cycles per memory/cache controller (hot-spot diagnostics).
@@ -189,16 +250,14 @@ impl MachineCore {
     }
 
     /// All surviving readable copies (for the final verification pass).
-    pub fn survivors(&self) -> Vec<(NodeId, Addr)> {
-        let mut out = Vec::new();
-        for (n, cache) in self.caches.iter().enumerate() {
-            for (addr, st) in cache.resident() {
-                if st.readable() {
-                    out.push((n as NodeId, addr));
-                }
-            }
-        }
-        out
+    /// Lazily iterated — no collection is materialized.
+    pub fn survivors(&self) -> impl Iterator<Item = (NodeId, Addr)> + '_ {
+        self.caches.iter().enumerate().flat_map(|(n, cache)| {
+            cache
+                .resident()
+                .filter(|(_, st)| st.readable())
+                .map(move |(addr, _)| (n as NodeId, addr))
+        })
     }
 }
 
@@ -245,10 +304,17 @@ impl ProtoCtx for MachineCore {
         self.stats.messages += wire_msgs;
         self.stats.bytes += bytes as u64 * wire_msgs;
         self.record_broadcast(&msg, bytes, wire_msgs, arrival);
+        // The original message is moved into the last delivery instead of
+        // being cloned once more and dropped: n − 2 clones for n − 1
+        // deliveries, and zero for the degenerate 2-node machine.
+        let last = (0..self.config.nodes).rev().find(|&d| d != msg.src);
         for dst in 0..self.config.nodes {
-            if dst != msg.src {
+            if dst != msg.src && Some(dst) != last {
                 self.queue.push(arrival, Ev::Deliver(dst, msg.clone()));
             }
+        }
+        if let Some(dst) = last {
+            self.queue.push(arrival, Ev::Deliver(dst, msg));
         }
         arrival
     }

@@ -97,6 +97,9 @@ pub struct Machine {
     barriers: FxHashMap<u32, BarrierState>,
     locks: FxHashMap<u32, LockState>,
     done_count: u32,
+    /// Scratch for holder queries on the write-verification paths: one
+    /// machine-lifetime buffer instead of one `Vec` per checked write.
+    holders_scratch: Vec<NodeId>,
 }
 
 impl Machine {
@@ -116,7 +119,24 @@ impl Machine {
             barriers: FxHashMap::default(),
             locks: FxHashMap::default(),
             done_count: 0,
+            holders_scratch: Vec::new(),
         }
+    }
+
+    /// Restore the machine to its post-construction state so its
+    /// allocations (caches, controller queues, network route tables) can be
+    /// reused for another run. The protocol is rebuilt from its kind, so a
+    /// custom [`Machine::with_protocol`] wrapper is replaced by the
+    /// registry implementation.
+    pub fn reset(&mut self) {
+        self.core.reset();
+        self.protocol = build_protocol(self.protocol.kind(), self.core.config.protocol);
+        self.procs.iter_mut().for_each(|p| *p = ProcState::Running);
+        self.retry_op.iter_mut().for_each(|r| *r = None);
+        self.barriers.clear();
+        self.locks.clear();
+        self.done_count = 0;
+        self.holders_scratch.clear();
     }
 
     pub fn config(&self) -> &MachineConfig {
@@ -174,30 +194,41 @@ impl Machine {
             self.core.queue.push(0, Ev::Proc(n));
         }
         let mut events: u64 = 0;
-        while let Some((_, ev)) = self.core.queue.pop() {
-            events += 1;
-            if events > self.core.config.max_events {
-                return Err(StallError::Livelock {
-                    events,
-                    protocol: self.protocol.kind(),
-                });
-            }
-            match ev {
-                Ev::Proc(n) => self.step_processor(n, driver),
-                Ev::Deliver(n, msg) => {
-                    if msg.kind.is_snoop() {
-                        // Dedicated snoop port: handled at delivery time.
-                        self.protocol.handle(&mut self.core, n, msg);
-                    } else {
-                        self.core.deliver(n, msg);
+        // Same-cycle events are drained in one batch (reusing `batch`
+        // across iterations); `pop_batch` preserves the exact (time, seq)
+        // delivery order of one-at-a-time popping.
+        let mut batch: Vec<(Cycle, Ev)> = Vec::new();
+        while self.core.queue.pop_batch(&mut batch) > 0 {
+            for (_, ev) in batch.drain(..) {
+                events += 1;
+                if events > self.core.config.max_events {
+                    return Err(StallError::Livelock {
+                        events,
+                        protocol: self.protocol.kind(),
+                    });
+                }
+                match ev {
+                    Ev::Proc(n) => self.step_processor(n, driver),
+                    Ev::Deliver(n, msg) => {
+                        if msg.kind.is_snoop() {
+                            // Dedicated snoop port: handled at delivery time.
+                            self.protocol.handle(&mut self.core, n, msg);
+                            // This path runs outside the ctrl_take/ctrl_finish
+                            // bracket; occupancy the handler requested must be
+                            // charged to this node now, not leak into the next
+                            // unrelated ctrl_finish.
+                            self.core.apply_direct_occupancy(n);
+                        } else {
+                            self.core.deliver(n, msg);
+                        }
                     }
+                    Ev::CtrlExec(n) => {
+                        let msg = self.core.ctrl_take(n);
+                        self.protocol.handle(&mut self.core, n, msg);
+                        self.core.ctrl_finish(n);
+                    }
+                    Ev::OpDone(n, addr, op) => self.op_done(n, addr, op),
                 }
-                Ev::CtrlExec(n) => {
-                    let msg = self.core.ctrl_take(n);
-                    self.protocol.handle(&mut self.core, n, msg);
-                    self.core.ctrl_finish(n);
-                }
-                Ev::OpDone(n, addr, op) => self.op_done(n, addr, op),
             }
         }
         if self.done_count != self.core.config.nodes {
@@ -215,7 +246,7 @@ impl Machine {
             });
         }
         if let Some(v) = &self.core.verifier {
-            if let Err(violation) = v.on_finish(self.core.survivors().into_iter()) {
+            if let Err(violation) = v.on_finish(self.core.survivors()) {
                 panic!("{violation} (protocol {:?})", self.protocol.kind());
             }
         }
@@ -230,6 +261,8 @@ impl Machine {
         };
         self.core.stats.max_controller_busy = busy_max;
         self.core.stats.mean_controller_busy = busy_sum as f64 / nodes as f64;
+        self.core.stats.events = self.core.queue.total_popped();
+        self.core.stats.peak_queue_depth = self.core.queue.peak_len() as u64;
         let mut metrics = self.core.metrics.snapshot();
         let links = self.core.net.link_metrics();
         metrics.links = links.links;
@@ -303,13 +336,14 @@ impl Machine {
                     self.core.stats.write_hits += 1;
                     self.core.stats.sharers_at_write.record(0);
                     self.core.caches[n as usize].touch(addr);
-                    // (is_some + unwrap rather than if-let: `other_holders`
+                    // (is_some + unwrap rather than if-let: `other_holders_into`
                     // needs an immutable borrow of the core in between.)
                     #[allow(clippy::unnecessary_unwrap)]
                     if self.core.verifier.is_some() {
-                        let others = self.core.other_holders(addr, n);
+                        self.core
+                            .other_holders_into(addr, n, &mut self.holders_scratch);
                         let v = self.core.verifier.as_mut().unwrap();
-                        if let Err(viol) = v.on_write_complete(n, addr, &others) {
+                        if let Err(viol) = v.on_write_complete(n, addr, &self.holders_scratch) {
                             panic!("{viol} (protocol {:?})", self.protocol.kind());
                         }
                     }
@@ -358,7 +392,7 @@ impl Machine {
             OpKind::Write => {
                 self.core.stats.writes += 1;
                 self.core.stats.write_misses += 1;
-                let sharers = self.core.other_holders(addr, n).len() as u64;
+                let sharers = self.core.count_other_holders(addr, n);
                 self.core.stats.sharers_at_write.record(sharers);
                 self.core.caches[n as usize].set_state(addr, LineState::WmIp);
             }
@@ -391,11 +425,12 @@ impl Machine {
             match op {
                 OpKind::Read => self.core.verifier.as_mut().unwrap().on_read_fill(n, addr),
                 OpKind::Write => {
-                    let others = self.core.other_holders(addr, n);
+                    self.core
+                        .other_holders_into(addr, n, &mut self.holders_scratch);
                     let v = self.core.verifier.as_mut().unwrap();
                     if self.protocol.is_update() {
-                        v.on_write_complete_update(n, addr, &others);
-                    } else if let Err(viol) = v.on_write_complete(n, addr, &others) {
+                        v.on_write_complete_update(n, addr, &self.holders_scratch);
+                    } else if let Err(viol) = v.on_write_complete(n, addr, &self.holders_scratch) {
                         panic!("{viol} (protocol {:?})", self.protocol.kind());
                     }
                 }
@@ -635,6 +670,43 @@ mod tests {
         let b = mk();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.stats.messages, b.stats.messages);
+    }
+
+    #[test]
+    fn reset_then_reuse_is_bit_identical_to_fresh() {
+        // A dirty machine — advanced queue clock, warm caches, controller
+        // occupancy (including the snoop-path `ctrl_extra` bookkeeping),
+        // protocol directory state — must be indistinguishable from a
+        // freshly constructed one after `reset()`. Guards the reset path
+        // against the PR-1 class of carry-over bugs.
+        let kind = ProtocolKind::DirTree {
+            pointers: 4,
+            arity: 2,
+        };
+        let scripts: Vec<Vec<DriverOp>> = (0..8u64)
+            .map(|n| {
+                vec![
+                    DriverOp::Read(0),
+                    DriverOp::Work(n + 1),
+                    DriverOp::Write(n % 3),
+                    DriverOp::Barrier(1),
+                    DriverOp::Read(1),
+                    DriverOp::Write(0),
+                ]
+            })
+            .collect();
+        let (fresh, _) = run_script(8, kind, scripts.clone());
+        let mut m = Machine::new(MachineConfig::test_default(8), kind);
+        m.run(&mut ScriptDriver::new(scripts.clone()));
+        m.reset();
+        let reused = m.run(&mut ScriptDriver::new(scripts));
+        // Debug formatting covers every stat, histogram bucket, network
+        // counter, and metrics field — a full bit-identity proxy.
+        assert_eq!(
+            format!("{fresh:?}"),
+            format!("{reused:?}"),
+            "reset() left state behind"
+        );
     }
 
     #[test]

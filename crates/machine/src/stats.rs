@@ -52,6 +52,12 @@ pub struct MachineStats {
     pub max_controller_busy: u64,
     /// Mean controller busy cycles across nodes.
     pub mean_controller_busy: f64,
+    /// Simulation events delivered over the run (simulator throughput
+    /// denominator: wall-seconds / `events` = cost per event).
+    pub events: u64,
+    /// High-water mark of the event queue (deterministic — a property of
+    /// the schedule, not the host — so safe in sweep records).
+    pub peak_queue_depth: u64,
 }
 
 impl MachineStats {

@@ -10,6 +10,11 @@
 /// small (see the type-size guidance in the Rust perf book).
 pub type NodeId = u32;
 
+/// Index of a directed link. `u32` everywhere — node counts are bounded by
+/// `u32::MAX` and each node has `2n` links, so link ids fit comfortably;
+/// conversion to `usize` happens only at the array-indexing boundary.
+pub type LinkId = u32;
+
 /// A k-ary n-cube.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Topology {
@@ -60,8 +65,8 @@ impl Topology {
     /// Number of directed links: each node has one link per dimension per
     /// direction (2 directions for k > 2; for k = 2 the +/- links coincide
     /// but we keep the uniform 2-per-dimension indexing).
-    pub fn num_directed_links(&self) -> usize {
-        (self.nodes as usize) * (self.n as usize) * 2
+    pub fn num_directed_links(&self) -> LinkId {
+        self.nodes * self.n * 2
     }
 
     #[inline]
@@ -92,14 +97,17 @@ impl Topology {
     /// Dense id for the directed link leaving `node` along `dim` in
     /// direction `plus` (true = +1 mod k).
     #[inline]
-    pub fn link_id(&self, node: NodeId, dim: u32, plus: bool) -> usize {
-        ((node as usize) * (self.n as usize) + dim as usize) * 2 + plus as usize
+    pub fn link_id(&self, node: NodeId, dim: u32, plus: bool) -> LinkId {
+        (node * self.n + dim) * 2 + plus as LinkId
     }
 
     /// The e-cube route from `src` to `dst`: the sequence of directed links
     /// traversed, fixing dimensions from 0 upward and taking the shorter
     /// wraparound direction (ties go to +). Deterministic and minimal.
-    pub fn route(&self, src: NodeId, dst: NodeId, out: &mut Vec<usize>) {
+    ///
+    /// This is the reference derivation; the simulator's send path walks a
+    /// [`RouteTable`] built from it instead of re-deriving per message.
+    pub fn route(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
         assert!(src < self.nodes && dst < self.nodes);
         out.clear();
         let mut cur = src;
@@ -145,6 +153,58 @@ impl Topology {
     /// Network diameter in hops.
     pub fn diameter(&self) -> u32 {
         self.n * (self.k / 2)
+    }
+}
+
+/// Precomputed e-cube routes for every `(src, dst)` pair, stored as one flat
+/// `LinkId` arena plus an offset table (CSR layout). Deriving a route walks
+/// `n` digit extractions with a `pow` each — cheap once, expensive on every
+/// message — so the table is built once per [`crate::Network`] and the send
+/// path reduces to a slice lookup.
+///
+/// Size: `nodes² + 1` offsets plus one `LinkId` per hop of every pair-wise
+/// route; for the P = 256 hypercube that is ~1.3 MB, built in a few
+/// milliseconds.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    nodes: u32,
+    offsets: Vec<u32>,
+    links: Vec<LinkId>,
+}
+
+impl RouteTable {
+    /// Build the table by running the reference derivation for every pair,
+    /// in `(src, dst)` lexicographic order.
+    pub fn build(topo: &Topology) -> Self {
+        let nodes = topo.num_nodes();
+        let pairs = nodes as usize * nodes as usize;
+        let mut offsets = Vec::with_capacity(pairs + 1);
+        // Total hops = sum of pairwise distances; size the arena exactly.
+        let mut scratch = Vec::with_capacity(topo.diameter() as usize);
+        let mut links = Vec::new();
+        offsets.push(0);
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                topo.route(src, dst, &mut scratch);
+                links.extend_from_slice(&scratch);
+                offsets.push(u32::try_from(links.len()).expect("route arena exceeds u32"));
+            }
+        }
+        Self {
+            nodes,
+            offsets,
+            links,
+        }
+    }
+
+    /// The precomputed route from `src` to `dst`, as a link-id slice.
+    #[inline]
+    pub fn route(&self, src: NodeId, dst: NodeId) -> &[LinkId] {
+        debug_assert!(src < self.nodes && dst < self.nodes);
+        let pair = src as usize * self.nodes as usize + dst as usize;
+        let lo = self.offsets[pair] as usize;
+        let hi = self.offsets[pair + 1] as usize;
+        &self.links[lo..hi]
     }
 }
 
@@ -252,5 +312,54 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_hypercube_rejected() {
         Topology::hypercube(12);
+    }
+
+    #[test]
+    fn route_table_matches_reference_derivation() {
+        for topo in [
+            Topology::hypercube(16),
+            Topology::kary_ncube(3, 3),
+            Topology::kary_ncube(5, 2),
+        ] {
+            let table = RouteTable::build(&topo);
+            let mut path = Vec::new();
+            for a in 0..topo.num_nodes() {
+                for b in 0..topo.num_nodes() {
+                    topo.route(a, b, &mut path);
+                    assert_eq!(table.route(a, b), path.as_slice(), "{a}->{b}");
+                }
+            }
+        }
+    }
+
+    /// P = 256 (n = 8 hypercube) construction and routing, in the default
+    /// test tier: every pair routes with length = Hamming distance, every
+    /// hop flips exactly one address bit, and the precomputed table agrees.
+    #[test]
+    fn p256_hypercube_construction_and_routing() {
+        let t = Topology::hypercube(256);
+        assert_eq!(t.radix(), 2);
+        assert_eq!(t.dimensions(), 8);
+        assert_eq!(t.num_directed_links(), 256 * 8 * 2);
+        let table = RouteTable::build(&t);
+        let mut path = Vec::new();
+        for a in 0..256u32 {
+            for b in 0..256u32 {
+                t.route(a, b, &mut path);
+                assert_eq!(path.len() as u32, (a ^ b).count_ones(), "{a}->{b}");
+                assert_eq!(table.route(a, b), path.as_slice(), "{a}->{b}");
+                // E-cube: dimensions fixed in ascending order, each hop
+                // leaving the node reached by flipping the previous bits.
+                let mut cur = a;
+                for &l in &path {
+                    let node = l / (2 * t.dimensions());
+                    let dim = (l / 2) % t.dimensions();
+                    assert_eq!(node, cur, "hop leaves the wrong node");
+                    assert!(l < t.num_directed_links());
+                    cur ^= 1 << dim;
+                }
+                assert_eq!(cur, b);
+            }
+        }
     }
 }

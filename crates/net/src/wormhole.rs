@@ -11,7 +11,7 @@
 //! time as the head passes, so hot-spot queueing at a home node's links is
 //! visible, while flit-level backpressure is not (see DESIGN.md §3).
 
-use crate::topology::{NodeId, Topology};
+use crate::topology::{LinkId, NodeId, RouteTable, Topology};
 use dirtree_sim::{Cycle, Histogram};
 
 /// Interconnect style: the paper's wormhole k-ary n-cube, or the single
@@ -120,24 +120,26 @@ pub struct Network {
     stats: NetworkStats,
     #[cfg(feature = "trace")]
     obs: LinkObs,
-    route_buf: Vec<usize>,
+    /// Precomputed e-cube routes; `None` under [`Fabric::Bus`], which never
+    /// routes. Built once here so `send` never re-derives a path.
+    routes: Option<RouteTable>,
 }
 
 impl Network {
     pub fn new(topo: Topology, config: NetworkConfig) -> Self {
         Self {
-            link_free: vec![0; topo.num_directed_links()],
+            link_free: vec![0; topo.num_directed_links() as usize],
             inject_free: vec![0; topo.num_nodes() as usize],
             bus_free: 0,
             #[cfg(feature = "trace")]
             obs: LinkObs {
-                link_busy: vec![0; topo.num_directed_links()],
+                link_busy: vec![0; topo.num_directed_links() as usize],
                 ..LinkObs::default()
             },
+            routes: (config.fabric == Fabric::KaryNcube).then(|| RouteTable::build(&topo)),
             topo,
             config,
             stats: NetworkStats::default(),
-            route_buf: Vec::with_capacity(16),
         }
     }
 
@@ -201,8 +203,11 @@ impl Network {
             return arrival;
         }
 
-        let mut route = std::mem::take(&mut self.route_buf);
-        self.topo.route(src, dst, &mut route);
+        // Walk the precomputed route. The table is moved out for the walk
+        // (three `Vec` headers, no data copy) so the reservation arrays can
+        // be borrowed mutably alongside it.
+        let routes = self.routes.take().expect("cube send without route table");
+        let route: &[LinkId] = routes.route(src, dst);
         self.stats.total_hops += route.len() as u64;
 
         let arrival = if self.config.contention {
@@ -215,16 +220,16 @@ impl Network {
             self.obs.inject_queue.record(inj_free.saturating_sub(now));
 
             let mut head = depart;
-            for &link in &route {
-                let free = self.link_free[link];
+            for &link in route {
+                let free = self.link_free[link as usize];
                 let enter = head.max(free);
                 self.stats.contention_cycles += enter - head;
                 // The link streams the whole packet once the head passes.
-                self.link_free[link] = enter + ser;
+                self.link_free[link as usize] = enter + ser;
                 #[cfg(feature = "trace")]
                 {
                     self.obs.link_queue.record(free.saturating_sub(head));
-                    self.obs.link_busy[link] += ser;
+                    self.obs.link_busy[link as usize] += ser;
                 }
                 head = enter + self.config.switch_delay;
             }
@@ -233,13 +238,13 @@ impl Network {
             // No reservations to sample, but link occupancy is still
             // well-defined: each link on the path streams the packet once.
             #[cfg(feature = "trace")]
-            for &link in &route {
-                self.obs.link_busy[link] += ser;
+            for &link in route {
+                self.obs.link_busy[link as usize] += ser;
             }
             now + route.len() as Cycle * self.config.switch_delay + ser
         };
 
-        self.route_buf = route;
+        self.routes = Some(routes);
         self.stats.latency.record(arrival - now);
         arrival
     }
@@ -589,5 +594,60 @@ mod tests {
         );
         assert_eq!(wide.serialization_cycles(8), 1);
         assert_eq!(wide.serialization_cycles(9), 2);
+    }
+
+    /// Flit rounding against the paper's `⌈L·8/W⌉` model, including byte
+    /// counts that are not a multiple of the link width: exact agreement
+    /// for every `bytes > 0`, and a 1-cycle floor for the degenerate
+    /// zero-byte message (a packet head still crosses the link).
+    #[test]
+    fn serialization_matches_closed_form_for_odd_sizes() {
+        for width in [5u32, 8, 12, 16, 64] {
+            let n = Network::new(
+                Topology::hypercube(2),
+                NetworkConfig {
+                    link_width_bits: width,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(n.serialization_cycles(0), 1, "zero-byte floor, W={width}");
+            for bytes in 1..=128u32 {
+                let bits = bytes as u64 * 8;
+                let closed_form = bits.div_ceil(width as u64);
+                assert_eq!(
+                    n.serialization_cycles(bytes),
+                    closed_form,
+                    "bytes={bytes} W={width}"
+                );
+            }
+        }
+    }
+
+    /// Closed-form property at P = 256 (n = 8 cube): a `send` on an idle
+    /// network equals `base_latency = h·t_sw + ⌈L·8/W⌉` for **every**
+    /// (src, dst) pair and a spread of odd and even byte counts — with
+    /// contention modeling both off and on (sends spaced far enough apart
+    /// that every reservation has expired, i.e. the network is idle).
+    #[test]
+    fn p256_idle_send_equals_base_latency_for_all_pairs() {
+        let nodes = 256u32;
+        for contention in [false, true] {
+            let mut n = net(nodes, contention);
+            let mut now: Cycle = 0;
+            for src in 0..nodes {
+                for dst in 0..nodes {
+                    let bytes = 1 + (src.wrapping_mul(31) ^ dst.wrapping_mul(17)) % 13; // 1..=13, odd sizes included
+                    let t = n.send(now, src, dst, bytes);
+                    assert_eq!(
+                        t,
+                        now + n.base_latency(src, dst, bytes),
+                        "src={src} dst={dst} bytes={bytes} contention={contention}"
+                    );
+                    // Outrun every reservation so the next send sees an
+                    // idle network again.
+                    now += 1000;
+                }
+            }
+        }
     }
 }

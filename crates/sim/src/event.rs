@@ -60,6 +60,7 @@ pub struct EventQueue<E> {
     now: Cycle,
     pushed: u64,
     popped: u64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -70,13 +71,7 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
-        Self {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: 0,
-            pushed: 0,
-            popped: 0,
-        }
+        Self::with_capacity(0)
     }
 
     pub fn with_capacity(cap: usize) -> Self {
@@ -86,6 +81,7 @@ impl<E> EventQueue<E> {
             now: 0,
             pushed: 0,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -111,6 +107,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.pushed += 1;
         self.heap.push(Entry { time, seq, event });
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Schedule `event` `delay` cycles after the current time.
@@ -126,6 +123,28 @@ impl<E> EventQueue<E> {
         self.now = entry.time;
         self.popped += 1;
         Some((entry.time, entry.event))
+    }
+
+    /// Remove every event sharing the earliest timestamp, appending them to
+    /// `out` in `(time, seq)` order, and advance the clock to that
+    /// timestamp. Returns the number of events drained (0 when empty).
+    ///
+    /// Equivalent to repeated [`pop`](Self::pop) calls: events pushed while
+    /// the caller processes the batch carry later sequence numbers than
+    /// everything drained here, so they sort after the batch exactly as
+    /// they would under one-at-a-time popping — the documented
+    /// `(time, seq)` FIFO order is preserved verbatim.
+    pub fn pop_batch(&mut self, out: &mut Vec<(Cycle, E)>) -> usize {
+        let Some((time, event)) = self.pop() else {
+            return 0;
+        };
+        out.push((time, event));
+        let mut drained = 1;
+        while self.peek_time() == Some(time) {
+            out.push(self.pop().expect("peeked entry vanished"));
+            drained += 1;
+        }
+        drained
     }
 
     /// Timestamp of the next event without removing it.
@@ -149,6 +168,12 @@ impl<E> EventQueue<E> {
     /// Total events ever delivered (diagnostic).
     pub fn total_popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Deepest the queue has ever been (diagnostic; deterministic, so safe
+    /// to export in sweep records).
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -235,5 +260,70 @@ mod tests {
         assert_eq!(q.total_popped(), 1);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peak_len_records_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.push(1, ());
+        q.push(2, ());
+        q.push(3, ());
+        q.pop();
+        q.pop();
+        q.push(4, ());
+        assert_eq!(q.peak_len(), 3, "peak survives draining");
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_one_timestamp_in_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(7, "a");
+        q.push(5, "x");
+        q.push(7, "b");
+        q.push(5, "y");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), 2);
+        assert_eq!(out, vec![(5, "x"), (5, "y")]);
+        assert_eq!(q.now(), 5);
+        out.clear();
+        assert_eq!(q.pop_batch(&mut out), 2);
+        assert_eq!(out, vec![(7, "a"), (7, "b")]);
+        out.clear();
+        assert_eq!(q.pop_batch(&mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_interleaves_identically_to_single_pops() {
+        // Drive two queues with the same pushes — one popped singly, one in
+        // batches, with same-cycle re-pushes during batch processing — and
+        // demand the identical delivery order.
+        let script: &[(Cycle, u32)] = &[(1, 0), (1, 1), (2, 2), (1, 3), (3, 4), (2, 5)];
+        let mut single = EventQueue::new();
+        let mut batched = EventQueue::new();
+        for &(t, v) in script {
+            single.push(t, v);
+            batched.push(t, v);
+        }
+        let mut singles = Vec::new();
+        while let Some((t, v)) = single.pop() {
+            // Re-push one follow-up at the same cycle for even values < 100.
+            if v % 2 == 0 && v < 100 {
+                single.push(t, v + 100);
+            }
+            singles.push((t, v));
+        }
+        let mut batches = Vec::new();
+        let mut buf = Vec::new();
+        while batched.pop_batch(&mut buf) > 0 {
+            for (t, v) in buf.drain(..) {
+                if v % 2 == 0 && v < 100 {
+                    batched.push(t, v + 100);
+                }
+                batches.push((t, v));
+            }
+        }
+        assert_eq!(singles, batches);
     }
 }

@@ -6,11 +6,14 @@
 //! Floyd-Warshall, an MP3D-style particle-in-cell code) run as Rust
 //! closures on OS threads that rendezvous with the simulated machine at
 //! every shared memory reference, barrier, and lock. The interleaving of
-//! references therefore depends on simulated protocol latencies — timing
-//! feedback that a fixed trace cannot express.
+//! references therefore depends on simulated protocol latencies; the
+//! bundled apps are data-race-free with interleaving-independent op
+//! streams, which [`trace`] exploits to record each stream once and
+//! replay it across protocol configs without the thread rendezvous.
 //!
 //! * [`rendezvous`] — the thread/channel machinery implementing
 //!   [`dirtree_machine::Driver`];
+//! * [`trace`] — record-once / replay-many op traces for sweeps;
 //! * [`layout`] — a bump allocator + typed views over the shared address
 //!   space;
 //! * [`apps`] — the four paper applications plus synthetic
@@ -22,7 +25,9 @@ pub mod apps;
 pub mod kind;
 pub mod layout;
 pub mod rendezvous;
+pub mod trace;
 
 pub use kind::WorkloadKind;
 pub use layout::{Alloc, SharedArray};
 pub use rendezvous::{Env, ThreadedWorkload};
+pub use trace::{record_ops, OpTrace, ReplayDriver};

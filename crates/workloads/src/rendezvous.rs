@@ -178,6 +178,11 @@ impl ThreadedWorkload {
         }
     }
 
+    /// Number of simulated processors (application threads).
+    pub fn nprocs(&self) -> usize {
+        self.threads.len()
+    }
+
     /// Architectural memory contents after (or during) a run.
     pub fn values(&self) -> &[u64] {
         &self.values

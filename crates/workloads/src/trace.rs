@@ -1,0 +1,275 @@
+//! Record-once / replay-many operation traces.
+//!
+//! The execution-driven rendezvous ([`ThreadedWorkload`]) pays two OS
+//! context switches per operation — on a sweep that runs the *same*
+//! application under nine protocols, that thread ping-pong dominates
+//! wall-clock while contributing nothing after the first run. This module
+//! exploits a structural property of the bundled applications: a
+//! [`DriverOp`] carries addresses and sync ids but never data values, and
+//! every app's control flow and addressing depend only on values ordered
+//! by barriers (data-race-free), never on lock-grant order — MP3D's
+//! lock-protected occupancy increment is commutative and the value it
+//! reads back feeds no branch or address. Each node's operation stream is
+//! therefore independent of the machine's interleaving, so a stream
+//! recorded once under *any* correct schedule drives every protocol
+//! config to a bit-identical simulation.
+//!
+//! [`record_ops`] drains a workload through a deterministic round-robin
+//! scheduler (no machine, no simulated timing) and returns the per-node
+//! streams; [`ReplayDriver`] feeds them back with zero context switches.
+//! The `replay_matches_execution_driven` tests below pin the equivalence
+//! for every application family, including the lock-heavy MP3D.
+
+use crate::rendezvous::ThreadedWorkload;
+use dirtree_core::types::NodeId;
+use dirtree_machine::{Driver, DriverOp};
+use dirtree_sim::Cycle;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Per-node operation streams recorded from one workload run.
+pub type OpTrace = Vec<Vec<DriverOp>>;
+
+/// Run `w`'s application threads to completion under a deterministic
+/// round-robin scheduler, recording each node's operation stream.
+///
+/// Sync semantics mirror the machine's: barriers release when every
+/// node has arrived, locks grant FIFO. The schedule differs from any
+/// simulated one, but per-node streams do not (see module docs), and the
+/// round-robin is fixed, so the returned trace is a pure function of the
+/// workload — safe to share across protocol configs and `--jobs` levels.
+pub fn record_ops(w: &mut ThreadedWorkload) -> OpTrace {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Run,
+        AtBarrier,
+        WaitLock,
+        Done,
+    }
+    let n = w.nprocs();
+    let mut st = vec![St::Run; n];
+    let mut ops: OpTrace = vec![Vec::new(); n];
+    // Lock id → (owner, FIFO waiters); matches the machine's grant order.
+    let mut locks: HashMap<u32, (Option<usize>, VecDeque<usize>)> = HashMap::new();
+    let (mut at_barrier, mut done) = (0usize, 0usize);
+    while done < n {
+        let mut progressed = false;
+        for i in 0..n {
+            while st[i] == St::Run {
+                progressed = true;
+                let op = w.next_op(i as NodeId, 0);
+                if op != DriverOp::Done {
+                    ops[i].push(op);
+                }
+                match op {
+                    DriverOp::Read(_) | DriverOp::Write(_) | DriverOp::Work(_) => {}
+                    DriverOp::Barrier(_) => {
+                        st[i] = St::AtBarrier;
+                        at_barrier += 1;
+                    }
+                    DriverOp::Lock(id) => {
+                        let l = locks.entry(id).or_default();
+                        if l.0.is_none() {
+                            l.0 = Some(i);
+                        } else {
+                            l.1.push_back(i);
+                            st[i] = St::WaitLock;
+                        }
+                    }
+                    DriverOp::Unlock(id) => {
+                        let l = locks.get_mut(&id).expect("unlock of unknown lock");
+                        debug_assert_eq!(l.0, Some(i), "unlock by non-owner");
+                        l.0 = l.1.pop_front();
+                        if let Some(next) = l.0 {
+                            st[next] = St::Run;
+                        }
+                    }
+                    DriverOp::Done => {
+                        st[i] = St::Done;
+                        done += 1;
+                    }
+                }
+            }
+        }
+        // A barrier releases only when every node has arrived (the
+        // machine's rule: finished processors never satisfy a barrier).
+        if at_barrier > 0 && at_barrier == n - done {
+            at_barrier = 0;
+            for s in st.iter_mut() {
+                if *s == St::AtBarrier {
+                    *s = St::Run;
+                }
+            }
+            progressed = true;
+        }
+        assert!(
+            progressed || done == n,
+            "workload deadlocked during trace recording \
+             ({done}/{n} done, {at_barrier} at barrier)"
+        );
+    }
+    ops
+}
+
+/// Replays a recorded [`OpTrace`]. The trace is behind an `Arc` so a
+/// sweep replays one recording across many protocol configs without
+/// cloning megabytes of ops per simulation — and without spawning a
+/// single application thread.
+pub struct ReplayDriver {
+    trace: Arc<OpTrace>,
+    pos: Vec<usize>,
+}
+
+impl ReplayDriver {
+    pub fn new(trace: Arc<OpTrace>) -> Self {
+        let n = trace.len();
+        Self {
+            trace,
+            pos: vec![0; n],
+        }
+    }
+}
+
+impl Driver for ReplayDriver {
+    fn next_op(&mut self, node: NodeId, _now: Cycle) -> DriverOp {
+        let n = node as usize;
+        match self.trace[n].get(self.pos[n]) {
+            Some(&op) => {
+                self.pos[n] += 1;
+                op
+            }
+            None => DriverOp::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadKind;
+    use dirtree_core::protocol::ProtocolKind;
+    use dirtree_machine::{Machine, MachineConfig, RunOutcome};
+
+    fn run_threaded(kind: WorkloadKind, nodes: u32, proto: ProtocolKind) -> RunOutcome {
+        let mut w = kind.build(nodes);
+        let mut m = Machine::new(MachineConfig::test_default(nodes), proto);
+        m.run(&mut w)
+    }
+
+    fn run_replayed(kind: WorkloadKind, nodes: u32, proto: ProtocolKind) -> RunOutcome {
+        let trace = {
+            let mut w = kind.build(nodes);
+            Arc::new(record_ops(&mut w))
+        };
+        let mut d = ReplayDriver::new(trace);
+        let mut m = Machine::new(MachineConfig::test_default(nodes), proto);
+        m.run(&mut d)
+    }
+
+    /// The load-bearing property: a replayed trace produces the same
+    /// simulation — cycles, stats, histograms, network counters — as the
+    /// live application threads, for every application family.
+    #[test]
+    fn replay_matches_execution_driven() {
+        let cases = [
+            // Lock-heavy, migratory sharing: exercises the recorder's
+            // FIFO lock grant against the machine's.
+            WorkloadKind::Mp3d {
+                particles: 60,
+                steps: 3,
+            },
+            WorkloadKind::Lu { n: 12 },
+            WorkloadKind::LuBlocked { n: 12, block: 4 },
+            WorkloadKind::Floyd {
+                vertices: 10,
+                seed: 1996,
+            },
+            WorkloadKind::Fft { points: 64 },
+            WorkloadKind::Jacobi {
+                grid: 10,
+                sweeps: 2,
+            },
+            WorkloadKind::Sharing {
+                blocks: 8,
+                rounds: 4,
+            },
+            WorkloadKind::Migratory {
+                blocks: 4,
+                rounds: 6,
+            },
+            WorkloadKind::Storm {
+                words: 96,
+                passes: 2,
+            },
+        ];
+        for kind in cases {
+            for proto in [
+                ProtocolKind::FullMap,
+                ProtocolKind::DirTree {
+                    pointers: 2,
+                    arity: 2,
+                },
+                ProtocolKind::LimitedNB { pointers: 1 },
+            ] {
+                let live = run_threaded(kind, 4, proto);
+                let replay = run_replayed(kind, 4, proto);
+                assert_eq!(
+                    format!("{live:?}"),
+                    format!("{replay:?}"),
+                    "{} under {proto:?}: replay diverged from execution-driven",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    /// Recording is a pure function of the workload: two recordings of
+    /// the same app are identical op-for-op.
+    #[test]
+    fn recording_is_deterministic() {
+        let kind = WorkloadKind::Mp3d {
+            particles: 80,
+            steps: 2,
+        };
+        let a = record_ops(&mut kind.build(8));
+        let b = record_ops(&mut kind.build(8));
+        assert_eq!(a, b);
+    }
+
+    /// The recorder's lock queue must not starve or deadlock when every
+    /// node hammers one lock.
+    #[test]
+    fn contended_lock_records_and_replays() {
+        let kind = WorkloadKind::Migratory {
+            blocks: 1,
+            rounds: 8,
+        };
+        let trace = record_ops(&mut kind.build(8));
+        let locks = trace
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, DriverOp::Lock(_)))
+            .count();
+        assert!(locks > 0 || trace.iter().flatten().count() > 0);
+        let live = run_threaded(kind, 8, ProtocolKind::FullMap);
+        let replay = run_replayed(kind, 8, ProtocolKind::FullMap);
+        assert_eq!(format!("{live:?}"), format!("{replay:?}"));
+    }
+
+    /// A node finishing while others still run must not wedge the
+    /// recorder (sparse work distributions at large P).
+    #[test]
+    fn early_finishers_do_not_block_recording() {
+        // 10 vertices on 16 nodes: nodes 10..15 own no rows and issue
+        // only barriers; every node still arrives at every barrier.
+        let kind = WorkloadKind::Floyd {
+            vertices: 10,
+            seed: 7,
+        };
+        let trace = record_ops(&mut kind.build(16));
+        assert_eq!(trace.len(), 16);
+        let live = run_threaded(kind, 16, ProtocolKind::FullMap);
+        let replay = run_replayed(kind, 16, ProtocolKind::FullMap);
+        assert_eq!(format!("{live:?}"), format!("{replay:?}"));
+    }
+}

@@ -180,6 +180,22 @@ mod model_checker_catches_mutants {
             MutantKind::StaleTreePointer,
         );
     }
+
+    #[test]
+    fn stale_wave_scratch_is_caught() {
+        // Models the hot-path wave scratch buffer (`dir_tree`'s
+        // `wave_scratch`) being reused across two invalidation waves
+        // without clearing: the second wave replays a first-wave target,
+        // so the real sharer's copy survives the write. Two writes from
+        // different nodes at P = 2 already expose it.
+        mutant_is_caught(
+            ProtocolKind::DirTree {
+                pointers: 2,
+                arity: 2,
+            },
+            MutantKind::StaleWaveScratch,
+        );
+    }
 }
 
 #[test]
