@@ -48,3 +48,8 @@ timeout 300 ./target/release/scale_up \
   --filter P=64 --no-cache --jobs 2 --out-dir target/perf_smoke >/dev/null
 cmp target/perf_smoke/scale_up.jsonl tests/golden/scale_up_p64.jsonl
 echo "perf-smoke: records match tests/golden/scale_up_p64.jsonl"
+# The same slice on the virtual-channel machine (3 VCs, adaptive e-cube):
+# pins the VC timing path and its extended record fields byte-for-byte,
+# while the cmp above proves the default path never moved.
+cmp target/perf_smoke/scale_up_vc.jsonl tests/golden/scale_up_p64_vc.jsonl
+echo "perf-smoke: records match tests/golden/scale_up_p64_vc.jsonl"

@@ -1,7 +1,9 @@
 //! **Beyond the paper (ours)** — the hot-path scaling study: the paper's
 //! Figure-10 shapes (Dir_iTree_2 vs full-map vs Dir_4NB) pushed to
-//! P ∈ {64, 128, 256}, instrumented for *simulator* throughput rather
-//! than protocol ranking. Runs the sweep twice — a timed pass as invoked
+//! P ∈ {64, 128, 256} on the single-channel network and to
+//! P ∈ {64, 512, 1024} on the virtual-channel machine (3 VCs, adaptive
+//! minimal e-cube), instrumented for *simulator* throughput rather than
+//! protocol ranking. Runs the sweeps twice — a timed pass as invoked
 //! (pass `--no-cache` for a true cold measurement) and a warm pass served
 //! from the result cache — and writes the wall-clock side to
 //! `<out-dir>/BENCH_sim_hotpath.json` (events/sec, cold vs warm seconds,
@@ -21,25 +23,47 @@ fn main() {
 
     let t0 = Instant::now();
     let (sizes, cells) = dirtree_bench::experiments::scale_up_cells(&runner, filter);
+    let (vc_sizes, vc_cells) = dirtree_bench::experiments::scale_up_vc_cells(&runner, filter);
     let cold = t0.elapsed().as_secs_f64();
+    assert!(
+        !(sizes.is_empty() && vc_sizes.is_empty()),
+        "--filter {:?} matches no scale-up size (base P=64/128/256, vc P=64/512/1024)",
+        filter.unwrap_or_default()
+    );
 
-    // Warm pass: identical spec through a cache-reading runner.
+    // Warm pass: identical specs through a cache-reading runner.
     let mut warm_opts = cli.sweep_options();
     warm_opts.no_cache = false;
     let warm_runner = dirtree_bench::runner::Runner::new(warm_opts);
     let t1 = Instant::now();
     let _ = dirtree_bench::experiments::scale_up_cells(&warm_runner, filter);
+    let _ = dirtree_bench::experiments::scale_up_vc_cells(&warm_runner, filter);
     let warm = t1.elapsed().as_secs_f64();
 
-    print!(
-        "{}",
-        dirtree_bench::experiments::scale_up_report(&sizes, &cells)
-    );
+    if !sizes.is_empty() {
+        print!(
+            "{}",
+            dirtree_bench::experiments::scale_up_report(&sizes, &cells)
+        );
+    }
+    if !vc_sizes.is_empty() {
+        print!(
+            "{}",
+            dirtree_bench::experiments::scale_up_vc_report(&vc_sizes, &vc_cells)
+        );
+    }
 
-    let total_events: u64 = cells.iter().map(|c| c.record.events).sum();
-    let peak_depth: u64 = cells
+    // (cell, adaptive-routing?) — the grid a cell came from fixes the
+    // routing mode, which the flat record does not carry.
+    let all: Vec<_> = cells
         .iter()
-        .map(|c| c.record.peak_queue_depth)
+        .map(|c| (c, false))
+        .chain(vc_cells.iter().map(|c| (c, true)))
+        .collect();
+    let total_events: u64 = all.iter().map(|(c, _)| c.record.events).sum();
+    let peak_depth: u64 = all
+        .iter()
+        .map(|(c, _)| c.record.peak_queue_depth)
         .max()
         .unwrap_or(0);
     let events_per_sec = if cold > 0.0 {
@@ -50,13 +74,13 @@ fn main() {
     println!(
         "scale_up: {} sims, cold {cold:.2}s, warm {warm:.2}s, {total_events} events \
          ({events_per_sec:.0} events/sec cold), peak queue depth {peak_depth}",
-        cells.len(),
+        all.len(),
     );
 
     // Wall-clock readings stay out of the deterministic .jsonl records;
     // they live in this side-channel JSON instead.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"dirtree-bench/sim_hotpath/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"dirtree-bench/sim_hotpath/v2\",");
     let _ = writeln!(
         json,
         "  \"filter\": {},",
@@ -65,25 +89,26 @@ fn main() {
             None => "null".to_string(),
         }
     );
-    let _ = writeln!(json, "  \"sims\": {},", cells.len());
+    let _ = writeln!(json, "  \"sims\": {},", all.len());
     let _ = writeln!(json, "  \"cold_seconds\": {cold:.3},");
     let _ = writeln!(json, "  \"warm_seconds\": {warm:.3},");
     let _ = writeln!(json, "  \"total_events\": {total_events},");
     let _ = writeln!(json, "  \"events_per_second_cold\": {events_per_sec:.0},");
     let _ = writeln!(json, "  \"peak_queue_depth\": {peak_depth},");
     let _ = writeln!(json, "  \"configs\": [");
-    for (i, c) in cells.iter().enumerate() {
+    for (i, (c, adaptive)) in all.iter().enumerate() {
         let r = &c.record;
         let _ = writeln!(
             json,
-            "    {{\"protocol\": \"{}\", \"nodes\": {}, \"cycles\": {}, \
-             \"events\": {}, \"peak_queue_depth\": {}}}{}",
+            "    {{\"protocol\": \"{}\", \"nodes\": {}, \"vcs\": {}, \"adaptive\": {adaptive}, \
+             \"cycles\": {}, \"events\": {}, \"peak_queue_depth\": {}}}{}",
             r.protocol,
             r.nodes,
+            r.net_vcs,
             r.cycles,
             r.events,
             r.peak_queue_depth,
-            if i + 1 < cells.len() { "," } else { "" },
+            if i + 1 < all.len() { "," } else { "" },
         );
     }
     let _ = writeln!(json, "  ]");

@@ -749,20 +749,52 @@ pub fn scaling(runner: &Runner) -> String {
 /// The machine sizes of the [`scale_up`] study.
 pub const SCALE_UP_SIZES: [u32; 3] = [64, 128, 256];
 
+/// The machine sizes of the [`scale_up_vc`] study: the shared P=64
+/// anchor (for a direct single-channel vs VC comparison and the CI
+/// golden slice) plus the sizes only the VC network reaches safely.
+pub const SCALE_UP_VC_SIZES: [u32; 3] = [64, 512, 1024];
+
+/// Protocols shared by both scale-up grids (the paper's Figure-10
+/// shapes: full-map vs Dir_iTree_2 vs Dir_4NB).
+const SCALE_UP_PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::FullMap,
+    ProtocolKind::DirTree {
+        pointers: 2,
+        arity: 2,
+    },
+    ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2,
+    },
+    ProtocolKind::LimitedNB { pointers: 4 },
+];
+
+/// The paper machine with the request/reply/ack traffic classes on
+/// three separate virtual channels and minimal-adaptive e-cube routing.
+pub fn vc_default(nodes: u32) -> MachineConfig {
+    let mut m = MachineConfig::paper_default(nodes);
+    m.net.vcs = 3;
+    m.net.adaptive = true;
+    m
+}
+
+fn scale_up_sizes(all: &[u32], filter: Option<&str>) -> Vec<u32> {
+    all.iter()
+        .copied()
+        .filter(|p| filter.is_none_or(|f| format!("P={p}").contains(f)))
+        .collect()
+}
+
 /// Configurations of the [`scale_up`] hot-path study, optionally
 /// restricted by a `--filter` substring matched against `P=<nodes>`
 /// (so `--filter P=64` runs only the 64-processor group). Returns the
-/// sizes kept and the grid cells.
+/// sizes kept and the grid cells; a filter matching none of this grid's
+/// sizes (e.g. `P=512`, which only the VC grid has) returns empty.
 pub fn scale_up_cells(runner: &Runner, filter: Option<&str>) -> (Vec<u32>, Vec<RecordCell>) {
-    let sizes: Vec<u32> = SCALE_UP_SIZES
-        .into_iter()
-        .filter(|p| filter.is_none_or(|f| format!("P={p}").contains(f)))
-        .collect();
-    assert!(
-        !sizes.is_empty(),
-        "--filter {:?} matches none of P=64/P=128/P=256",
-        filter.unwrap_or_default()
-    );
+    let sizes = scale_up_sizes(&SCALE_UP_SIZES, filter);
+    if sizes.is_empty() {
+        return (sizes, Vec::new());
+    }
     let w = WorkloadKind::Floyd {
         vertices: 64,
         seed: 1996,
@@ -772,32 +804,41 @@ pub fn scale_up_cells(runner: &Runner, filter: Option<&str>) -> (Vec<u32>, Vec<R
         "scale_up",
         w,
         &sizes,
-        &[
-            ProtocolKind::FullMap,
-            ProtocolKind::DirTree {
-                pointers: 2,
-                arity: 2,
-            },
-            ProtocolKind::DirTree {
-                pointers: 4,
-                arity: 2,
-            },
-            ProtocolKind::LimitedNB { pointers: 4 },
-        ],
+        &SCALE_UP_PROTOCOLS,
         MachineConfig::paper_default,
     );
     (sizes, cells)
 }
 
-/// Render the [`scale_up`] grid: normalized execution time plus the
-/// simulator-throughput columns (`events`, `peak queue depth`) the
-/// hot-path benchmark reads.
-pub fn scale_up_report(sizes: &[u32], cells: &[RecordCell]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Hot-path scaling study (Floyd-Warshall 64v, normalized to full-map):"
+/// The virtual-channel companion grid of [`scale_up`]: the same
+/// protocols and workload on the [`vc_default`] machine at
+/// P ∈ {64, 512, 1024}. Filter grammar matches [`scale_up_cells`].
+pub fn scale_up_vc_cells(runner: &Runner, filter: Option<&str>) -> (Vec<u32>, Vec<RecordCell>) {
+    let sizes = scale_up_sizes(&SCALE_UP_VC_SIZES, filter);
+    if sizes.is_empty() {
+        return (sizes, Vec::new());
+    }
+    let w = WorkloadKind::Floyd {
+        vertices: 64,
+        seed: 1996,
+    };
+    let cells = record_grid(
+        runner,
+        "scale_up_vc",
+        w,
+        &sizes,
+        &SCALE_UP_PROTOCOLS,
+        vc_default,
     );
+    (sizes, cells)
+}
+
+/// Render one scale-up grid: normalized execution time plus the
+/// simulator-throughput columns (`events`, `peak queue depth`) the
+/// hot-path benchmark reads, and the network-wait split.
+pub fn scale_up_grid_report(title: &str, sizes: &[u32], cells: &[RecordCell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
     let mut t = AsciiTable::new(&[
         "procs",
         "protocol",
@@ -806,6 +847,8 @@ pub fn scale_up_report(sizes: &[u32], cells: &[RecordCell]) -> String {
         "events",
         "peak queue",
         "msgs",
+        "inject wait",
+        "link wait",
     ]);
     for &nodes in sizes {
         for c in cells.iter().filter(|c| c.nodes == nodes) {
@@ -818,10 +861,23 @@ pub fn scale_up_report(sizes: &[u32], cells: &[RecordCell]) -> String {
                 r.events.to_string(),
                 r.peak_queue_depth.to_string(),
                 r.messages.to_string(),
+                r.net_inject_wait_cycles.to_string(),
+                r.net_link_wait_cycles.to_string(),
             ]);
         }
     }
     let _ = writeln!(out, "{}", t.render());
+    out
+}
+
+/// Render the single-channel [`scale_up`] grid (kept as a named entry
+/// point for the `scale_up` binary and its golden slice).
+pub fn scale_up_report(sizes: &[u32], cells: &[RecordCell]) -> String {
+    let mut out = scale_up_grid_report(
+        "Hot-path scaling study (Floyd-Warshall 64v, normalized to full-map):",
+        sizes,
+        cells,
+    );
     let _ = writeln!(
         out,
         "Per-size full-map baselines; `events` and `peak queue` are\n\
@@ -831,13 +887,37 @@ pub fn scale_up_report(sizes: &[u32], cells: &[RecordCell]) -> String {
     out
 }
 
-/// **Beyond the paper (ours)** — the hot-path scaling study at
-/// P ∈ {64, 128, 256}. Not in [`registry`] (like [`scaling`], it is an
-/// explicit opt-in via the `scale_up` binary; CI's perf-smoke step runs
-/// the `--filter P=64` slice).
+/// Render the [`scale_up_vc`] grid.
+pub fn scale_up_vc_report(sizes: &[u32], cells: &[RecordCell]) -> String {
+    scale_up_grid_report(
+        "VC scaling study (3 virtual channels, adaptive e-cube; \
+         Floyd-Warshall 64v, normalized to full-map):",
+        sizes,
+        cells,
+    )
+}
+
+/// **Beyond the paper (ours)** — the hot-path scaling study:
+/// single-channel at P ∈ {64, 128, 256} and the virtual-channel machine
+/// at P ∈ {64, 512, 1024}. Not in [`registry`] (like [`scaling`], it is
+/// an explicit opt-in via the `scale_up` binary; CI's perf-smoke step
+/// runs the `--filter P=64` slice of both grids).
 pub fn scale_up(runner: &Runner, filter: Option<&str>) -> String {
     let (sizes, cells) = scale_up_cells(runner, filter);
-    scale_up_report(&sizes, &cells)
+    let (vc_sizes, vc_cells) = scale_up_vc_cells(runner, filter);
+    assert!(
+        !(sizes.is_empty() && vc_sizes.is_empty()),
+        "--filter {:?} matches no scale-up size (base P=64/128/256, vc P=64/512/1024)",
+        filter.unwrap_or_default()
+    );
+    let mut out = String::new();
+    if !sizes.is_empty() {
+        out.push_str(&scale_up_report(&sizes, &cells));
+    }
+    if !vc_sizes.is_empty() {
+        out.push_str(&scale_up_vc_report(&vc_sizes, &vc_cells));
+    }
+    out
 }
 
 /// **Sensitivity study (ours)** — how the Figure-10 protocol ranking
@@ -1209,18 +1289,34 @@ mod tests {
     #[test]
     fn scale_up_filter_selects_size_groups() {
         // Pure config-side check (no simulation): the filter grammar the
-        // CI perf-smoke step relies on.
-        let keep = |f: Option<&str>| -> Vec<u32> {
-            SCALE_UP_SIZES
-                .into_iter()
-                .filter(|p| f.is_none_or(|f| format!("P={p}").contains(f)))
-                .collect()
-        };
-        assert_eq!(keep(None), vec![64, 128, 256]);
-        assert_eq!(keep(Some("P=64")), vec![64]);
-        assert_eq!(keep(Some("P=128")), vec![128]);
-        assert_eq!(keep(Some("P=256")), vec![256]);
-        assert_eq!(keep(Some("P=")), vec![64, 128, 256]);
+        // CI perf-smoke step relies on, over both grids.
+        let base = |f: Option<&str>| scale_up_sizes(&SCALE_UP_SIZES, f);
+        let vc = |f: Option<&str>| scale_up_sizes(&SCALE_UP_VC_SIZES, f);
+        assert_eq!(base(None), vec![64, 128, 256]);
+        assert_eq!(base(Some("P=64")), vec![64]);
+        assert_eq!(base(Some("P=128")), vec![128]);
+        assert_eq!(base(Some("P=256")), vec![256]);
+        assert_eq!(base(Some("P=")), vec![64, 128, 256]);
+        assert_eq!(vc(None), vec![64, 512, 1024]);
+        assert_eq!(vc(Some("P=64")), vec![64]);
+        assert_eq!(vc(Some("P=512")), vec![512]);
+        assert_eq!(vc(Some("P=1024")), vec![1024]);
+        // Sizes exclusive to the other grid select nothing here (the
+        // binary only rejects a filter empty on *both* grids).
+        assert!(base(Some("P=512")).is_empty());
+        assert!(vc(Some("P=128")).is_empty());
+    }
+
+    #[test]
+    fn vc_default_flips_only_the_network_mode() {
+        let m = vc_default(512);
+        assert_eq!(m.net.vcs, 3);
+        assert!(m.net.adaptive);
+        assert_eq!(m.net.vc_credits, 0);
+        let base = MachineConfig::paper_default(512);
+        assert_eq!(m.nodes, base.nodes);
+        assert_eq!(m.mem_latency, base.mem_latency);
+        assert_eq!(m.net.switch_delay, base.net.switch_delay);
     }
 
     #[test]

@@ -424,6 +424,30 @@ mod tests {
     }
 
     #[test]
+    fn vc_adaptive_output_is_byte_identical_to_serial() {
+        // Adaptive routing breaks ties on live per-VC queue depths, so
+        // this pins that the tie-break (and the whole VC timing path) is
+        // a pure function of the config — never of worker scheduling.
+        let d1 = scratch_dir("vc-serial");
+        let d8 = scratch_dir("vc-parallel");
+        let r1 = runner_in(&d1, 1);
+        let r8 = runner_in(&d8, 8);
+        let mut spec = tiny_spec("vc_determinism");
+        for c in &mut spec.configs {
+            c.machine.net.vcs = 3;
+            c.machine.net.adaptive = true;
+        }
+        let o1 = r1.run(&spec);
+        let o8 = r8.run(&spec);
+        assert!(o1.failures.is_empty() && o8.failures.is_empty());
+        let f1 = fs::read(d1.join("vc_determinism.jsonl")).unwrap();
+        let f8 = fs::read(d8.join("vc_determinism.jsonl")).unwrap();
+        assert_eq!(f1, f8, "VC JSONL output must not depend on --jobs");
+        let _ = fs::remove_dir_all(&d1);
+        let _ = fs::remove_dir_all(&d8);
+    }
+
+    #[test]
     fn warm_cache_executes_zero_simulations() {
         let dir = scratch_dir("cache");
         let spec = tiny_spec("warm");

@@ -85,6 +85,17 @@ impl SweepConfig {
             m.sync_latency,
             self.seed,
         );
+        // Virtual-channel parameters extend the key only when non-default,
+        // so every pre-VC cache entry and golden file keeps its identity.
+        if net.vc_nondefault() {
+            let _ = write!(
+                key,
+                "|vc={{n={},ad={},cr={}}}",
+                net.vc_count(),
+                net.adaptive as u8,
+                net.vc_credits,
+            );
+        }
         key
     }
 
@@ -208,7 +219,18 @@ pub struct RunRecord {
     pub net_messages: u64,
     pub net_bytes: u64,
     pub net_hops: u64,
-    pub net_contention_cycles: u64,
+    /// Virtual channels simulated (1 = the classic single-channel model;
+    /// the VC fields below serialize only when this exceeds 1, keeping
+    /// legacy records byte-stable).
+    pub net_vcs: u32,
+    /// Cycles spent waiting for the injection port (plus all bus
+    /// arbitration, which has no per-hop links to attribute to).
+    pub net_inject_wait_cycles: u64,
+    /// Cycles spent waiting for transit links along routes.
+    pub net_link_wait_cycles: u64,
+    /// Per-virtual-channel share of the wait above (empty when
+    /// single-channel).
+    pub net_vc_wait_cycles: Vec<u64>,
     pub read_miss_latency: Histogram,
     pub write_miss_latency: Histogram,
     pub sharers_at_write: Histogram,
@@ -255,7 +277,10 @@ impl RunRecord {
             net_messages: n.messages,
             net_bytes: n.bytes,
             net_hops: n.total_hops,
-            net_contention_cycles: n.contention_cycles,
+            net_vcs: config.machine.net.vc_count(),
+            net_inject_wait_cycles: n.inject_wait_cycles,
+            net_link_wait_cycles: n.link_wait_cycles,
+            net_vc_wait_cycles: n.vc_wait_cycles.clone(),
             read_miss_latency: s.read_miss_latency.clone(),
             write_miss_latency: s.write_miss_latency.clone(),
             sharers_at_write: s.sharers_at_write.clone(),
@@ -271,6 +296,12 @@ impl RunRecord {
 
     pub fn total_ops(&self) -> u64 {
         self.reads + self.writes
+    }
+
+    /// Aggregate network wait (the pre-split `net_contention_cycles`
+    /// scalar; still serialized under that name for record compatibility).
+    pub fn net_contention_cycles(&self) -> u64 {
+        self.net_inject_wait_cycles + self.net_link_wait_cycles
     }
 
     /// Serialize to one JSON line (no trailing newline).
@@ -315,8 +346,25 @@ impl RunRecord {
         json_u64(
             &mut out,
             "net_contention_cycles",
-            self.net_contention_cycles,
+            self.net_contention_cycles(),
         );
+        if self.net_vcs > 1 {
+            json_u64(&mut out, "net_vcs", self.net_vcs as u64);
+            json_u64(
+                &mut out,
+                "net_inject_wait_cycles",
+                self.net_inject_wait_cycles,
+            );
+            json_u64(&mut out, "net_link_wait_cycles", self.net_link_wait_cycles);
+            out.push_str("\"net_vc_wait_cycles\":[");
+            for (i, w) in self.net_vc_wait_cycles.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{w}");
+            }
+            out.push_str("],");
+        }
         json_hist(&mut out, "read_miss_latency", &self.read_miss_latency);
         json_hist(&mut out, "write_miss_latency", &self.write_miss_latency);
         json_hist(&mut out, "sharers_at_write", &self.sharers_at_write);
@@ -342,6 +390,7 @@ impl RunRecord {
                 .as_u64()
                 .ok_or_else(|| format!("field {name} is not a u64"))
         };
+        let opt_u64 = |name: &str| -> Option<u64> { get(name).ok().and_then(json::Value::as_u64) };
         let get_str = |name: &str| -> Result<String, String> {
             Ok(get(name)?
                 .as_str()
@@ -381,7 +430,22 @@ impl RunRecord {
             net_messages: get_u64("net_messages")?,
             net_bytes: get_u64("net_bytes")?,
             net_hops: get_u64("net_hops")?,
-            net_contention_cycles: get_u64("net_contention_cycles")?,
+            // VC fields are absent from legacy (single-channel) records:
+            // the split is unrecoverable there, so the whole aggregate is
+            // attributed to injection and the serialized sum round-trips.
+            net_vcs: opt_u64("net_vcs").unwrap_or(1) as u32,
+            net_inject_wait_cycles: opt_u64("net_inject_wait_cycles")
+                .unwrap_or(get_u64("net_contention_cycles")?),
+            net_link_wait_cycles: opt_u64("net_link_wait_cycles").unwrap_or(0),
+            net_vc_wait_cycles: match get("net_vc_wait_cycles") {
+                Ok(v) => v
+                    .as_array()
+                    .ok_or("net_vc_wait_cycles is not an array")?
+                    .iter()
+                    .map(|w| w.as_u64().ok_or("net_vc_wait_cycles entry is not a u64"))
+                    .collect::<Result<_, _>>()?,
+                Err(_) => Vec::new(),
+            },
             read_miss_latency: get_hist("read_miss_latency")?,
             write_miss_latency: get_hist("write_miss_latency")?,
             sharers_at_write: get_hist("sharers_at_write")?,
@@ -419,9 +483,16 @@ fn json_u64(out: &mut String, name: &str, value: u64) {
 /// Histograms serialize as exact moments plus the sparse non-zero log₂
 /// buckets: `{"count":..,"sum":..,"min":..,"max":..,"buckets":[[b,n],..]}`.
 fn json_hist(out: &mut String, name: &str, h: &Histogram) {
+    let _ = write!(out, "\"{name}\":");
+    json_hist_value(out, h);
+    out.push(',');
+}
+
+/// The histogram object alone (for array elements).
+fn json_hist_value(out: &mut String, h: &Histogram) {
     let _ = write!(
         out,
-        "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
         h.count(),
         h.sum(),
         h.min(),
@@ -437,7 +508,7 @@ fn json_hist(out: &mut String, name: &str, h: &Histogram) {
             first = false;
         }
     }
-    out.push_str("]},");
+    out.push_str("]}");
 }
 
 /// The metrics snapshot serializes as a nested object (see EXPERIMENTS.md
@@ -475,6 +546,18 @@ fn json_metrics(out: &mut String, name: &str, m: &MetricsSnapshot) {
     json_u64(out, "total_link_busy", m.total_link_busy);
     json_hist(out, "inject_queue", &m.inject_queue);
     json_hist(out, "link_queue", &m.link_queue);
+    // Per-VC queue-depth histograms exist only on multi-channel runs;
+    // omitting the field keeps single-channel records byte-stable.
+    if !m.vc_queue.is_empty() {
+        out.push_str("\"vc_queue\":[");
+        for (i, h) in m.vc_queue.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_hist_value(out, h);
+        }
+        out.push_str("],");
+    }
     out.push_str("\"top_blocks\":[");
     for (i, (addr, msgs)) in m.top_blocks.iter().enumerate() {
         if i > 0 {
@@ -530,6 +613,11 @@ fn parse_metrics(v: &json::Value) -> Result<MetricsSnapshot, String> {
     m.total_link_busy = scalar("total_link_busy")?;
     m.inject_queue = parse_hist(get("inject_queue")?)?;
     m.link_queue = parse_hist(get("link_queue")?)?;
+    if let Ok(v) = get("vc_queue") {
+        for h in v.as_array().ok_or("vc_queue is not an array")? {
+            m.vc_queue.push(parse_hist(h)?);
+        }
+    }
     for pair in get("top_blocks")?
         .as_array()
         .ok_or("top_blocks is not an array")?
@@ -880,6 +968,73 @@ mod tests {
             parsed.metrics.inv_wave_depth.max(),
             record.metrics.inv_wave_depth.max()
         );
+    }
+
+    #[test]
+    fn vc_key_segment_appears_only_when_nondefault() {
+        let base = sample_config();
+        assert!(!base.key().contains("|vc="));
+        let mut explicit = sample_config();
+        explicit.machine.net.vcs = 1; // == default
+        assert_eq!(base.key(), explicit.key());
+        let mut vc = sample_config();
+        vc.machine.net.vcs = 3;
+        vc.machine.net.adaptive = true;
+        assert!(vc.key().ends_with("|vc={n=3,ad=1,cr=0}"), "{}", vc.key());
+        assert_ne!(base.config_hash(), vc.config_hash());
+    }
+
+    #[test]
+    fn vc_record_roundtrips_with_split_wait_and_per_vc_metrics() {
+        use dirtree_machine::Machine;
+        let mut config = sample_config();
+        config.machine.net.vcs = 3;
+        config.machine.net.adaptive = true;
+        let mut machine = Machine::new(config.machine, config.protocol);
+        let mut driver = config.effective_workload().build(config.machine.nodes);
+        let outcome = machine.run(&mut driver);
+        let record = RunRecord::from_outcome(&config, &outcome);
+        assert_eq!(record.net_vcs, 3);
+        assert_eq!(record.net_vc_wait_cycles.len(), 3);
+        assert_eq!(
+            record.net_vc_wait_cycles.iter().sum::<u64>(),
+            record.net_contention_cycles(),
+            "per-VC waits must partition the aggregate"
+        );
+        let line = record.to_json();
+        assert!(line.contains("\"net_vcs\":3"));
+        assert!(line.contains("\"net_inject_wait_cycles\":"));
+        assert!(line.contains("\"vc_queue\":["));
+        let parsed = RunRecord::from_json(&line).expect("parse");
+        assert_eq!(parsed.to_json(), line, "roundtrip must be byte-identical");
+        assert_eq!(parsed.net_inject_wait_cycles, record.net_inject_wait_cycles);
+        assert_eq!(parsed.net_link_wait_cycles, record.net_link_wait_cycles);
+        assert_eq!(parsed.net_vc_wait_cycles, record.net_vc_wait_cycles);
+        assert_eq!(parsed.metrics.vc_queue.len(), record.metrics.vc_queue.len());
+    }
+
+    #[test]
+    fn legacy_single_channel_records_parse_without_vc_fields() {
+        use dirtree_machine::Machine;
+        let config = sample_config();
+        let mut machine = Machine::new(config.machine, config.protocol);
+        let mut driver = config.effective_workload().build(config.machine.nodes);
+        let outcome = machine.run(&mut driver);
+        let record = RunRecord::from_outcome(&config, &outcome);
+        let line = record.to_json();
+        // Single-channel records keep the exact legacy shape: the
+        // aggregate scalar, no VC fields.
+        assert!(line.contains("\"net_contention_cycles\":"));
+        assert!(!line.contains("net_vcs"));
+        assert!(!line.contains("vc_queue"));
+        let parsed = RunRecord::from_json(&line).expect("parse");
+        assert_eq!(parsed.net_vcs, 1);
+        assert_eq!(
+            parsed.net_contention_cycles(),
+            record.net_contention_cycles(),
+            "the sum must survive the split being unrecoverable"
+        );
+        assert_eq!(parsed.to_json(), line, "roundtrip must be byte-identical");
     }
 
     #[test]

@@ -113,6 +113,13 @@ impl MachineConfig {
         self.net.link_width_bits.hash(&mut h);
         self.net.contention.hash(&mut h);
         self.sync_latency.hash(&mut h);
+        // Hashed only when non-default so every fingerprint printed before
+        // virtual channels existed is preserved verbatim.
+        if self.net.vc_nondefault() {
+            self.net.vcs.hash(&mut h);
+            self.net.adaptive.hash(&mut h);
+            self.net.vc_credits.hash(&mut h);
+        }
         h.finish()
     }
 }
@@ -148,5 +155,21 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         let c = MachineConfig::paper_default(16);
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn vc_fields_extend_fingerprint_only_when_nondefault() {
+        let a = MachineConfig::paper_default(32);
+        let mut b = a;
+        b.net.vcs = 1; // explicit single channel == the pre-VC default
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.net.vcs = 3;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a;
+        c.net.adaptive = true;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = a;
+        d.net.vc_credits = 1;
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 }

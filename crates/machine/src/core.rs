@@ -13,10 +13,26 @@ use dirtree_core::cache::Cache;
 use dirtree_core::ctx::{ProtoCtx, ProtoEvent};
 use dirtree_core::msg::{Msg, MsgKind};
 use dirtree_core::types::{Addr, LineState, NodeId, OpKind};
-use dirtree_net::Network;
+use dirtree_net::{vc_for, Network};
 use dirtree_sim::metrics::{Metrics, MsgClass};
 use dirtree_sim::{Cycle, EventQueue, FxHashMap};
 use std::collections::VecDeque;
+
+/// A protocol send waiting for a `(node, VC)` injection credit (bounded
+/// output buffering, `net.vc_credits > 0`). Parked sends hold no network
+/// resources; they are dispatched FIFO per channel as credits free up.
+struct ParkedSend {
+    dst: NodeId,
+    msg: Msg,
+    vc: u32,
+    /// Whether the send was issued by a controller handler (inside the
+    /// `ctrl_take`/`ctrl_finish` bracket). A handler with parked output
+    /// gates its controller: it holds its input message — and that
+    /// message's credit — until the output is accepted, which is exactly
+    /// the finite-buffer coupling that lets request/reply cycles deadlock
+    /// on a single channel.
+    from_handler: bool,
+}
 
 /// Machine events.
 #[derive(Debug)]
@@ -53,6 +69,23 @@ pub struct MachineCore {
     ctrl_extra: Cycle,
     /// Total busy cycles per controller (hot-spot diagnostics).
     ctrl_busy: Vec<Cycle>,
+    /// Per-(node, VC) injection credits, laid out `node * vcs + vc`; empty
+    /// when sends are unbounded (`net.vc_credits == 0`, the default).
+    credits: Vec<u32>,
+    /// Sends parked per node, waiting for a credit on their channel.
+    parked: Vec<VecDeque<ParkedSend>>,
+    /// Handler-originated parked sends per node; while > 0 the node's
+    /// controller is gated (see [`ParkedSend::from_handler`]).
+    handler_parked: Vec<u32>,
+    /// Credit release deferred by a gated controller: the `(src, vc)` of
+    /// the message whose handling finished while its output was parked.
+    deferred_release: Vec<Option<(NodeId, u32)>>,
+    /// `(src, vc)` of the message currently inside each node's
+    /// `ctrl_take`/`ctrl_finish` bracket, credited back at finish.
+    in_flight: Vec<Option<(NodeId, u32)>>,
+    /// Node whose controller handler is currently executing (distinguishes
+    /// handler sends from processor-side sends for parking).
+    current_ctrl: Option<NodeId>,
 }
 
 impl MachineCore {
@@ -60,6 +93,17 @@ impl MachineCore {
     /// handful of messages and one processor/controller event in flight.
     fn queue_capacity(config: &MachineConfig) -> usize {
         (config.nodes as usize * 8).max(1024)
+    }
+
+    /// Initial per-(node, VC) credit pools: empty (unbounded) unless the
+    /// config bounds sends, else `vc_credits` per pool.
+    fn fresh_credits(config: &MachineConfig) -> Vec<u32> {
+        if config.net.vc_credits == 0 {
+            Vec::new()
+        } else {
+            let pools = config.nodes as usize * config.net.vc_count() as usize;
+            vec![config.net.vc_credits; pools]
+        }
     }
 
     pub fn new(config: MachineConfig) -> Self {
@@ -78,6 +122,12 @@ impl MachineCore {
             ctrl_scheduled: vec![false; n],
             ctrl_extra: 0,
             ctrl_busy: vec![0; n],
+            credits: Self::fresh_credits(&config),
+            parked: (0..n).map(|_| VecDeque::new()).collect(),
+            handler_parked: vec![0; n],
+            deferred_release: vec![None; n],
+            in_flight: vec![None; n],
+            current_ctrl: None,
             config,
         }
     }
@@ -105,6 +155,12 @@ impl MachineCore {
         self.ctrl_scheduled.iter_mut().for_each(|s| *s = false);
         self.ctrl_extra = 0;
         self.ctrl_busy.iter_mut().for_each(|c| *c = 0);
+        self.credits = Self::fresh_credits(&self.config);
+        self.parked.iter_mut().for_each(VecDeque::clear);
+        self.handler_parked.iter_mut().for_each(|c| *c = 0);
+        self.deferred_release.iter_mut().for_each(|r| *r = None);
+        self.in_flight.iter_mut().for_each(|r| *r = None);
+        self.current_ctrl = None;
     }
 
     /// Controller occupancy for a message: directory-bound messages pay the
@@ -128,6 +184,12 @@ impl MachineCore {
         if self.ctrl_scheduled[n] || self.ctrl_q[n].is_empty() {
             return;
         }
+        if self.handler_parked[n] > 0 {
+            // The controller's last output is still parked on a full
+            // channel: it holds its input until the output is accepted
+            // (re-scheduled by `release_credit` when the park drains).
+            return;
+        }
         let occ = self.occupancy(self.ctrl_q[n].front().unwrap());
         let start = self.queue.now().max(self.ctrl_free[n]);
         let done = start + occ;
@@ -144,9 +206,20 @@ impl MachineCore {
         debug_assert!(self.ctrl_scheduled[n]);
         self.ctrl_scheduled[n] = false;
         self.ctrl_extra = 0;
-        self.ctrl_q[n]
+        let msg = self.ctrl_q[n]
             .pop_front()
-            .expect("CtrlExec with empty queue")
+            .expect("CtrlExec with empty queue");
+        if !self.credits.is_empty() {
+            self.current_ctrl = Some(node);
+            if msg.src != node {
+                // Remember whose credit this message consumed; it is
+                // released when the handler finishes (or deferred if the
+                // handler's own output parks).
+                let vc = vc_for(msg.kind.class(), self.config.net.vcs);
+                self.in_flight[n] = Some((msg.src, vc));
+            }
+        }
+        msg
     }
 
     /// Charge occupancy requested by a handler that ran *outside* the
@@ -174,7 +247,106 @@ impl MachineCore {
             self.ctrl_free[n] = self.queue.now() + self.ctrl_extra;
             self.ctrl_extra = 0;
         }
+        if !self.credits.is_empty() {
+            self.current_ctrl = None;
+            let release = self.in_flight[n].take();
+            if self.handler_parked[n] > 0 {
+                // The handler's output is parked: hold the input message's
+                // credit (and the controller) until the channel accepts
+                // it. With request and reply sharing one channel this is
+                // the cyclic-wait edge of the request/reply deadlock.
+                self.deferred_release[n] = release;
+                return;
+            }
+            if let Some((src, vc)) = release {
+                self.release_credit(src, vc);
+            }
+        }
         self.schedule_ctrl(node);
+    }
+
+    /// Return one `(node, vc)` credit, first offering it to that node's
+    /// oldest parked send on the channel. Dispatching a parked handler
+    /// send can un-gate its controller and trigger *its* deferred release,
+    /// so the cascade runs on an explicit worklist.
+    fn release_credit(&mut self, node: NodeId, vc: u32) {
+        let vcs = self.config.net.vc_count() as usize;
+        let mut work = vec![(node, vc)];
+        while let Some((node, vc)) = work.pop() {
+            let n = node as usize;
+            if let Some(pos) = self.parked[n].iter().position(|p| p.vc == vc) {
+                let p = self.parked[n].remove(pos).expect("position() is in range");
+                if p.from_handler {
+                    self.handler_parked[n] -= 1;
+                    if self.handler_parked[n] == 0 {
+                        if let Some(r) = self.deferred_release[n].take() {
+                            work.push(r);
+                        }
+                        self.schedule_ctrl(node);
+                    }
+                }
+                // The unparked send consumes the freed credit directly.
+                self.dispatch_send(p.dst, p.msg, p.vc);
+            } else {
+                self.credits[n * vcs + vc as usize] += 1;
+            }
+        }
+    }
+
+    /// Take one `(node, vc)` send credit if available.
+    fn try_take_credit(&mut self, node: NodeId, vc: u32) -> bool {
+        let vcs = self.config.net.vc_count() as usize;
+        let c = &mut self.credits[node as usize * vcs + vc as usize];
+        if *c == 0 {
+            false
+        } else {
+            *c -= 1;
+            true
+        }
+    }
+
+    /// Put a message on the wire and schedule its delivery — the tail of
+    /// [`ProtoCtx::send`], shared with credit-release dispatch of parked
+    /// sends.
+    fn dispatch_send(&mut self, dst: NodeId, msg: Msg, vc: u32) {
+        let bytes = msg
+            .kind
+            .wire_bytes(self.config.header_bytes, self.config.block_bytes);
+        let arrival = self.net.send_vc(self.queue.now(), msg.src, dst, bytes, vc);
+        self.stats.messages += 1;
+        if matches!(msg.kind, MsgKind::FillAck) {
+            self.stats.fill_acks += 1;
+        }
+        self.stats.bytes += bytes as u64;
+        self.record_msg(dst, &msg, bytes, arrival);
+        self.queue.push(arrival, Ev::Deliver(dst, msg));
+    }
+
+    /// Parked sends per node, as `(node, description)` — actionable context
+    /// for [`crate::machine::StallError::Deadlock`] reports.
+    pub fn parked_summary(&self) -> Vec<(u32, String)> {
+        self.parked
+            .iter()
+            .enumerate()
+            .flat_map(|(n, q)| {
+                q.iter().map(move |p| {
+                    (
+                        n as u32,
+                        format!(
+                            "{} -> node {} on vc {} ({})",
+                            p.msg.kind.label(),
+                            p.dst,
+                            p.vc,
+                            if p.from_handler {
+                                "handler output, controller gated"
+                            } else {
+                                "processor request"
+                            }
+                        ),
+                    )
+                })
+            })
+            .collect()
     }
 
     /// Readable copies of `addr` held by nodes other than `except`,
@@ -276,24 +448,35 @@ impl ProtoCtx for MachineCore {
     }
 
     fn send(&mut self, dst: NodeId, msg: Msg) {
-        let bytes = msg
-            .kind
-            .wire_bytes(self.config.header_bytes, self.config.block_bytes);
-        let arrival = self.net.send(self.queue.now(), msg.src, dst, bytes);
-        self.stats.messages += 1;
-        if matches!(msg.kind, MsgKind::FillAck) {
-            self.stats.fill_acks += 1;
+        let vc = vc_for(msg.kind.class(), self.config.net.vcs);
+        if !self.credits.is_empty() && msg.src != dst && !self.try_take_credit(msg.src, vc) {
+            // Bounded channel is full: park the send. A park from inside a
+            // handler additionally gates the node's controller — the
+            // handler cannot retire until its output is on the wire.
+            let from_handler = self.current_ctrl == Some(msg.src);
+            if from_handler {
+                self.handler_parked[msg.src as usize] += 1;
+            }
+            self.parked[msg.src as usize].push_back(ParkedSend {
+                dst,
+                msg,
+                vc,
+                from_handler,
+            });
+            return;
         }
-        self.stats.bytes += bytes as u64;
-        self.record_msg(dst, &msg, bytes, arrival);
-        self.queue.push(arrival, Ev::Deliver(dst, msg));
+        self.dispatch_send(dst, msg, vc);
     }
 
     fn broadcast(&mut self, msg: Msg) -> Cycle {
         let bytes = msg
             .kind
             .wire_bytes(self.config.header_bytes, self.config.block_bytes);
-        let arrival = self.net.broadcast(self.queue.now(), msg.src, bytes);
+        // Broadcasts are credit-exempt: the bus snoop is a single atomic
+        // transaction, and the point-to-point fan-out models hardware
+        // multicast rather than n − 1 buffered unicasts.
+        let vc = vc_for(msg.kind.class(), self.config.net.vcs);
+        let arrival = self.net.broadcast_vc(self.queue.now(), msg.src, bytes, vc);
         // One bus transaction, or n − 1 unicasts on a point-to-point
         // fabric (§1's argument in a single line of accounting).
         let wire_msgs = if self.net.config().fabric == dirtree_net::Fabric::Bus {

@@ -60,6 +60,11 @@ pub enum StallError {
         nodes: u32,
         /// `(node, state)` for every unfinished processor.
         blocked: Vec<(u32, String)>,
+        /// `(node, description)` for every send parked on a full virtual
+        /// channel — non-empty exactly when the stall is a channel
+        /// cyclic-wait (the request/reply deadlock) rather than a
+        /// protocol-level hang.
+        parked_sends: Vec<(u32, String)>,
         protocol: ProtocolKind,
     },
 }
@@ -75,12 +80,24 @@ impl std::fmt::Display for StallError {
                 finished,
                 nodes,
                 blocked,
+                parked_sends,
                 protocol,
-            } => write!(
-                f,
-                "deadlock: event queue drained with {finished} of {nodes} processors \
-                 unfinished (blocked procs: {blocked:?}, protocol {protocol:?})"
-            ),
+            } => {
+                write!(
+                    f,
+                    "deadlock: event queue drained with {finished} of {nodes} processors \
+                     unfinished (blocked procs: {blocked:?}, protocol {protocol:?})"
+                )?;
+                if !parked_sends.is_empty() {
+                    write!(
+                        f,
+                        "; sends parked on full virtual channels: {parked_sends:?} — \
+                         a request/reply cyclic wait; separate the classes onto \
+                         distinct VCs (net.vcs >= 3) to break it"
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -242,6 +259,7 @@ impl Machine {
                     .filter(|(_, s)| **s != ProcState::Done)
                     .map(|(i, s)| (i as u32, format!("{s:?}")))
                     .collect(),
+                parked_sends: self.core.parked_summary(),
                 protocol: self.protocol.kind(),
             });
         }
@@ -270,6 +288,7 @@ impl Machine {
         metrics.total_link_busy = links.total_link_busy;
         metrics.inject_queue = links.inject_queue;
         metrics.link_queue = links.link_queue;
+        metrics.vc_queue = links.vc_queue;
         Ok(RunOutcome {
             cycles: self.core.stats.cycles,
             stats: self.core.stats.clone(),
@@ -502,6 +521,43 @@ mod tests {
         let mut d = ScriptDriver::new(scripts);
         let out = m.run(&mut d);
         (out, m)
+    }
+
+    #[test]
+    fn single_channel_credit_limit_reproduces_request_reply_deadlock() {
+        // Crossed remote reads: node 0 fetches an address homed at node 1
+        // and vice versa. With one buffer per (node, channel) and request
+        // and reply sharing the channel, each home's ReadReply waits on a
+        // credit held by its own outstanding ReadReq — a cyclic wait.
+        let mut cfg = MachineConfig::test_default(2);
+        cfg.net.vc_credits = 1;
+        let scripts = vec![vec![DriverOp::Read(1)], vec![DriverOp::Read(2)]];
+        let mut m = Machine::new(cfg, ProtocolKind::FullMap);
+        let mut d = ScriptDriver::new(scripts.clone());
+        match m.try_run(&mut d) {
+            Err(StallError::Deadlock { parked_sends, .. }) => {
+                assert!(
+                    !parked_sends.is_empty(),
+                    "deadlock report must name the parked sends"
+                );
+                assert!(
+                    parked_sends
+                        .iter()
+                        .any(|(_, s)| s.contains("controller gated")),
+                    "the cycle runs through gated controllers: {parked_sends:?}"
+                );
+            }
+            other => panic!("expected request/reply deadlock on one channel, got {other:?}"),
+        }
+        // Separate request/reply/ack virtual channels break the cycle:
+        // the same trace under the same buffer bound completes.
+        cfg.net.vcs = 3;
+        let mut m = Machine::new(cfg, ProtocolKind::FullMap);
+        let mut d = ScriptDriver::new(scripts);
+        let out = m
+            .try_run(&mut d)
+            .expect("virtual channels must break the cyclic wait");
+        assert_eq!(out.stats.reads, 2);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! the model composes with any discrete-event loop.
 
 pub mod topology;
+pub mod vc;
 pub mod wormhole;
 
 pub use topology::{NodeId, Topology};
+pub use vc::{vc_for, VcClass, NUM_VC_CLASSES};
 pub use wormhole::{Fabric, LinkMetrics, Network, NetworkConfig, NetworkStats};

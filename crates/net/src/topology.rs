@@ -101,6 +101,37 @@ impl Topology {
         (node * self.n + dim) * 2 + plus as LinkId
     }
 
+    /// The next hop from `cur` toward `dst` along `dim`, if that dimension
+    /// is productive (the digits differ): the directed link taken and the
+    /// node it reaches, using the shorter wraparound direction (ties go
+    /// to +) exactly like [`Topology::route`]. `None` when the dimension is
+    /// already resolved.
+    ///
+    /// This is the per-hop building block shared by deterministic e-cube
+    /// (always the lowest productive dimension) and the minimal-adaptive
+    /// mode (any productive dimension, chosen by link backlog): both route
+    /// minimally because every hop reduces the remaining distance by one.
+    #[inline]
+    pub fn hop_toward(&self, cur: NodeId, dst: NodeId, dim: u32) -> Option<(LinkId, NodeId)> {
+        let have = self.digit(cur, dim);
+        let want = self.digit(dst, dim);
+        if have == want {
+            return None;
+        }
+        let up = (want + self.k - have) % self.k;
+        let down = self.k - up;
+        let plus = up <= down;
+        let next_digit = if plus {
+            (have + 1) % self.k
+        } else {
+            (have + self.k - 1) % self.k
+        };
+        Some((
+            self.link_id(cur, dim, plus),
+            self.with_digit(cur, dim, next_digit),
+        ))
+    }
+
     /// The e-cube route from `src` to `dst`: the sequence of directed links
     /// traversed, fixing dimensions from 0 upward and taking the shorter
     /// wraparound direction (ties go to +). Deterministic and minimal.
@@ -112,22 +143,9 @@ impl Topology {
         out.clear();
         let mut cur = src;
         for dim in 0..self.n {
-            let want = self.digit(dst, dim);
-            loop {
-                let have = self.digit(cur, dim);
-                if have == want {
-                    break;
-                }
-                let up = (want + self.k - have) % self.k;
-                let down = self.k - up;
-                let plus = up <= down;
-                out.push(self.link_id(cur, dim, plus));
-                let next_digit = if plus {
-                    (have + 1) % self.k
-                } else {
-                    (have + self.k - 1) % self.k
-                };
-                cur = self.with_digit(cur, dim, next_digit);
+            while let Some((link, next)) = self.hop_toward(cur, dst, dim) {
+                out.push(link);
+                cur = next;
             }
         }
         debug_assert_eq!(cur, dst);
@@ -327,6 +345,64 @@ mod tests {
                 for b in 0..topo.num_nodes() {
                     topo.route(a, b, &mut path);
                     assert_eq!(table.route(a, b), path.as_slice(), "{a}->{b}");
+                }
+            }
+        }
+    }
+
+    /// P = 512 (n = 9) and P = 1024 (n = 10) hypercubes — the `scale_up`
+    /// extension sizes. The CSR route-table arena must not overflow its
+    /// `u32` offsets, and e-cube routes stay minimal with in-range links.
+    /// Pairs are spot-verified on a deterministic sample; the full
+    /// cross-product is covered at P = 256 below.
+    #[test]
+    fn p512_p1024_route_tables_build_without_overflow() {
+        for nodes in [512u32, 1024] {
+            let t = Topology::hypercube(nodes);
+            assert_eq!(t.num_directed_links(), nodes * t.dimensions() * 2);
+            let table = RouteTable::build(&t);
+            let mut path = Vec::new();
+            for a in (0..nodes).step_by(37) {
+                for b in (0..nodes).step_by(41) {
+                    t.route(a, b, &mut path);
+                    assert_eq!(path.len() as u32, (a ^ b).count_ones(), "{a}->{b}");
+                    assert_eq!(table.route(a, b), path.as_slice(), "{a}->{b}");
+                    for &l in &path {
+                        assert!(l < t.num_directed_links());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Any walk that only takes productive hops is minimal — the property
+    /// the adaptive router relies on. Exercised with the *highest*
+    /// productive dimension each hop (the opposite of e-cube order) so the
+    /// walk is maximally different from the reference route while still
+    /// reaching `dst` in exactly `distance` hops.
+    #[test]
+    fn productive_hops_reach_destination_minimally() {
+        for t in [
+            Topology::hypercube(512),
+            Topology::hypercube(1024),
+            Topology::kary_ncube(3, 3),
+        ] {
+            let nodes = t.num_nodes();
+            for a in (0..nodes).step_by(97) {
+                for b in (0..nodes).step_by(89) {
+                    let mut cur = a;
+                    let mut hops = 0;
+                    while cur != b {
+                        let (link, next) = (0..t.dimensions())
+                            .rev()
+                            .find_map(|dim| t.hop_toward(cur, b, dim))
+                            .expect("cur != dst must have a productive dimension");
+                        assert!(link < t.num_directed_links());
+                        cur = next;
+                        hops += 1;
+                        assert!(hops <= t.diameter(), "walk exceeded the diameter");
+                    }
+                    assert_eq!(hops, t.distance(a, b), "{a}->{b}");
                 }
             }
         }

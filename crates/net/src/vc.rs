@@ -1,0 +1,102 @@
+//! Virtual-channel classification for coherence traffic.
+//!
+//! A wormhole network with one buffer per physical link lets messages of
+//! different protocol phases block each other head-of-line: a reply stuck
+//! behind a request whose handler is itself waiting for that reply is a
+//! cyclic buffer dependency — the classic request/reply deadlock. Coherence
+//! transactions descend a strict phase order, REQUEST → REPLY → ACK, and
+//! never the other way, so giving each phase its own virtual channel per
+//! link breaks every such cycle (see DESIGN.md §3 and the Phase-Priority
+//! Directory Coherence discussion in PAPERS.md).
+//!
+//! The mapping is driven by [`MsgClass`] — the same classification the
+//! observability layer uses — so every protocol in the registry gets VC
+//! assignment for free through `MachineCore`'s shared send path.
+
+use dirtree_sim::metrics::MsgClass;
+
+/// Traffic phases mapped onto virtual channels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VcClass {
+    /// Requests and forward-progress commands a controller may react to by
+    /// emitting further messages: read/write misses, invalidation and
+    /// replacement waves, writebacks, management traffic.
+    Request,
+    /// Data-carrying replies (including tree adoptions) terminating the
+    /// request phase at the original requester.
+    Reply,
+    /// Terminal acknowledgements (fill acks, inv acks) that never cause
+    /// further network traffic.
+    Ack,
+}
+
+/// Number of distinct [`VcClass`] phases; the natural `vcs` setting for a
+/// fully class-separated fabric.
+pub const NUM_VC_CLASSES: u32 = 3;
+
+impl VcClass {
+    /// Phase of a message class.
+    pub fn of(class: MsgClass) -> Self {
+        match class {
+            MsgClass::DataReply | MsgClass::Adopt => VcClass::Reply,
+            MsgClass::Ack | MsgClass::FillAck => VcClass::Ack,
+            _ => VcClass::Request,
+        }
+    }
+
+    /// Channel index of this phase on a fully provisioned link.
+    pub fn index(self) -> u32 {
+        match self {
+            VcClass::Request => 0,
+            VcClass::Reply => 1,
+            VcClass::Ack => 2,
+        }
+    }
+}
+
+/// The virtual channel a message of `class` travels on when each link has
+/// `vcs` channels. Phases collapse downward onto the highest available
+/// channel, so `vcs = 1` degenerates to the classic single-channel model
+/// and `vcs = 2` separates requests from replies + acks.
+pub fn vc_for(class: MsgClass, vcs: u32) -> u32 {
+    VcClass::of(class).index().min(vcs.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_cover_every_class() {
+        for class in MsgClass::ALL {
+            let phase = VcClass::of(class);
+            assert!(phase.index() < NUM_VC_CLASSES);
+        }
+    }
+
+    #[test]
+    fn request_reply_ack_are_separated_at_three_channels() {
+        assert_eq!(vc_for(MsgClass::ReadReq, 3), 0);
+        assert_eq!(vc_for(MsgClass::WriteReq, 3), 0);
+        assert_eq!(vc_for(MsgClass::Inv, 3), 0);
+        assert_eq!(vc_for(MsgClass::DataReply, 3), 1);
+        assert_eq!(vc_for(MsgClass::Adopt, 3), 1);
+        assert_eq!(vc_for(MsgClass::Ack, 3), 2);
+        assert_eq!(vc_for(MsgClass::FillAck, 3), 2);
+    }
+
+    #[test]
+    fn single_channel_collapses_every_phase() {
+        for class in MsgClass::ALL {
+            assert_eq!(vc_for(class, 1), 0);
+            assert_eq!(vc_for(class, 0), 0, "degenerate vcs=0 must not underflow");
+        }
+    }
+
+    #[test]
+    fn two_channels_keep_requests_alone() {
+        assert_eq!(vc_for(MsgClass::ReadReq, 2), 0);
+        assert_eq!(vc_for(MsgClass::DataReply, 2), 1);
+        assert_eq!(vc_for(MsgClass::FillAck, 2), 1);
+    }
+}

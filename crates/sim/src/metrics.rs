@@ -149,6 +149,9 @@ pub struct MetricsSnapshot {
     pub inject_queue: Histogram,
     /// Per-link backlog (cycles) sampled as each packet head arrives.
     pub link_queue: Histogram,
+    /// Backlog samples partitioned per virtual channel (empty in the
+    /// single-channel network model, so pre-VC snapshots are unchanged).
+    pub vc_queue: Vec<Histogram>,
     /// The [`TOP_BLOCKS`] busiest blocks as `(addr, messages)`, sorted by
     /// message count (descending) then address — deterministic.
     pub top_blocks: Vec<(u64, u64)>,
