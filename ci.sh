@@ -53,3 +53,19 @@ echo "perf-smoke: records match tests/golden/scale_up_p64.jsonl"
 # while the cmp above proves the default path never moved.
 cmp target/perf_smoke/scale_up_vc.jsonl tests/golden/scale_up_p64_vc.jsonl
 echo "perf-smoke: records match tests/golden/scale_up_p64_vc.jsonl"
+# And the credit-bounded VC grid (vc_credits = 8): injection
+# backpressure is part of the timing here, so this golden pins the
+# credit accounting end to end.
+cmp target/perf_smoke/scale_up_vc_credited.jsonl \
+  tests/golden/scale_up_p64_vc_credited.jsonl
+echo "perf-smoke: records match tests/golden/scale_up_p64_vc_credited.jsonl"
+
+# Adaptive-ablation smoke: the P=16 slice of the update/invalidate
+# ablation (DESIGN.md #24). The binary itself asserts the acceptance
+# criterion (adaptive within 1.05x of the best static policy per
+# pattern workload); the cmp pins the records — including the detector
+# counters and mode-flip counts — byte-for-byte.
+timeout 300 ./target/release/adaptive_ablation \
+  --filter P=16 --no-cache --jobs 2 --out-dir target/adaptive_smoke >/dev/null
+cmp target/adaptive_smoke/adaptive_ablation.jsonl tests/golden/adaptive_p16.jsonl
+echo "adaptive-smoke: records match tests/golden/adaptive_p16.jsonl"

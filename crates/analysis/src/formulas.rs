@@ -14,7 +14,8 @@ pub fn read_miss_messages(kind: ProtocolKind, p: u64) -> (u64, u64) {
         | ProtocolKind::LimitedB { .. }
         | ProtocolKind::LimitLess { .. }
         | ProtocolKind::DirTree { .. }
-        | ProtocolKind::DirTreeUpdate { .. } => (2, 2),
+        | ProtocolKind::DirTreeUpdate { .. }
+        | ProtocolKind::DirTreeAdaptive { .. } => (2, 2),
         // Snooping: request + broadcast + data = 3 bus transactions.
         ProtocolKind::Snoop => (3, 3),
         ProtocolKind::SinglyList => (3, 3),
@@ -42,7 +43,8 @@ pub fn write_miss_messages(kind: ProtocolKind, p: u64) -> (u64, u64) {
         ProtocolKind::Stp { .. }
         | ProtocolKind::SciTree
         | ProtocolKind::DirTree { .. }
-        | ProtocolKind::DirTreeUpdate { .. } => (2 * p + 2, 2 * p + 2),
+        | ProtocolKind::DirTreeUpdate { .. }
+        | ProtocolKind::DirTreeAdaptive { .. } => (2 * p + 2, 2 * p + 2),
         // One broadcast invalidates everyone: constant bus transactions.
         ProtocolKind::Snoop => (3, 3),
     }
@@ -127,7 +129,9 @@ pub fn write_miss_latency_model(kind: ProtocolKind, p: u64, lp: &LatencyParams) 
             // Broadcast + snoop window + data: constant in P.
             lp.ctrl_flight() + 4.0 + lp.cache
         }
-        ProtocolKind::DirTree { pointers, .. } | ProtocolKind::DirTreeUpdate { pointers, .. } => {
+        ProtocolKind::DirTree { pointers, .. }
+        | ProtocolKind::DirTreeUpdate { pointers, .. }
+        | ProtocolKind::DirTreeAdaptive { pointers, .. } => {
             // Depth of the tallest tree in an i-pointer forest of p nodes
             // (~log2 of the biggest tree) + pairing hop + ceil(i/2) acks.
             let per_tree = (pf / pointers.max(1) as f64).max(1.0);

@@ -1,0 +1,115 @@
+//! **Extension (ours)** — the adaptive write-policy ablation: the four
+//! canonical sharing-pattern workloads (producer–consumer pipeline,
+//! migratory token ring, read-mostly broadcast, write-shared ping-pong)
+//! under static invalidation, static update, and the per-block adaptive
+//! protocol, at P ∈ {16, 64, 256}. Asserts the acceptance bar — adaptive
+//! within 5% of the better static policy on every workload and strictly
+//! cheaper than the worse one on at least two — and writes the cell and
+//! verdict data to `<out-dir>/BENCH_adaptive.json`. The committed
+//! repo-root `BENCH_adaptive.json` is a snapshot of the full-grid output
+//! (see EXPERIMENTS.md).
+//!
+//! Run: `cargo run --release -p dirtree-bench --bin adaptive_ablation`
+//! CI:  `... --bin adaptive_ablation -- --filter P=16 --no-cache --jobs 2
+//!       --out-dir target/adaptive_smoke`
+
+use std::fmt::Write as _;
+
+fn main() {
+    let (runner, cli) = dirtree_bench::runner_from_args();
+    let filter = cli.filter.as_deref();
+
+    let (sizes, cells) = dirtree_bench::experiments::adaptive_ablation_cells(&runner, filter);
+    assert!(
+        !sizes.is_empty(),
+        "--filter {:?} matches no adaptive-ablation size (P=16/64/256)",
+        filter.unwrap_or_default()
+    );
+    print!(
+        "{}",
+        dirtree_bench::experiments::adaptive_ablation_report(&sizes, &cells)
+    );
+
+    let verdicts = dirtree_bench::experiments::adaptive_verdicts(&cells);
+    dirtree_bench::experiments::assert_adaptive_criterion(&verdicts);
+    println!(
+        "adaptive_ablation: criterion holds over P={sizes:?} — within 5% of the best \
+         static policy on all {} workloads, beats the worst on {}",
+        verdicts.len(),
+        verdicts.iter().filter(|v| v.beats_worst_static()).count(),
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"schema\": \"dirtree-bench/adaptive_ablation/v1\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"filter\": {},",
+        match filter {
+            Some(f) => format!("\"{f}\""),
+            None => "null".to_string(),
+        }
+    );
+    let _ = writeln!(
+        json,
+        "  \"sizes\": [{}],",
+        sizes
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.record;
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"protocol\": \"{}\", \"nodes\": {}, \
+             \"cycles\": {}, \"messages\": {}, \"bytes\": {}, \
+             \"mode_flips_to_update\": {}, \"mode_flips_to_invalidate\": {}, \
+             \"pattern_producer_consumer\": {}, \"pattern_read_mostly\": {}, \
+             \"pattern_migratory\": {}, \"pattern_write_shared\": {}, \
+             \"pattern_private\": {}}}{}",
+            r.workload,
+            r.protocol,
+            r.nodes,
+            r.cycles,
+            r.messages,
+            r.bytes,
+            r.mode_flips_to_update,
+            r.mode_flips_to_invalidate,
+            r.pattern_producer_consumer,
+            r.pattern_read_mostly,
+            r.pattern_migratory,
+            r.pattern_write_shared,
+            r.pattern_private,
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"verdicts\": [");
+    for (i, v) in verdicts.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"invalidate_cycles\": {}, \
+             \"update_cycles\": {}, \"adaptive_cycles\": {}, \
+             \"vs_best_static\": {:.4}, \"beats_worst_static\": {}}}{}",
+            v.workload.name(),
+            v.invalidate_cycles,
+            v.update_cycles,
+            v.adaptive_cycles,
+            v.vs_best_static(),
+            v.beats_worst_static(),
+            if i + 1 < verdicts.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    let path = runner.options().out_dir.join("BENCH_adaptive.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

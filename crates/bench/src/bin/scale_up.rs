@@ -24,6 +24,8 @@ fn main() {
     let t0 = Instant::now();
     let (sizes, cells) = dirtree_bench::experiments::scale_up_cells(&runner, filter);
     let (vc_sizes, vc_cells) = dirtree_bench::experiments::scale_up_vc_cells(&runner, filter);
+    let (cr_sizes, cr_cells) =
+        dirtree_bench::experiments::scale_up_vc_credited_cells(&runner, filter);
     let cold = t0.elapsed().as_secs_f64();
     assert!(
         !(sizes.is_empty() && vc_sizes.is_empty()),
@@ -38,6 +40,7 @@ fn main() {
     let t1 = Instant::now();
     let _ = dirtree_bench::experiments::scale_up_cells(&warm_runner, filter);
     let _ = dirtree_bench::experiments::scale_up_vc_cells(&warm_runner, filter);
+    let _ = dirtree_bench::experiments::scale_up_vc_credited_cells(&warm_runner, filter);
     let warm = t1.elapsed().as_secs_f64();
 
     if !sizes.is_empty() {
@@ -52,18 +55,27 @@ fn main() {
             dirtree_bench::experiments::scale_up_vc_report(&vc_sizes, &vc_cells)
         );
     }
+    if !cr_sizes.is_empty() {
+        print!(
+            "{}",
+            dirtree_bench::experiments::scale_up_vc_credited_report(&cr_sizes, &cr_cells)
+        );
+    }
 
-    // (cell, adaptive-routing?) — the grid a cell came from fixes the
-    // routing mode, which the flat record does not carry.
+    // (cell, adaptive-routing?, credits) — the grid a cell came from
+    // fixes the routing mode and the injection credit bound, which the
+    // flat record does not carry.
+    let credits = dirtree_bench::experiments::VC_CREDITS;
     let all: Vec<_> = cells
         .iter()
-        .map(|c| (c, false))
-        .chain(vc_cells.iter().map(|c| (c, true)))
+        .map(|c| (c, false, 0))
+        .chain(vc_cells.iter().map(|c| (c, true, 0)))
+        .chain(cr_cells.iter().map(|c| (c, true, credits)))
         .collect();
-    let total_events: u64 = all.iter().map(|(c, _)| c.record.events).sum();
+    let total_events: u64 = all.iter().map(|(c, ..)| c.record.events).sum();
     let peak_depth: u64 = all
         .iter()
-        .map(|(c, _)| c.record.peak_queue_depth)
+        .map(|(c, ..)| c.record.peak_queue_depth)
         .max()
         .unwrap_or(0);
     let events_per_sec = if cold > 0.0 {
@@ -80,7 +92,7 @@ fn main() {
     // Wall-clock readings stay out of the deterministic .jsonl records;
     // they live in this side-channel JSON instead.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"dirtree-bench/sim_hotpath/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"dirtree-bench/sim_hotpath/v3\",");
     let _ = writeln!(
         json,
         "  \"filter\": {},",
@@ -96,11 +108,12 @@ fn main() {
     let _ = writeln!(json, "  \"events_per_second_cold\": {events_per_sec:.0},");
     let _ = writeln!(json, "  \"peak_queue_depth\": {peak_depth},");
     let _ = writeln!(json, "  \"configs\": [");
-    for (i, (c, adaptive)) in all.iter().enumerate() {
+    for (i, (c, adaptive, vc_credits)) in all.iter().enumerate() {
         let r = &c.record;
         let _ = writeln!(
             json,
             "    {{\"protocol\": \"{}\", \"nodes\": {}, \"vcs\": {}, \"adaptive\": {adaptive}, \
+             \"vc_credits\": {vc_credits}, \
              \"cycles\": {}, \"events\": {}, \"peak_queue_depth\": {}}}{}",
             r.protocol,
             r.nodes,

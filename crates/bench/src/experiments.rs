@@ -14,6 +14,7 @@
 use crate::figures::{record_grid, run_figure, RecordCell};
 use crate::miss_cost::{read_miss_cost, write_miss_cost, write_miss_latency_measured};
 use crate::runner::Runner;
+use crate::sweep::{RunRecord, SweepConfig, SweepSpec};
 use dirtree_analysis::formulas::{self, directory_bits, write_miss_latency_model, LatencyParams};
 use dirtree_analysis::tables::AsciiTable;
 use dirtree_analysis::tree_capacity::{
@@ -897,6 +898,59 @@ pub fn scale_up_vc_report(sizes: &[u32], cells: &[RecordCell]) -> String {
     )
 }
 
+/// The [`vc_default`] machine with credit-bounded injection: each
+/// controller may hold at most this many unacknowledged flit-buffers per
+/// (destination-VC) pool before further sends park. Models finite output
+/// buffering instead of the default infinite-queue idealization.
+pub const VC_CREDITS: u32 = 8;
+
+/// [`vc_default`] plus credit-bounded sends ([`VC_CREDITS`] per pool).
+pub fn vc_credited(nodes: u32) -> MachineConfig {
+    let mut m = vc_default(nodes);
+    m.net.vc_credits = VC_CREDITS;
+    m
+}
+
+/// The credit-bounded companion of [`scale_up_vc_cells`]: the same
+/// protocols, workload, and sizes on the [`vc_credited`] machine, so the
+/// report can show what finite buffering costs next to the idealized VC
+/// column. Filter grammar matches [`scale_up_cells`].
+pub fn scale_up_vc_credited_cells(
+    runner: &Runner,
+    filter: Option<&str>,
+) -> (Vec<u32>, Vec<RecordCell>) {
+    let sizes = scale_up_sizes(&SCALE_UP_VC_SIZES, filter);
+    if sizes.is_empty() {
+        return (sizes, Vec::new());
+    }
+    let w = WorkloadKind::Floyd {
+        vertices: 64,
+        seed: 1996,
+    };
+    let cells = record_grid(
+        runner,
+        "scale_up_vc_credited",
+        w,
+        &sizes,
+        &SCALE_UP_PROTOCOLS,
+        vc_credited,
+    );
+    (sizes, cells)
+}
+
+/// Render the [`scale_up_vc_credited`] grid.
+pub fn scale_up_vc_credited_report(sizes: &[u32], cells: &[RecordCell]) -> String {
+    scale_up_grid_report(
+        &format!(
+            "Credit-bounded VC scaling study ({VC_CREDITS} credits per pool, \
+             3 virtual channels, adaptive e-cube; Floyd-Warshall 64v, \
+             normalized to full-map):"
+        ),
+        sizes,
+        cells,
+    )
+}
+
 /// **Beyond the paper (ours)** — the hot-path scaling study:
 /// single-channel at P ∈ {64, 128, 256} and the virtual-channel machine
 /// at P ∈ {64, 512, 1024}. Not in [`registry`] (like [`scaling`], it is
@@ -905,6 +959,7 @@ pub fn scale_up_vc_report(sizes: &[u32], cells: &[RecordCell]) -> String {
 pub fn scale_up(runner: &Runner, filter: Option<&str>) -> String {
     let (sizes, cells) = scale_up_cells(runner, filter);
     let (vc_sizes, vc_cells) = scale_up_vc_cells(runner, filter);
+    let (cr_sizes, cr_cells) = scale_up_vc_credited_cells(runner, filter);
     assert!(
         !(sizes.is_empty() && vc_sizes.is_empty()),
         "--filter {:?} matches no scale-up size (base P=64/128/256, vc P=64/512/1024)",
@@ -916,6 +971,9 @@ pub fn scale_up(runner: &Runner, filter: Option<&str>) -> String {
     }
     if !vc_sizes.is_empty() {
         out.push_str(&scale_up_vc_report(&vc_sizes, &vc_cells));
+    }
+    if !cr_sizes.is_empty() {
+        out.push_str(&scale_up_vc_credited_report(&cr_sizes, &cr_cells));
     }
     out
 }
@@ -1269,6 +1327,263 @@ pub fn ablation_arity(runner: &Runner) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Adaptive update/invalidate ablation (the `adaptive_ablation` binary)
+// ---------------------------------------------------------------------
+
+/// The machine sizes of the [`adaptive_ablation`] study.
+pub const ADAPTIVE_SIZES: [u32; 3] = [16, 64, 256];
+
+/// The write policies the adaptive study compares: static invalidation,
+/// static update, and the per-block adaptive hybrid — all on the same
+/// Dir₄Tree₂ directory organization.
+pub const ADAPTIVE_PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::DirTree {
+        pointers: 4,
+        arity: 2,
+    },
+    ProtocolKind::DirTreeUpdate {
+        pointers: 4,
+        arity: 2,
+    },
+    ProtocolKind::DirTreeAdaptive {
+        pointers: 4,
+        arity: 2,
+    },
+];
+
+/// The four canonical sharing-pattern workloads (see
+/// `dirtree_workloads::apps::patterns`). Each is best served by a known
+/// static policy, so the grid measures how close the adaptive protocol
+/// gets to an oracle that picks the right policy per block.
+pub fn adaptive_workloads() -> [WorkloadKind; 4] {
+    [
+        WorkloadKind::PcPipeline {
+            buffers: 16,
+            rounds: 60,
+        },
+        WorkloadKind::TokenRing { tokens: 4, laps: 2 },
+        WorkloadKind::Broadcast {
+            blocks: 8,
+            rounds: 120,
+            scans: 2,
+        },
+        WorkloadKind::FalseShare {
+            blocks: 8,
+            rounds: 24,
+        },
+    ]
+}
+
+/// One cell of the adaptive ablation grid.
+#[derive(Clone, Debug)]
+pub struct AdaptiveCell {
+    pub workload: WorkloadKind,
+    pub protocol: ProtocolKind,
+    pub nodes: u32,
+    pub record: RunRecord,
+}
+
+/// Run the adaptive ablation grid: every pattern workload × write policy
+/// × machine size, optionally restricted by a `--filter` substring over
+/// `P=<nodes>` (grammar matches [`scale_up_cells`]). One spec named
+/// `adaptive_ablation`, so the runner writes a single byte-deterministic
+/// `adaptive_ablation.jsonl` the CI golden compares against.
+pub fn adaptive_ablation_cells(
+    runner: &Runner,
+    filter: Option<&str>,
+) -> (Vec<u32>, Vec<AdaptiveCell>) {
+    let sizes = scale_up_sizes(&ADAPTIVE_SIZES, filter);
+    if sizes.is_empty() {
+        return (sizes, Vec::new());
+    }
+    let mut spec = SweepSpec::new("adaptive_ablation");
+    for &w in &adaptive_workloads() {
+        for &nodes in &sizes {
+            for &protocol in &ADAPTIVE_PROTOCOLS {
+                spec.push(SweepConfig::new(
+                    MachineConfig::paper_default(nodes),
+                    protocol,
+                    w,
+                ));
+            }
+        }
+    }
+    let outcome = runner.run(&spec);
+    assert!(
+        outcome.failures.is_empty(),
+        "adaptive_ablation simulations failed: {:?}",
+        outcome
+            .failures
+            .iter()
+            .map(|f| f.message.as_str())
+            .collect::<Vec<_>>()
+    );
+    // No failures, so records line up with the spec push order above.
+    let mut records = outcome.records.into_iter();
+    let mut cells = Vec::new();
+    for &workload in &adaptive_workloads() {
+        for &nodes in &sizes {
+            for &protocol in &ADAPTIVE_PROTOCOLS {
+                cells.push(AdaptiveCell {
+                    workload,
+                    protocol,
+                    nodes,
+                    record: records.next().expect("one record per config"),
+                });
+            }
+        }
+    }
+    (sizes, cells)
+}
+
+/// Per-workload verdict: each policy's cycles summed over the machine
+/// sizes that ran, and how the adaptive protocol compares to the statics.
+#[derive(Clone, Debug)]
+pub struct AdaptiveVerdict {
+    pub workload: WorkloadKind,
+    pub invalidate_cycles: u64,
+    pub update_cycles: u64,
+    pub adaptive_cycles: u64,
+}
+
+impl AdaptiveVerdict {
+    pub fn best_static(&self) -> u64 {
+        self.invalidate_cycles.min(self.update_cycles)
+    }
+
+    pub fn worst_static(&self) -> u64 {
+        self.invalidate_cycles.max(self.update_cycles)
+    }
+
+    /// Adaptive cycles relative to the better static policy (1.0 = ties
+    /// the oracle; the acceptance bar is ≤ 1.05).
+    pub fn vs_best_static(&self) -> f64 {
+        self.adaptive_cycles as f64 / self.best_static().max(1) as f64
+    }
+
+    pub fn beats_worst_static(&self) -> bool {
+        self.adaptive_cycles < self.worst_static()
+    }
+}
+
+/// Fold the grid into one [`AdaptiveVerdict`] per workload.
+pub fn adaptive_verdicts(cells: &[AdaptiveCell]) -> Vec<AdaptiveVerdict> {
+    let [inv, upd, adp] = ADAPTIVE_PROTOCOLS;
+    let mut verdicts: Vec<AdaptiveVerdict> = Vec::new();
+    for c in cells {
+        if verdicts.last().map(|v| v.workload) != Some(c.workload) {
+            verdicts.push(AdaptiveVerdict {
+                workload: c.workload,
+                invalidate_cycles: 0,
+                update_cycles: 0,
+                adaptive_cycles: 0,
+            });
+        }
+        let v = verdicts.last_mut().expect("pushed above");
+        match c.protocol {
+            p if p == inv => v.invalidate_cycles += c.record.cycles,
+            p if p == upd => v.update_cycles += c.record.cycles,
+            p if p == adp => v.adaptive_cycles += c.record.cycles,
+            p => panic!("unexpected protocol {} in adaptive grid", p.name()),
+        }
+    }
+    verdicts
+}
+
+/// The acceptance bar for the adaptive protocol, asserted by the
+/// `adaptive_ablation` binary: within 5% of the better static policy on
+/// *every* pattern workload, and strictly cheaper than the worse static
+/// policy on at least two of them.
+pub fn assert_adaptive_criterion(verdicts: &[AdaptiveVerdict]) {
+    for v in verdicts {
+        assert!(
+            v.vs_best_static() <= 1.05,
+            "{}: adaptive {} cycles is {:.3}x the best static ({} inv / {} upd) — bar is 1.05x",
+            v.workload.name(),
+            v.adaptive_cycles,
+            v.vs_best_static(),
+            v.invalidate_cycles,
+            v.update_cycles,
+        );
+    }
+    let beats = verdicts.iter().filter(|v| v.beats_worst_static()).count();
+    assert!(
+        beats >= 2,
+        "adaptive must strictly beat the worse static policy on >= 2 workloads, got {beats}"
+    );
+}
+
+/// Render the adaptive ablation grid plus the per-workload verdicts.
+pub fn adaptive_ablation_report(sizes: &[u32], cells: &[AdaptiveCell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Adaptive update/invalidate ablation (Dir4Tree2 directory, \
+         P in {sizes:?}):"
+    );
+    let mut t = AsciiTable::new(&[
+        "workload",
+        "procs",
+        "protocol",
+        "cycles",
+        "msgs",
+        "bytes",
+        "flips→upd",
+        "flips→inv",
+    ]);
+    for c in cells {
+        let r = &c.record;
+        t.row(&[
+            c.workload.name(),
+            c.nodes.to_string(),
+            c.protocol.name(),
+            r.cycles.to_string(),
+            r.messages.to_string(),
+            r.bytes.to_string(),
+            r.mode_flips_to_update.to_string(),
+            r.mode_flips_to_invalidate.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    for v in adaptive_verdicts(cells) {
+        let _ = writeln!(
+            out,
+            "  {:<22} inv={:<9} upd={:<9} adaptive={:<9} {:.3}x best static{}",
+            v.workload.name(),
+            v.invalidate_cycles,
+            v.update_cycles,
+            v.adaptive_cycles,
+            v.vs_best_static(),
+            if v.beats_worst_static() {
+                ", beats worst"
+            } else {
+                ""
+            },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Per-block detection means mixed workloads need no global policy\n\
+         choice: each block converges to the policy its own sharing pattern\n\
+         wants (PatternSample / ModeFlip counters above)."
+    );
+    out
+}
+
+/// **Extension (ours)** — the adaptive write-policy study. Not in
+/// [`registry`]; explicit opt-in via the `adaptive_ablation` binary
+/// (CI runs the `--filter P=16` slice against a committed golden).
+pub fn adaptive_ablation(runner: &Runner, filter: Option<&str>) -> String {
+    let (sizes, cells) = adaptive_ablation_cells(runner, filter);
+    assert!(
+        !sizes.is_empty(),
+        "--filter {:?} matches no adaptive-ablation size (P=16/64/256)",
+        filter.unwrap_or_default()
+    );
+    adaptive_ablation_report(&sizes, &cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1283,6 +1598,10 @@ mod tests {
         assert!(
             !names.contains(&"scale_up"),
             "scale_up is opt-in only (own binary + CI perf-smoke)"
+        );
+        assert!(
+            !names.contains(&"adaptive_ablation"),
+            "adaptive_ablation is opt-in only (own binary + CI golden slice)"
         );
     }
 
@@ -1317,6 +1636,85 @@ mod tests {
         assert_eq!(m.nodes, base.nodes);
         assert_eq!(m.mem_latency, base.mem_latency);
         assert_eq!(m.net.switch_delay, base.net.switch_delay);
+    }
+
+    #[test]
+    fn vc_credited_adds_only_the_credit_bound() {
+        let m = vc_credited(512);
+        let vc = vc_default(512);
+        assert_eq!(m.net.vc_credits, VC_CREDITS);
+        assert_eq!(m.net.vcs, vc.net.vcs);
+        assert_eq!(m.net.adaptive, vc.net.adaptive);
+        assert_eq!(m.nodes, vc.nodes);
+        assert_eq!(m.mem_latency, vc.mem_latency);
+        assert_eq!(m.net.switch_delay, vc.net.switch_delay);
+        // Distinct fingerprints, so the sweep cache and the golden files
+        // can never confuse the credited and idealized grids.
+        assert_ne!(m.fingerprint(), vc.fingerprint());
+    }
+
+    #[test]
+    fn adaptive_filter_selects_size_groups() {
+        let adp = |f: Option<&str>| scale_up_sizes(&ADAPTIVE_SIZES, f);
+        assert_eq!(adp(None), vec![16, 64, 256]);
+        assert_eq!(adp(Some("P=16")), vec![16]);
+        assert_eq!(adp(Some("P=64")), vec![64]);
+        assert_eq!(adp(Some("P=256")), vec![256]);
+        assert!(adp(Some("P=512")).is_empty());
+    }
+
+    #[test]
+    fn adaptive_verdicts_fold_and_judge() {
+        let [inv, upd, adp] = ADAPTIVE_PROTOCOLS;
+        let w = WorkloadKind::TokenRing { tokens: 4, laps: 2 };
+        let mut cells = Vec::new();
+        for (protocol, cycles) in [(inv, 100u64), (upd, 180), (adp, 103)] {
+            for nodes in [16u32, 64] {
+                let record = RunRecord {
+                    cycles: cycles * nodes as u64,
+                    ..RunRecord::default()
+                };
+                cells.push(AdaptiveCell {
+                    workload: w,
+                    protocol,
+                    nodes,
+                    record,
+                });
+            }
+        }
+        // adaptive_verdicts expects spec order (workload-major, then
+        // size, then protocol); re-sort the synthetic cells to match.
+        cells.sort_by_key(|c| {
+            (
+                c.nodes,
+                ADAPTIVE_PROTOCOLS.iter().position(|&p| p == c.protocol),
+            )
+        });
+        let verdicts = adaptive_verdicts(&cells);
+        assert_eq!(verdicts.len(), 1);
+        let v = &verdicts[0];
+        assert_eq!(v.invalidate_cycles, 100 * 80);
+        assert_eq!(v.update_cycles, 180 * 80);
+        assert_eq!(v.adaptive_cycles, 103 * 80);
+        assert_eq!(v.best_static(), 100 * 80);
+        assert!(v.vs_best_static() > 1.02 && v.vs_best_static() < 1.04);
+        assert!(v.beats_worst_static());
+    }
+
+    #[test]
+    #[should_panic(expected = "bar is 1.05x")]
+    fn adaptive_criterion_rejects_a_slow_adaptive() {
+        let w = WorkloadKind::Broadcast {
+            blocks: 8,
+            rounds: 10,
+            scans: 2,
+        };
+        assert_adaptive_criterion(&[AdaptiveVerdict {
+            workload: w,
+            invalidate_cycles: 100,
+            update_cycles: 90,
+            adaptive_cycles: 120,
+        }]);
     }
 
     #[test]

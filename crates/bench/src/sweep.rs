@@ -96,6 +96,15 @@ impl SweepConfig {
                 net.vc_credits,
             );
         }
+        // Same idiom for the adaptive-protocol thresholds: the segment
+        // appears only when they differ from the defaults.
+        if m.protocol.adapt_nondefault() {
+            let _ = write!(
+                key,
+                "|ap={{up={},down={},sat={}}}",
+                m.protocol.adapt_flip_up, m.protocol.adapt_flip_down, m.protocol.adapt_saturation,
+            );
+        }
         key
     }
 
@@ -134,6 +143,18 @@ pub fn workload_key(w: &WorkloadKind) -> String {
         WorkloadKind::Sharing { blocks, rounds } => format!("sharing{{b={blocks},r={rounds}}}"),
         WorkloadKind::Migratory { blocks, rounds } => format!("migratory{{b={blocks},r={rounds}}}"),
         WorkloadKind::Storm { words, passes } => format!("storm{{w={words},p={passes}}}"),
+        WorkloadKind::PcPipeline { buffers, rounds } => {
+            format!("pcpipe{{b={buffers},r={rounds}}}")
+        }
+        WorkloadKind::TokenRing { tokens, laps } => format!("tokenring{{t={tokens},l={laps}}}"),
+        WorkloadKind::Broadcast {
+            blocks,
+            rounds,
+            scans,
+        } => format!("broadcast{{b={blocks},r={rounds},s={scans}}}"),
+        WorkloadKind::FalseShare { blocks, rounds } => {
+            format!("falseshare{{b={blocks},r={rounds}}}")
+        }
     }
 }
 
@@ -183,7 +204,7 @@ impl SweepSpec {
 }
 
 /// The deterministic, serializable outcome of one config's simulation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RunRecord {
     pub key: String,
     pub config_hash: u64,
@@ -216,6 +237,16 @@ pub struct RunRecord {
     pub events: u64,
     /// Event-queue high-water mark (deterministic schedule property).
     pub peak_queue_depth: u64,
+    /// Adaptive-protocol pattern samples and mode flips. All zero for
+    /// static protocols, and serialized only when non-zero, so every
+    /// pre-adaptive record and golden file keeps its exact bytes.
+    pub pattern_producer_consumer: u64,
+    pub pattern_read_mostly: u64,
+    pub pattern_migratory: u64,
+    pub pattern_write_shared: u64,
+    pub pattern_private: u64,
+    pub mode_flips_to_update: u64,
+    pub mode_flips_to_invalidate: u64,
     pub net_messages: u64,
     pub net_bytes: u64,
     pub net_hops: u64,
@@ -274,6 +305,13 @@ impl RunRecord {
             max_controller_busy: s.max_controller_busy,
             events: s.events,
             peak_queue_depth: s.peak_queue_depth,
+            pattern_producer_consumer: s.pattern_producer_consumer,
+            pattern_read_mostly: s.pattern_read_mostly,
+            pattern_migratory: s.pattern_migratory,
+            pattern_write_shared: s.pattern_write_shared,
+            pattern_private: s.pattern_private,
+            mode_flips_to_update: s.mode_flips_to_update,
+            mode_flips_to_invalidate: s.mode_flips_to_invalidate,
             net_messages: n.messages,
             net_bytes: n.bytes,
             net_hops: n.total_hops,
@@ -340,6 +378,19 @@ impl RunRecord {
         json_u64(&mut out, "max_controller_busy", self.max_controller_busy);
         json_u64(&mut out, "events", self.events);
         json_u64(&mut out, "peak_queue_depth", self.peak_queue_depth);
+        for (name, v) in [
+            ("pattern_producer_consumer", self.pattern_producer_consumer),
+            ("pattern_read_mostly", self.pattern_read_mostly),
+            ("pattern_migratory", self.pattern_migratory),
+            ("pattern_write_shared", self.pattern_write_shared),
+            ("pattern_private", self.pattern_private),
+            ("mode_flips_to_update", self.mode_flips_to_update),
+            ("mode_flips_to_invalidate", self.mode_flips_to_invalidate),
+        ] {
+            if v > 0 {
+                json_u64(&mut out, name, v);
+            }
+        }
         json_u64(&mut out, "net_messages", self.net_messages);
         json_u64(&mut out, "net_bytes", self.net_bytes);
         json_u64(&mut out, "net_hops", self.net_hops);
@@ -427,6 +478,13 @@ impl RunRecord {
             max_controller_busy: get_u64("max_controller_busy")?,
             events: get_u64("events")?,
             peak_queue_depth: get_u64("peak_queue_depth")?,
+            pattern_producer_consumer: opt_u64("pattern_producer_consumer").unwrap_or(0),
+            pattern_read_mostly: opt_u64("pattern_read_mostly").unwrap_or(0),
+            pattern_migratory: opt_u64("pattern_migratory").unwrap_or(0),
+            pattern_write_shared: opt_u64("pattern_write_shared").unwrap_or(0),
+            pattern_private: opt_u64("pattern_private").unwrap_or(0),
+            mode_flips_to_update: opt_u64("mode_flips_to_update").unwrap_or(0),
+            mode_flips_to_invalidate: opt_u64("mode_flips_to_invalidate").unwrap_or(0),
             net_messages: get_u64("net_messages")?,
             net_bytes: get_u64("net_bytes")?,
             net_hops: get_u64("net_hops")?,

@@ -54,12 +54,41 @@ fn main() {
         shapes.push((3, 2));
     }
 
-    let params = ProtocolParams::default();
+    // The figure-set protocols under default parameters, plus the write-
+    // policy shapes the figure set does not cover: the update protocol at
+    // both pointer counts and the adaptive hybrid. The aggressive Schmitt
+    // thresholds (flip up at +1, back down below 0) force mode flips in
+    // the middle of explored histories, so the drained-transition
+    // machinery itself — not just each inner protocol — is model-checked.
+    let aggressive = ProtocolParams {
+        adapt_flip_up: 1,
+        adapt_flip_down: 0,
+        ..ProtocolParams::default()
+    };
+    let mut roster: Vec<(String, ProtocolKind, ProtocolParams)> = ProtocolKind::figure_set()
+        .into_iter()
+        .map(|kind| (kind.name(), kind, ProtocolParams::default()))
+        .collect();
+    for pointers in [1u32, 2] {
+        let kind = ProtocolKind::DirTreeUpdate { pointers, arity: 2 };
+        roster.push((kind.name(), kind, ProtocolParams::default()));
+    }
+    let adp2 = ProtocolKind::DirTreeAdaptive {
+        pointers: 2,
+        arity: 2,
+    };
+    roster.push((adp2.name(), adp2, ProtocolParams::default()));
+    roster.push((format!("{} up1/dn0", adp2.name()), adp2, aggressive));
+    let adp1 = ProtocolKind::DirTreeAdaptive {
+        pointers: 1,
+        arity: 2,
+    };
+    roster.push((format!("{} up1/dn0", adp1.name()), adp1, aggressive));
+
     let mut passed = 0u32;
     let mut failed = 0u32;
     let mut limited = 0u32;
-    for kind in ProtocolKind::figure_set() {
-        let name = kind.name();
+    for (name, kind, params) in roster {
         if let Some(f) = &filter {
             if !name.to_lowercase().contains(&f.to_lowercase()) {
                 continue;

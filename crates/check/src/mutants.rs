@@ -248,6 +248,18 @@ impl Protocol for Mutated {
     fn is_update(&self) -> bool {
         self.inner.is_update()
     }
+    fn is_update_for(&self, addr: Addr) -> bool {
+        self.inner.is_update_for(addr)
+    }
+    fn wants_read_hits(&self) -> bool {
+        self.inner.wants_read_hits()
+    }
+    fn note_read_hit(&mut self, node: NodeId, addr: Addr) {
+        self.inner.note_read_hit(node, addr);
+    }
+    fn note_op_retired(&mut self, node: NodeId, addr: Addr, op: OpKind) {
+        self.inner.note_op_retired(node, addr, op);
+    }
 
     fn boxed_clone(&self) -> Box<dyn Protocol> {
         Box::new(Mutated {

@@ -186,7 +186,7 @@ impl CheckState {
             OpKind::Read => self.ctx.verifier.on_read_fill(node, addr),
             OpKind::Write => {
                 let others = self.ctx.other_holders(addr, node);
-                if self.proto.is_update() {
+                if self.proto.is_update_for(addr) {
                     self.ctx
                         .verifier
                         .on_write_complete_update(node, addr, &others);
@@ -198,6 +198,7 @@ impl CheckState {
                 }
             }
         }
+        self.proto.note_op_retired(node, addr, op);
         Ok(())
     }
 
@@ -210,6 +211,9 @@ impl CheckState {
             ProcOp::Read(addr) => {
                 let st = self.line_state(node, addr);
                 if st.readable() {
+                    if self.proto.wants_read_hits() {
+                        self.proto.note_read_hit(node, addr);
+                    }
                     self.ctx
                         .verifier
                         .on_read_hit(node, addr)
@@ -225,7 +229,7 @@ impl CheckState {
                 let st = self.line_state(node, addr);
                 if st.writable() {
                     let others = self.ctx.other_holders(addr, node);
-                    if self.proto.is_update() {
+                    if self.proto.is_update_for(addr) {
                         self.ctx
                             .verifier
                             .on_write_complete_update(node, addr, &others);

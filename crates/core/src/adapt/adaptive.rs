@@ -1,0 +1,576 @@
+//! `DirTreeAdaptive` — per-block hybrid of the invalidate and update
+//! Dir<sub>i</sub>Tree<sub>k</sub> variants.
+//!
+//! The protocol owns one instance of each static variant and a
+//! [`PatternDetector`]. Every block is in exactly one *mode* (invalidate by
+//! default); all of a block's directory and cache-side tree state lives in
+//! the instance matching its mode, and messages are routed by kind — wave
+//! traffic (`Inv`/`Update`/...) goes to the variant that generates it,
+//! mode-ambiguous traffic (`ReadReply`, `FillAck`, `ReplaceInv`, ...) to
+//! the block's current owner, which is well-defined because the mode cannot
+//! change while any message for the block is in flight.
+//!
+//! **Transition-drain rule.** A block flips only when the home is about to
+//! serve a fresh request for it and the block is *drained*: zero in-flight
+//! messages (counted by wrapping the [`ProtoCtx`] the inner protocols see),
+//! zero pending processor-op retirements (so a write completed under the
+//! old mode also *retires* under it), no open home transaction, no open ack
+//! collection, no pending writeback, and a clean directory entry — an
+//! exclusive owner must write back before its block can become an update
+//! block. The sharer forest (directory roots, cache child edges, *and*
+//! zombie edges) carries across verbatim: both variants build identical
+//! Figure-6 forests, and [`Protocol::check_invariants`] pins that at every
+//! explored state the non-owning instance holds no state for the block and
+//! the owning instance's reachability invariants hold.
+
+use crate::adapt::detector::PatternDetector;
+use crate::ctx::{ProtoCtx, ProtoEvent};
+use crate::dir::dir_tree::DirTree;
+use crate::dir::dir_tree_update::DirTreeUpdate;
+use crate::msg::{Msg, MsgKind};
+use crate::protocol::{ptr_bits, Protocol, ProtocolKind, ProtocolParams};
+use crate::types::{Addr, LineState, NodeId, OpKind};
+use dirtree_sim::{Cycle, FxHashMap, FxHashSet};
+
+/// The adaptive hybrid protocol (see module docs).
+#[derive(Clone)]
+pub struct DirTreeAdaptive {
+    pointers: u32,
+    arity: u32,
+    inv: DirTree,
+    upd: DirTreeUpdate,
+    /// Blocks currently in update mode (absent = invalidate, the default).
+    update_mode: FxHashSet<Addr>,
+    detector: PatternDetector,
+    /// In-flight message count per block: incremented when an inner
+    /// protocol sends or redelivers, decremented on every arrival. A block
+    /// may only flip at zero.
+    inflight: FxHashMap<Addr, u32>,
+    /// Completions handed to the machine whose processor-side retirement
+    /// has not been confirmed yet ([`Protocol::note_op_retired`]). A write
+    /// that completed under update semantics must also retire under them,
+    /// so a block may only flip at zero.
+    pending_retire: FxHashMap<Addr, u32>,
+    /// Machine size, latched from the context (the detector sizes reader
+    /// bitsets with it). Constant per machine, so not fingerprinted.
+    nodes: u32,
+}
+
+/// The [`ProtoCtx`] the inner protocols see: counts sends/redeliveries and
+/// completions per block so the outer protocol knows when a block is
+/// drained; everything else passes through.
+struct CountingCtx<'a> {
+    inner: &'a mut dyn ProtoCtx,
+    inflight: &'a mut FxHashMap<Addr, u32>,
+    pending_retire: &'a mut FxHashMap<Addr, u32>,
+}
+
+impl ProtoCtx for CountingCtx<'_> {
+    fn now(&self) -> Cycle {
+        self.inner.now()
+    }
+    fn num_nodes(&self) -> u32 {
+        self.inner.num_nodes()
+    }
+    fn home_of(&self, addr: Addr) -> NodeId {
+        self.inner.home_of(addr)
+    }
+    fn send(&mut self, dst: NodeId, msg: Msg) {
+        *self.inflight.entry(msg.addr).or_insert(0) += 1;
+        self.inner.send(dst, msg);
+    }
+    fn redeliver(&mut self, node: NodeId, msg: Msg, delay: Cycle) {
+        *self.inflight.entry(msg.addr).or_insert(0) += 1;
+        self.inner.redeliver(node, msg, delay);
+    }
+    fn occupy(&mut self, node: NodeId, cycles: Cycle) {
+        self.inner.occupy(node, cycles);
+    }
+    fn line_state(&self, node: NodeId, addr: Addr) -> LineState {
+        self.inner.line_state(node, addr)
+    }
+    fn set_line_state(&mut self, node: NodeId, addr: Addr, state: LineState) {
+        self.inner.set_line_state(node, addr, state);
+    }
+    fn complete(&mut self, node: NodeId, addr: Addr, op: OpKind) {
+        *self.pending_retire.entry(addr).or_insert(0) += 1;
+        self.inner.complete(node, addr, op);
+    }
+    fn note(&mut self, event: ProtoEvent) {
+        self.inner.note(event);
+    }
+}
+
+macro_rules! counting {
+    ($self:ident, $ctx:ident) => {
+        CountingCtx {
+            inner: $ctx,
+            inflight: &mut $self.inflight,
+            pending_retire: &mut $self.pending_retire,
+        }
+    };
+}
+
+impl DirTreeAdaptive {
+    pub fn new(pointers: u32, arity: u32, params: ProtocolParams) -> Self {
+        Self {
+            pointers,
+            arity,
+            inv: DirTree::new(pointers, arity, params),
+            upd: DirTreeUpdate::new(pointers, arity, params),
+            update_mode: FxHashSet::default(),
+            detector: PatternDetector::new(
+                params.adapt_flip_up,
+                params.adapt_flip_down,
+                params.adapt_saturation,
+            ),
+            inflight: FxHashMap::default(),
+            pending_retire: FxHashMap::default(),
+            nodes: 0,
+        }
+    }
+
+    /// Is `addr` currently an update-mode block?
+    pub fn in_update_mode(&self, addr: Addr) -> bool {
+        self.update_mode.contains(&addr)
+    }
+
+    /// Current detector score for `addr` (diagnostics / tests).
+    pub fn score(&self, addr: Addr) -> i32 {
+        self.detector.score(addr)
+    }
+
+    /// Force `addr`'s mode bit *without* the drain check or state transfer.
+    /// This is a fault injector for the mutation tests — flipping mid-wave
+    /// makes a completing write retire under the wrong semantics, which the
+    /// SWMR witness must catch. Never called by the protocol itself.
+    #[doc(hidden)]
+    pub fn force_mode(&mut self, addr: Addr, update: bool) {
+        if update {
+            self.update_mode.insert(addr);
+        } else {
+            self.update_mode.remove(&addr);
+        }
+    }
+
+    fn note_arrival(&mut self, addr: Addr) {
+        match self.inflight.get_mut(&addr) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.inflight.remove(&addr);
+            }
+            None => debug_assert!(false, "uncounted message arrived for {addr:#x}"),
+        }
+    }
+
+    fn gate_busy(&self, addr: Addr) -> bool {
+        if self.update_mode.contains(&addr) {
+            !self.upd.flip_idle(addr)
+        } else {
+            !self.inv.flip_idle(addr)
+        }
+    }
+
+    /// Flip `addr`'s mode if the detector wants the other policy and the
+    /// block is drained (see module docs). Called while the home serves a
+    /// fresh `ReadReq`/`WriteReq` for the block, *before* routing it.
+    fn maybe_flip(&mut self, ctx: &mut dyn ProtoCtx, addr: Addr) {
+        let in_update = self.update_mode.contains(&addr);
+        if self.detector.prefers_update(addr, in_update) == in_update {
+            return;
+        }
+        if self.inflight.contains_key(&addr) || self.pending_retire.contains_key(&addr) {
+            return;
+        }
+        if in_update {
+            if !self.upd.flip_idle(addr) {
+                return;
+            }
+            debug_assert!(!self.inv.has_block_state(addr));
+            let x = self.upd.take_block(addr);
+            self.inv.install_block(addr, x);
+            self.update_mode.remove(&addr);
+        } else {
+            if !self.inv.flip_idle(addr) {
+                return;
+            }
+            debug_assert!(!self.upd.has_block_state(addr));
+            let x = self.inv.take_block(addr);
+            self.upd.install_block(addr, x);
+            self.update_mode.insert(addr);
+        }
+        ctx.note(ProtoEvent::ModeFlip {
+            to_update: !in_update,
+        });
+    }
+
+    fn route_mode(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        let addr = msg.addr;
+        let mut c = counting!(self, ctx);
+        if self.update_mode.contains(&addr) {
+            self.upd.handle(&mut c, node, msg);
+        } else {
+            self.inv.handle(&mut c, node, msg);
+        }
+    }
+}
+
+impl Protocol for DirTreeAdaptive {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::DirTreeAdaptive {
+            pointers: self.pointers,
+            arity: self.arity,
+        }
+    }
+
+    fn is_update_for(&self, addr: Addr) -> bool {
+        self.update_mode.contains(&addr)
+    }
+
+    fn wants_read_hits(&self) -> bool {
+        true
+    }
+
+    fn note_read_hit(&mut self, node: NodeId, addr: Addr) {
+        debug_assert!(self.nodes > 0, "read hit before any miss");
+        self.detector.record_read(addr, node, self.nodes);
+    }
+
+    fn note_op_retired(&mut self, node: NodeId, addr: Addr, op: OpKind) {
+        let _ = (node, op);
+        match self.pending_retire.get_mut(&addr) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.pending_retire.remove(&addr);
+            }
+            None => debug_assert!(false, "retire without completion for {addr:#x}"),
+        }
+    }
+
+    fn start_miss(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, op: OpKind) {
+        self.nodes = ctx.num_nodes();
+        let mut c = counting!(self, ctx);
+        if self.update_mode.contains(&addr) {
+            self.upd.start_miss(&mut c, node, addr, op);
+        } else {
+            self.inv.start_miss(&mut c, node, addr, op);
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, msg: Msg) {
+        self.nodes = ctx.num_nodes();
+        let addr = msg.addr;
+        self.note_arrival(addr);
+        match msg.kind {
+            // Fresh requests at the home: feed the detector, consider a
+            // mode flip, then serve under the (possibly new) mode. Reads
+            // are recorded even when the request will be deferred by the
+            // transaction gate (the reader set is idempotent); writes are
+            // classified only when actually admitted, so each write
+            // transaction closes exactly one interval.
+            MsgKind::ReadReq { requester } => {
+                self.detector.record_read(addr, requester, self.nodes);
+                if !self.gate_busy(addr) {
+                    self.maybe_flip(ctx, addr);
+                }
+                self.route_mode(ctx, node, msg);
+            }
+            MsgKind::WriteReq { requester } => {
+                if !self.gate_busy(addr) {
+                    let pattern = self.detector.record_write(addr, requester, self.nodes);
+                    ctx.note(ProtoEvent::PatternSample(pattern));
+                    self.maybe_flip(ctx, addr);
+                }
+                self.route_mode(ctx, node, msg);
+            }
+            // Wave traffic is unambiguous: only one variant generates it.
+            MsgKind::Update { .. } | MsgKind::UpdateAck { .. } | MsgKind::UpdateGrant { .. } => {
+                let mut c = counting!(self, ctx);
+                self.upd.handle(&mut c, node, msg);
+            }
+            MsgKind::Inv { .. }
+            | MsgKind::InvAck { .. }
+            | MsgKind::WriteReply { .. }
+            | MsgKind::WbReq { .. }
+            | MsgKind::WbData { .. }
+            | MsgKind::WbEvict => {
+                let mut c = counting!(self, ctx);
+                self.inv.handle(&mut c, node, msg);
+            }
+            // Mode-ambiguous kinds route to the block's current owner —
+            // well-defined because the mode cannot flip while any message
+            // for the block (including this one) is in flight.
+            MsgKind::ReadReply { .. }
+            | MsgKind::FillAck
+            | MsgKind::ReplaceInv
+            | MsgKind::ReplNotify => self.route_mode(ctx, node, msg),
+            other => unreachable!("DirTreeAdaptive received {other:?}"),
+        }
+    }
+
+    fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
+        self.nodes = ctx.num_nodes();
+        debug_assert!(
+            !(self.update_mode.contains(&addr) && state == LineState::E),
+            "exclusive copy of an update-mode block"
+        );
+        let mut c = counting!(self, ctx);
+        if self.update_mode.contains(&addr) {
+            self.upd.evict(&mut c, node, addr, state);
+        } else {
+            self.inv.evict(&mut c, node, addr, state);
+        }
+    }
+
+    fn dir_bits_per_mem_block(&self, nodes: u32) -> u64 {
+        // Tree directory + detector state: reader bitset, last-writer
+        // pointer, 4-bit saturating score, and the mode bit.
+        self.inv.dir_bits_per_mem_block(nodes) + nodes as u64 + ptr_bits(nodes) + 5
+    }
+
+    fn cache_bits_per_line(&self, nodes: u32) -> u64 {
+        self.inv.cache_bits_per_line(nodes)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        use crate::fingerprint::{digest_map, digest_set};
+        self.inv.fingerprint(h);
+        self.upd.fingerprint(h);
+        digest_set(h, &self.update_mode);
+        digest_map(h, &self.inflight);
+        digest_map(h, &self.pending_retire);
+        self.detector.digest(h);
+    }
+
+    fn check_invariants(
+        &self,
+        ctx: &dyn ProtoCtx,
+        addrs: &[Addr],
+        quiescent: bool,
+    ) -> Result<(), String> {
+        let (upd_addrs, inv_addrs): (Vec<Addr>, Vec<Addr>) =
+            addrs.iter().partition(|a| self.update_mode.contains(*a));
+        self.inv.check_invariants(ctx, &inv_addrs, quiescent)?;
+        self.upd.check_invariants(ctx, &upd_addrs, quiescent)?;
+        for &addr in addrs {
+            let in_update = self.update_mode.contains(&addr);
+            let stray = if in_update {
+                self.inv.has_block_state(addr)
+            } else {
+                self.upd.has_block_state(addr)
+            };
+            if stray {
+                return Err(format!(
+                    "block {addr:#x} is in {} mode but the {} instance holds state for it",
+                    if in_update { "update" } else { "invalidate" },
+                    if in_update { "invalidate" } else { "update" },
+                ));
+            }
+            if in_update {
+                for n in 0..ctx.num_nodes() {
+                    if ctx.line_state(n, addr) == LineState::E {
+                        return Err(format!(
+                            "update-mode block {addr:#x} has an exclusive copy at {n}"
+                        ));
+                    }
+                }
+            }
+        }
+        if quiescent {
+            if let Some((&addr, &c)) = self.inflight.iter().next() {
+                return Err(format!(
+                    "quiescent but {c} in-flight messages counted for {addr:#x}"
+                ));
+            }
+            if let Some((&addr, &c)) = self.pending_retire.iter().next() {
+                return Err(format!(
+                    "quiescent but {c} unretired completions counted for {addr:#x}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::MockCtx;
+
+    const A: Addr = 0;
+    const P: u32 = 16;
+
+    fn adaptive() -> DirTreeAdaptive {
+        DirTreeAdaptive::new(4, 2, ProtocolParams::default())
+    }
+
+    /// Mirror the machine: confirm retirement of every completion the mock
+    /// logged since `from` (MockCtx itself has no retirement notion).
+    fn retire(ctx: &MockCtx, p: &mut DirTreeAdaptive, from: usize) {
+        for (n, a, op) in ctx.completed[from..].iter().copied() {
+            p.note_op_retired(n, a, op);
+        }
+    }
+
+    /// A read that mirrors the machine's hit path: hits feed
+    /// `note_read_hit`, misses run to completion and retire.
+    fn do_read(ctx: &mut MockCtx, p: &mut DirTreeAdaptive, node: NodeId, addr: Addr) {
+        if ctx.line_state(node, addr).readable() {
+            p.note_read_hit(node, addr);
+            return;
+        }
+        let m = ctx.completed.len();
+        ctx.read(p, node, addr);
+        retire(ctx, p, m);
+    }
+
+    /// A write that runs to completion under either mode and retires;
+    /// returns the writer's final line state.
+    fn do_write(ctx: &mut MockCtx, p: &mut DirTreeAdaptive, node: NodeId, addr: Addr) -> LineState {
+        if ctx.line_state(node, addr).writable() {
+            return ctx.line_state(node, addr);
+        }
+        let m = ctx.completed.len();
+        ctx.begin_miss(p, node, addr, OpKind::Write);
+        ctx.run(p);
+        assert!(
+            ctx.completed[m..].contains(&(node, addr, OpKind::Write)),
+            "write by {node} did not complete"
+        );
+        retire(ctx, p, m);
+        ctx.line_state(node, addr)
+    }
+
+    #[test]
+    fn read_mostly_block_flips_to_update_and_keeps_copies_valid() {
+        let (mut ctx, mut p) = (MockCtx::new(P), adaptive());
+        // Interval 1: eight readers (half the machine), then a write. The
+        // score reaches +1 — still invalidate mode, so the write kills
+        // every reader and leaves the writer exclusive.
+        for n in 1..=8 {
+            do_read(&mut ctx, &mut p, n, A);
+        }
+        assert_eq!(do_write(&mut ctx, &mut p, 0, A), LineState::E);
+        assert!(!p.in_update_mode(A));
+        assert_eq!(ctx.holders(A), vec![0]);
+        // Interval 2: same pattern. Score reaches +2 = flip threshold; the
+        // write is served in update mode and every copy stays valid.
+        for n in 1..=8 {
+            do_read(&mut ctx, &mut p, n, A);
+        }
+        assert_eq!(do_write(&mut ctx, &mut p, 0, A), LineState::V);
+        assert!(p.in_update_mode(A));
+        assert!(p.is_update_for(A));
+        assert_eq!(ctx.holders(A).len(), 9, "8 readers + writer all valid");
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn private_rmw_stays_invalidate_with_exclusive_owner() {
+        let (mut ctx, mut p) = (MockCtx::new(P), adaptive());
+        assert_eq!(do_write(&mut ctx, &mut p, 3, A), LineState::E);
+        for _ in 0..10 {
+            // Write hits on the exclusive copy: no traffic at all.
+            let mark = ctx.mark();
+            assert_eq!(do_write(&mut ctx, &mut p, 3, A), LineState::E);
+            assert_eq!(ctx.sent_since(mark).len(), 0);
+        }
+        assert!(!p.in_update_mode(A));
+    }
+
+    #[test]
+    fn migratory_token_stays_invalidate() {
+        let (mut ctx, mut p) = (MockCtx::new(P), adaptive());
+        do_write(&mut ctx, &mut p, 0, A);
+        for hop in 1..8 {
+            do_read(&mut ctx, &mut p, hop, A);
+            assert_eq!(do_write(&mut ctx, &mut p, hop, A), LineState::E);
+        }
+        assert!(!p.in_update_mode(A));
+        assert!(p.score(A) < 0);
+    }
+
+    #[test]
+    fn update_block_flips_back_when_pattern_turns_write_shared() {
+        let (mut ctx, mut p) = (MockCtx::new(P), adaptive());
+        for round in 0..2 {
+            let _ = round;
+            for n in 1..=8 {
+                do_read(&mut ctx, &mut p, n, A);
+            }
+            do_write(&mut ctx, &mut p, 0, A);
+        }
+        assert!(p.in_update_mode(A));
+        // Ping-pong writes with no reads: write-shared, score falls from
+        // +2; at -2 the block flips back mid-stream and that write runs as
+        // an invalidation wave over the carried-over tree.
+        let mut final_state = LineState::V;
+        for i in 0..4 {
+            final_state = do_write(&mut ctx, &mut p, 5 + (i % 2), A);
+        }
+        assert!(!p.in_update_mode(A), "flipped back to invalidate");
+        assert_eq!(final_state, LineState::E, "last write ran as invalidate");
+        assert_eq!(ctx.holders(A).len(), 1, "carried tree was invalidated");
+        ctx.assert_swmr(A);
+    }
+
+    #[test]
+    fn flip_carries_the_whole_forest_updates_reach_every_sharer() {
+        let (mut ctx, mut p) = (MockCtx::new(32), adaptive());
+        // Figure-5 style forest: 15 sharers with real tree depth, built
+        // under invalidate mode across two read-mostly intervals.
+        for round in 0..2 {
+            let _ = round;
+            for n in 1..=15 {
+                do_read(&mut ctx, &mut p, n, A);
+            }
+            do_write(&mut ctx, &mut p, 16, A);
+        }
+        assert!(p.in_update_mode(A));
+        for n in 1..=15 {
+            do_read(&mut ctx, &mut p, n, A);
+        }
+        // One more write in update mode: every one of the 15 sharers must
+        // receive an Update — possible only if the child edges built by
+        // the invalidate instance carried across the flip intact.
+        let mark = ctx.mark();
+        do_write(&mut ctx, &mut p, 16, A);
+        let updates = ctx
+            .sent_since(mark)
+            .iter()
+            .filter(|(_, m)| matches!(m.kind, MsgKind::Update { .. }))
+            .count();
+        assert!(updates >= 15, "updates reached {updates}/15+ sharers");
+        assert!(ctx.holders(A).len() >= 16);
+    }
+
+    #[test]
+    fn state_lives_in_exactly_one_instance() {
+        let (mut ctx, mut p) = (MockCtx::new(P), adaptive());
+        for round in 0..2 {
+            let _ = round;
+            for n in 1..=8 {
+                do_read(&mut ctx, &mut p, n, A);
+            }
+            do_write(&mut ctx, &mut p, 0, A);
+        }
+        assert!(p.in_update_mode(A));
+        assert!(!p.inv.has_block_state(A), "invalidate instance drained");
+        assert!(p.upd.has_block_state(A));
+        p.check_invariants(&ctx, &[A], true).unwrap();
+    }
+
+    #[test]
+    fn forced_mid_stream_mode_bit_is_what_the_mutant_tests_exploit() {
+        let mut p = adaptive();
+        assert!(!p.is_update_for(A));
+        p.force_mode(A, true);
+        assert!(p.is_update_for(A));
+        p.force_mode(A, false);
+        assert!(!p.is_update_for(A));
+    }
+}

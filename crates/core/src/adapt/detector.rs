@@ -1,0 +1,295 @@
+//! Per-block sharing-pattern detection at the home directory.
+//!
+//! The detector watches the per-block request stream the home already
+//! serializes (every `ReadReq`/`WriteReq`, plus read-hit notes forwarded by
+//! the machine for blocks whose copies are being kept alive by updates) and
+//! classifies each *write interval* — the reads observed since the previous
+//! write — into one of five [`SharingPattern`]s. Each classification nudges
+//! a saturating per-block score: patterns that profit from update writes
+//! (producer–consumer, read-mostly) push it up, patterns that profit from
+//! invalidation (migratory, write-shared, private) push it down. The
+//! protocol flips a block to update mode only when the score crosses
+//! `adapt_flip_up` and back only when it falls to `adapt_flip_down` — a
+//! Schmitt trigger, so a stream that alternates pattern every interval
+//! oscillates between two adjacent scores and never flips at all.
+
+use crate::dir::util::NodeSet;
+use crate::fingerprint::digest_map;
+use crate::types::{Addr, NodeId};
+use dirtree_sim::FxHashMap;
+
+/// How a block was shared during one write interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SharingPattern {
+    /// One (stable) writer, a few readers: consumers re-read what the
+    /// producer publishes, so updates turn their misses into hits.
+    ProducerConsumer,
+    /// Many readers between rare writes: the strongest case for updates.
+    ReadMostly,
+    /// The only reader of the interval becomes the next writer: the copy
+    /// migrates, old copies are dead weight — invalidate.
+    Migratory,
+    /// Writer follows writer with no reads between: updates would keep
+    /// pushing data to sharers that never read it — invalidate.
+    WriteShared,
+    /// Same writer, no readers: invalidation mode gives the writer an
+    /// exclusive copy and free write hits; update mode would pay a home
+    /// transaction per write.
+    Private,
+}
+
+impl SharingPattern {
+    /// Score nudge: positive favors update mode, negative invalidate mode.
+    pub fn score_delta(self) -> i32 {
+        match self {
+            SharingPattern::ProducerConsumer | SharingPattern::ReadMostly => 1,
+            SharingPattern::Migratory | SharingPattern::WriteShared | SharingPattern::Private => -1,
+        }
+    }
+}
+
+/// Per-block observation state: the readers of the current write interval,
+/// the last writer, and the running pattern score.
+#[derive(Clone, Debug, Hash)]
+struct BlockState {
+    readers: NodeSet,
+    last_writer: Option<NodeId>,
+    score: i32,
+}
+
+/// The per-block sharing-pattern detector (one per home-node protocol
+/// instance; blocks are keyed by address, so one detector serves every
+/// home).
+#[derive(Clone, Debug)]
+pub struct PatternDetector {
+    flip_up: i32,
+    flip_down: i32,
+    saturation: i32,
+    blocks: FxHashMap<Addr, BlockState>,
+}
+
+impl PatternDetector {
+    pub fn new(flip_up: i32, flip_down: i32, saturation: i32) -> Self {
+        assert!(
+            flip_down < flip_up,
+            "hysteresis thresholds must be ordered (down {flip_down} < up {flip_up})"
+        );
+        assert!(saturation >= flip_up.abs().max(flip_down.abs()));
+        Self {
+            flip_up,
+            flip_down,
+            saturation,
+            blocks: FxHashMap::default(),
+        }
+    }
+
+    fn block(&mut self, addr: Addr, nodes: u32) -> &mut BlockState {
+        self.blocks.entry(addr).or_insert_with(|| BlockState {
+            readers: NodeSet::new(nodes),
+            last_writer: None,
+            score: 0,
+        })
+    }
+
+    /// A read of `addr` by `reader` was observed (home request or machine
+    /// read-hit note). Idempotent within an interval: the reader set is a
+    /// bitset, so hot readers do not outweigh wide sharing.
+    pub fn record_read(&mut self, addr: Addr, reader: NodeId, nodes: u32) {
+        self.block(addr, nodes).readers.insert(reader);
+    }
+
+    /// A write of `addr` by `writer` closed the current interval: classify
+    /// it, fold it into the score, and start the next interval.
+    pub fn record_write(&mut self, addr: Addr, writer: NodeId, nodes: u32) -> SharingPattern {
+        let sat = self.saturation;
+        let b = self.block(addr, nodes);
+        let r = b.readers.len();
+        let writer_changed = b.last_writer != Some(writer);
+        let pattern = if r == 0 {
+            if writer_changed && b.last_writer.is_some() {
+                SharingPattern::WriteShared
+            } else {
+                SharingPattern::Private
+            }
+        } else if r == 1 && b.readers.contains(writer) && writer_changed {
+            SharingPattern::Migratory
+        } else if u64::from(r) >= 2.max(u64::from(nodes) / 2) {
+            SharingPattern::ReadMostly
+        } else {
+            SharingPattern::ProducerConsumer
+        };
+        b.score = (b.score + pattern.score_delta()).clamp(-sat, sat);
+        b.last_writer = Some(writer);
+        b.readers.clear();
+        pattern
+    }
+
+    /// Which mode does the detector want for `addr`, given the block's
+    /// current mode? The Schmitt trigger: an invalidate-mode block flips up
+    /// only at `score >= flip_up`; an update-mode block flips down only at
+    /// `score <= flip_down`.
+    pub fn prefers_update(&self, addr: Addr, currently_update: bool) -> bool {
+        let score = self.blocks.get(&addr).map_or(0, |b| b.score);
+        if currently_update {
+            score > self.flip_down
+        } else {
+            score >= self.flip_up
+        }
+    }
+
+    /// Current score (diagnostics / tests).
+    pub fn score(&self, addr: Addr) -> i32 {
+        self.blocks.get(&addr).map_or(0, |b| b.score)
+    }
+
+    /// Canonical digest of the full detector state (model-checker support).
+    pub fn digest(&self, h: &mut dyn std::hash::Hasher) {
+        digest_map(h, &self.blocks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: u32 = 16;
+
+    fn det() -> PatternDetector {
+        // The protocol's defaults: flip up at +2, down at -2, saturate at 4.
+        PatternDetector::new(2, -2, 4)
+    }
+
+    #[test]
+    fn producer_consumer_stream_classifies_and_flips_up() {
+        let mut d = det();
+        // Producer 0 writes, consumers 1..3 read, repeatedly.
+        for round in 0..3 {
+            for c in 1..4 {
+                d.record_read(100, c, P);
+            }
+            let p = d.record_write(100, 0, P);
+            let _ = round;
+            assert_eq!(p, SharingPattern::ProducerConsumer);
+        }
+        assert!(d.score(100) >= 2);
+        assert!(d.prefers_update(100, false), "flip to update");
+    }
+
+    #[test]
+    fn read_mostly_needs_wide_reader_set() {
+        let mut d = det();
+        for r in 1..=(P / 2) {
+            d.record_read(7, r, P);
+        }
+        assert_eq!(d.record_write(7, 0, P), SharingPattern::ReadMostly);
+        // One fewer reader than half the machine: producer–consumer.
+        for r in 1..(P / 2) {
+            d.record_read(8, r, P);
+        }
+        assert_eq!(d.record_write(8, 0, P), SharingPattern::ProducerConsumer);
+    }
+
+    #[test]
+    fn migratory_token_stays_invalidate() {
+        let mut d = det();
+        // Token ring: each node reads the block then writes it.
+        let mut prev = 0;
+        d.record_write(9, prev, P);
+        for hop in 1..10 {
+            let n = hop % P;
+            d.record_read(9, n, P);
+            let p = d.record_write(9, n, P);
+            assert_eq!(p, SharingPattern::Migratory, "hop {hop} from {prev}");
+            prev = n;
+        }
+        assert!(!d.prefers_update(9, false));
+        assert_eq!(d.score(9), -4, "saturates, does not run away");
+    }
+
+    #[test]
+    fn write_shared_and_private_classify() {
+        let mut d = det();
+        assert_eq!(d.record_write(1, 3, P), SharingPattern::Private);
+        assert_eq!(d.record_write(1, 3, P), SharingPattern::Private);
+        assert_eq!(d.record_write(1, 4, P), SharingPattern::WriteShared);
+        assert_eq!(d.record_write(1, 3, P), SharingPattern::WriteShared);
+    }
+
+    #[test]
+    fn hysteresis_no_flapping_on_alternating_patterns() {
+        let mut d = det();
+        let mut update = false;
+        // Alternate a +1 interval (producer–consumer) with a -1 interval
+        // (write-shared) forever: the score oscillates between 0 and 1 and
+        // the mode never changes.
+        for _ in 0..50 {
+            d.record_read(5, 1, P);
+            d.record_read(5, 2, P);
+            d.record_write(5, 0, P); // producer-consumer: +1
+            if d.prefers_update(5, update) != update {
+                update = !update;
+            }
+            d.record_write(5, 9, P); // write-shared (writer change, no reads): -1
+            if d.prefers_update(5, update) != update {
+                update = !update;
+            }
+            assert!(!update, "alternating pattern must not flip the mode");
+            assert!((-2..=2).contains(&d.score(5)));
+        }
+    }
+
+    #[test]
+    fn established_pattern_unlearns_in_bounded_time() {
+        let mut d = det();
+        // Long read-mostly prefix saturates at +4.
+        for _ in 0..20 {
+            for r in 1..P {
+                d.record_read(3, r, P);
+            }
+            d.record_write(3, 0, P);
+        }
+        assert_eq!(d.score(3), 4);
+        assert!(d.prefers_update(3, true));
+        // Then the block turns write-shared: must flip down within
+        // saturation + |flip_down| = 6 intervals, not 20.
+        let mut flips_after = None;
+        for i in 0..8 {
+            d.record_write(3, (i % 2) as u32 + 1, P);
+            if !d.prefers_update(3, true) {
+                flips_after = Some(i + 1);
+                break;
+            }
+        }
+        assert_eq!(flips_after, Some(6));
+    }
+
+    #[test]
+    fn schmitt_trigger_band_is_sticky_in_both_directions() {
+        let mut d = det();
+        // Score 1: an invalidate block stays invalidate...
+        d.record_read(2, 1, P);
+        d.record_read(2, 4, P);
+        d.record_write(2, 0, P);
+        assert_eq!(d.score(2), 1);
+        assert!(!d.prefers_update(2, false));
+        // ...but an update block (same score) stays update.
+        assert!(d.prefers_update(2, true));
+    }
+
+    #[test]
+    fn digest_tracks_state() {
+        use std::hash::Hasher;
+        let mut a = det();
+        let mut b = det();
+        let run = |d: &PatternDetector| {
+            let mut h = dirtree_sim::hash::FxHasher::default();
+            d.digest(&mut h);
+            h.finish()
+        };
+        assert_eq!(run(&a), run(&b));
+        a.record_read(1, 1, P);
+        assert_ne!(run(&a), run(&b), "reader sets are part of the digest");
+        b.record_read(1, 1, P);
+        assert_eq!(run(&a), run(&b));
+    }
+}

@@ -27,6 +27,14 @@ pub enum ProtoEvent {
     /// A single lowest-level tree was pushed down under a new requester
     /// (Dir_iTree_k read-miss case 4).
     TreePushDown,
+    /// The adaptive hybrid's home-side detector classified one write
+    /// interval of a block ([`crate::adapt`]).
+    PatternSample(crate::adapt::SharingPattern),
+    /// The adaptive hybrid flipped a block's write policy.
+    ModeFlip {
+        /// `true`: invalidate → update; `false`: update → invalidate.
+        to_update: bool,
+    },
 }
 
 /// Machine services available to a protocol handler.

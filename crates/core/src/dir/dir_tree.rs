@@ -69,6 +69,35 @@ pub struct Ptr {
     pub level: u32,
 }
 
+/// One block's transferable tree state — directory roots, cache-side child
+/// edges, zombie edges — moved verbatim between the invalidate and update
+/// protocol instances when the adaptive hybrid flips the block's write
+/// policy. Both variants build Figure-6 forests with identical metadata, so
+/// a drained block's tree is meaningful to either.
+#[derive(Debug, Default)]
+pub(crate) struct BlockXfer {
+    pub(crate) ptrs: Vec<Option<Ptr>>,
+    pub(crate) children: Vec<(NodeId, Vec<NodeId>)>,
+    pub(crate) zombies: Vec<(NodeId, Vec<NodeId>)>,
+}
+
+/// Remove every `(node, addr)` entry matching `addr` from a per-node edge
+/// map, returned sorted by node (the map is unordered; sorting keeps the
+/// transfer deterministic for debugging even though reinsertion into a map
+/// erases the order again).
+pub(crate) fn drain_addr(
+    map: &mut FxHashMap<(NodeId, Addr), Vec<NodeId>>,
+    addr: Addr,
+) -> Vec<(NodeId, Vec<NodeId>)> {
+    let keys: Vec<NodeId> = map.keys().filter(|k| k.1 == addr).map(|k| k.0).collect();
+    let mut out: Vec<(NodeId, Vec<NodeId>)> = keys
+        .into_iter()
+        .map(|n| (n, map.remove(&(n, addr)).unwrap()))
+        .collect();
+    out.sort_by_key(|(n, _)| *n);
+    out
+}
+
 #[derive(Clone, Default, Hash)]
 struct Entry {
     dirty: bool,
@@ -172,6 +201,73 @@ impl DirTree {
             .get(&(node, addr))
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+
+    /// No home transaction, no ack collection, no pending writeback, clean
+    /// directory entry: the block is safe to hand to the other write policy
+    /// (the adaptive hybrid additionally requires zero in-flight messages).
+    /// A dirty block is *not* idle — the update variant has no exclusive
+    /// state, so the owner must write back before the block can flip.
+    pub(crate) fn flip_idle(&self, addr: Addr) -> bool {
+        !self.gate.has_traffic(addr)
+            && !self.collectors.open_at_addr(addr)
+            && !self.pending_wb.keys().any(|k| k.1 == addr)
+            && self.entries.get(&addr).is_none_or(|e| {
+                !e.dirty
+                    && e.pending.is_none()
+                    && e.wait_acks == 0
+                    && !e.wait_wb
+                    && !e.grant_self_root
+            })
+    }
+
+    /// Does this instance hold *any* state for `addr`? The adaptive hybrid
+    /// pins this to false for the instance that does not own the block.
+    pub(crate) fn has_block_state(&self, addr: Addr) -> bool {
+        self.entries.contains_key(&addr)
+            || self.gate.has_traffic(addr)
+            || self.collectors.open_at_addr(addr)
+            || self.pending_wb.keys().any(|k| k.1 == addr)
+            || self.children.keys().any(|k| k.1 == addr)
+            || self.zombies.keys().any(|k| k.1 == addr)
+    }
+
+    /// Remove and return the block's transferable tree state. Caller must
+    /// have checked [`Self::flip_idle`] (in particular the entry is clean,
+    /// so dropping `dirty`/`owner` loses nothing).
+    pub(crate) fn take_block(&mut self, addr: Addr) -> BlockXfer {
+        debug_assert!(self.flip_idle(addr));
+        let ptrs = self
+            .entries
+            .remove(&addr)
+            .map(|e| e.ptrs)
+            .unwrap_or_else(|| vec![None; self.pointers as usize]);
+        BlockXfer {
+            ptrs,
+            children: drain_addr(&mut self.children, addr),
+            zombies: drain_addr(&mut self.zombies, addr),
+        }
+    }
+
+    /// Install tree state taken from the other protocol instance.
+    pub(crate) fn install_block(&mut self, addr: Addr, x: BlockXfer) {
+        debug_assert!(!self.has_block_state(addr));
+        debug_assert_eq!(x.ptrs.len(), self.pointers as usize);
+        if x.ptrs.iter().any(Option::is_some) {
+            self.entries.insert(
+                addr,
+                Entry {
+                    ptrs: x.ptrs,
+                    ..Entry::default()
+                },
+            );
+        }
+        for (node, kids) in x.children {
+            self.children.insert((node, addr), kids);
+        }
+        for (node, kids) in x.zombies {
+            self.zombies.insert((node, addr), kids);
+        }
     }
 
     /// Silently disband `(node, addr)`'s subtree: one unacknowledged

@@ -14,15 +14,25 @@
 //! The home applies the value to memory when it processes the write, so
 //! memory is always current and reads are always served by the home in 2
 //! messages; there are no dirty recalls at all.
+//!
+//! Silent replacement keeps the same *zombie edge* discipline as the
+//! invalidation variant (see `dir_tree.rs`): a disbanding node retains its
+//! dead child edges until the next acked update wave re-traverses them.
+//! Without this, a `Replace_INV` still in flight to an ex-child races a
+//! completing write — the wave skips the disbanded subtree, the write
+//! retires, and the ex-child reads its stale copy until the `Replace_INV`
+//! lands. Per-pair FIFO orders the wave's `Update` behind the
+//! `Replace_INV`, so an acked re-traversal proves the subtree is dead (or
+//! has independently re-joined the forest).
 
 use crate::ctx::{ProtoCtx, ProtoEvent};
 use crate::dir::util::{AckCollectors, TxnGate};
 use crate::msg::{Msg, MsgKind};
 use crate::protocol::{ptr_bits, Protocol, ProtocolKind, ProtocolParams};
 use crate::types::{Addr, LineState, NodeId, OpKind};
-use dirtree_sim::FxHashMap;
+use dirtree_sim::{FxHashMap, FxHashSet};
 
-use super::dir_tree::Ptr;
+use super::dir_tree::{BlockXfer, Ptr};
 
 #[derive(Clone, Default, Hash)]
 struct Entry {
@@ -40,6 +50,13 @@ pub struct DirTreeUpdate {
     entries: FxHashMap<Addr, Entry>,
     gate: TxnGate,
     children: FxHashMap<(NodeId, Addr), Vec<NodeId>>,
+    /// Disbanded child edges awaiting one acked wave re-traversal.
+    zombies: FxHashMap<(NodeId, Addr), Vec<NodeId>>,
+    /// `Replace_INV`s that landed while the target's update grant was in
+    /// flight (state `WmIp`): the kill is deferred to grant time, because
+    /// the edge that led here is already gone — a copy the grant made
+    /// valid would be unreachable from the roots forever.
+    pending_kill: FxHashSet<(NodeId, Addr)>,
     collectors: AckCollectors,
 }
 
@@ -54,7 +71,93 @@ impl DirTreeUpdate {
             entries: FxHashMap::default(),
             gate: TxnGate::new(),
             children: FxHashMap::default(),
+            zombies: FxHashMap::default(),
+            pending_kill: FxHashSet::default(),
             collectors: AckCollectors::new(),
+        }
+    }
+
+    /// No home transaction, no ack collection, no pending write for `addr`:
+    /// the block is safe to hand to the other write policy (the adaptive
+    /// hybrid additionally requires zero in-flight messages).
+    pub(crate) fn flip_idle(&self, addr: Addr) -> bool {
+        !self.gate.has_traffic(addr)
+            && !self.collectors.open_at_addr(addr)
+            && !self.pending_kill.iter().any(|k| k.1 == addr)
+            && self
+                .entries
+                .get(&addr)
+                .is_none_or(|e| e.pending_writer.is_none() && e.wait_acks == 0)
+    }
+
+    /// Does this instance hold *any* state for `addr`? The adaptive hybrid
+    /// pins this to false for the instance that does not own the block.
+    pub(crate) fn has_block_state(&self, addr: Addr) -> bool {
+        self.entries.contains_key(&addr)
+            || self.gate.has_traffic(addr)
+            || self.collectors.open_at_addr(addr)
+            || self.children.keys().any(|k| k.1 == addr)
+            || self.zombies.keys().any(|k| k.1 == addr)
+            || self.pending_kill.iter().any(|k| k.1 == addr)
+    }
+
+    /// Remove and return the block's transferable tree state (roots, child
+    /// edges, zombie edges). Caller must have checked [`Self::flip_idle`].
+    pub(crate) fn take_block(&mut self, addr: Addr) -> BlockXfer {
+        debug_assert!(self.flip_idle(addr));
+        let ptrs = self
+            .entries
+            .remove(&addr)
+            .map(|e| e.ptrs)
+            .unwrap_or_else(|| vec![None; self.pointers as usize]);
+        BlockXfer {
+            ptrs,
+            children: super::dir_tree::drain_addr(&mut self.children, addr),
+            zombies: super::dir_tree::drain_addr(&mut self.zombies, addr),
+        }
+    }
+
+    /// Install tree state taken from the other protocol instance.
+    pub(crate) fn install_block(&mut self, addr: Addr, x: BlockXfer) {
+        debug_assert!(!self.has_block_state(addr));
+        debug_assert_eq!(x.ptrs.len(), self.pointers as usize);
+        if x.ptrs.iter().any(Option::is_some) {
+            self.entries.insert(
+                addr,
+                Entry {
+                    ptrs: x.ptrs,
+                    ..Entry::default()
+                },
+            );
+        }
+        for (node, kids) in x.children {
+            self.children.insert((node, addr), kids);
+        }
+        for (node, kids) in x.zombies {
+            self.zombies.insert((node, addr), kids);
+        }
+    }
+
+    /// The node's copy is gone: kill the subtree with `Replace_INV` and
+    /// retain the dead edges as zombies until an acked wave re-traverses.
+    fn disband(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr) {
+        let kids = self.children.remove(&(node, addr)).unwrap_or_default();
+        if kids.is_empty() {
+            return;
+        }
+        let z = self.zombies.entry((node, addr)).or_default();
+        for k in kids {
+            ctx.send(
+                k,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::ReplaceInv,
+                },
+            );
+            if !z.contains(&k) {
+                z.push(k);
+            }
         }
     }
 
@@ -268,28 +371,40 @@ impl DirTreeUpdate {
             return;
         }
         // Forward to children (kept — nothing is invalidated) and the
-        // pairing partner; the copy itself is refreshed in place.
-        let kids: Vec<NodeId> = self.children_of(node, addr).to_vec();
-        let mut outstanding = 0;
-        let live = ctx.line_state(node, addr) == LineState::V;
+        // pairing partner; the copy itself is refreshed in place. Zombie
+        // edges are re-traversed exactly once — FIFO puts this wave's
+        // `Update` behind the `Replace_INV` on the same pair, so the ack
+        // proves the disbanded subtree processed its kill (or re-joined
+        // the forest on its own and is reachable without this edge).
+        let state = ctx.line_state(node, addr);
+        let live = state == LineState::V;
         if live {
             ctx.note(ProtoEvent::Invalidation); // counted as "copies touched"
         }
-        if live || ctx.line_state(node, addr) == LineState::WmIp {
-            for k in kids {
-                ctx.send(
-                    k,
-                    Msg {
-                        addr,
-                        src: node,
-                        kind: MsgKind::Update {
-                            also: None,
-                            from_dir: false,
-                        },
-                    },
-                );
-                outstanding += 1;
+        let mut targets: Vec<NodeId> = if live || state == LineState::WmIp {
+            self.children_of(node, addr).to_vec()
+        } else {
+            Vec::new()
+        };
+        for z in self.zombies.remove(&(node, addr)).unwrap_or_default() {
+            if !targets.contains(&z) {
+                targets.push(z);
             }
+        }
+        let mut outstanding = 0;
+        for k in targets {
+            ctx.send(
+                k,
+                Msg {
+                    addr,
+                    src: node,
+                    kind: MsgKind::Update {
+                        also: None,
+                        from_dir: false,
+                    },
+                },
+            );
+            outstanding += 1;
         }
         if let Some(partner) = also {
             ctx.send(
@@ -411,27 +526,39 @@ impl Protocol for DirTreeUpdate {
                         }
                     }
                 }
-                // The writer keeps a *valid* (not exclusive) copy.
-                ctx.set_line_state(node, addr, LineState::V);
+                if self.pending_kill.remove(&(node, addr)) {
+                    // A `Replace_INV` raced this grant (see the handler
+                    // below). The write itself is done — the home applied
+                    // the value when it processed the request — but the
+                    // local copy must go the way the kill intended, or it
+                    // stays valid yet unreachable from the roots. Disband
+                    // first so adopted subtrees get their own kills.
+                    ctx.note(ProtoEvent::ReplacementInvalidation);
+                    self.disband(ctx, node, addr);
+                    ctx.set_line_state(node, addr, LineState::Iv);
+                } else {
+                    // The writer keeps a *valid* (not exclusive) copy.
+                    ctx.set_line_state(node, addr, LineState::V);
+                }
                 ctx.complete(node, addr, OpKind::Write);
             }
-            MsgKind::ReplaceInv => {
-                if ctx.line_state(node, addr) == LineState::V {
+            MsgKind::ReplaceInv => match ctx.line_state(node, addr) {
+                LineState::V => {
                     ctx.note(ProtoEvent::ReplacementInvalidation);
-                    let kids = self.children.remove(&(node, addr)).unwrap_or_default();
-                    for k in kids {
-                        ctx.send(
-                            k,
-                            Msg {
-                                addr,
-                                src: node,
-                                kind: MsgKind::ReplaceInv,
-                            },
-                        );
-                    }
+                    self.disband(ctx, node, addr);
                     ctx.set_line_state(node, addr, LineState::Iv);
                 }
-            }
+                // The kill crossed our in-flight update grant: the parent
+                // edge that led here is gone (an update wave consumes it
+                // as a zombie), so the copy the grant is about to validate
+                // would be unreachable from the roots. Ignoring the kill —
+                // as the other transient states may — would leak a live
+                // orphan; defer it to grant time instead.
+                LineState::WmIp => {
+                    self.pending_kill.insert((node, addr));
+                }
+                _ => {}
+            },
             MsgKind::ReplNotify => {
                 if let Some(e) = self.entries.get_mut(&addr) {
                     for p in e.ptrs.iter_mut() {
@@ -448,17 +575,7 @@ impl Protocol for DirTreeUpdate {
     fn evict(&mut self, ctx: &mut dyn ProtoCtx, node: NodeId, addr: Addr, state: LineState) {
         match state {
             LineState::V => {
-                let kids = self.children.remove(&(node, addr)).unwrap_or_default();
-                for k in kids {
-                    ctx.send(
-                        k,
-                        Msg {
-                            addr,
-                            src: node,
-                            kind: MsgKind::ReplaceInv,
-                        },
-                    );
-                }
+                self.disband(ctx, node, addr);
                 if !self.params.dir_tree_silent_replace {
                     let home = ctx.home_of(addr);
                     ctx.send(
@@ -489,11 +606,129 @@ impl Protocol for DirTreeUpdate {
     }
 
     fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
-        use crate::fingerprint::digest_map;
+        use crate::fingerprint::{digest_map, digest_set};
         digest_map(h, &self.entries);
         self.gate.digest(h);
         digest_map(h, &self.children);
+        digest_map(h, &self.zombies);
+        digest_set(h, &self.pending_kill);
         self.collectors.digest(h);
+    }
+
+    fn check_invariants(
+        &self,
+        ctx: &dyn ProtoCtx,
+        addrs: &[Addr],
+        quiescent: bool,
+    ) -> Result<(), String> {
+        let nodes = ctx.num_nodes();
+        for (&(node, addr), kids) in &self.children {
+            if kids.len() > self.arity as usize {
+                return Err(format!(
+                    "node {node} holds {} children for {addr:#x} (arity {})",
+                    kids.len(),
+                    self.arity
+                ));
+            }
+            for (i, k) in kids.iter().enumerate() {
+                if *k == node {
+                    return Err(format!("node {node} is its own child for {addr:#x}"));
+                }
+                if *k >= nodes {
+                    return Err(format!("child {k} out of range at node {node}"));
+                }
+                if kids[..i].contains(k) {
+                    return Err(format!("duplicate child {k} at node {node} for {addr:#x}"));
+                }
+            }
+        }
+        for (&(node, addr), kids) in &self.zombies {
+            for (i, k) in kids.iter().enumerate() {
+                if *k == node {
+                    return Err(format!("node {node} is its own zombie for {addr:#x}"));
+                }
+                if *k >= nodes {
+                    return Err(format!("zombie {k} out of range at node {node}"));
+                }
+                if kids[..i].contains(k) {
+                    return Err(format!("duplicate zombie {k} at node {node} for {addr:#x}"));
+                }
+            }
+        }
+        for (&addr, e) in &self.entries {
+            if e.ptrs.len() != self.pointers as usize {
+                return Err(format!("entry for {addr:#x} has {} slots", e.ptrs.len()));
+            }
+            let mut roots = vec![];
+            for p in e.ptrs.iter().flatten() {
+                if p.level < 1 {
+                    return Err(format!(
+                        "root {} has level {} for {addr:#x}",
+                        p.node, p.level
+                    ));
+                }
+                if p.node >= nodes {
+                    return Err(format!("root {} out of range for {addr:#x}", p.node));
+                }
+                if roots.contains(&p.node) {
+                    return Err(format!("duplicate root {} for {addr:#x}", p.node));
+                }
+                roots.push(p.node);
+            }
+        }
+        if !quiescent {
+            return Ok(());
+        }
+        if self.collectors.open_count() != 0 {
+            return Err("quiescent but ack collections open".into());
+        }
+        if self.gate.open_transactions() != 0 {
+            return Err("quiescent but home transactions open".into());
+        }
+        for (&addr, e) in &self.entries {
+            if e.pending_writer.is_some() || e.wait_acks != 0 {
+                return Err(format!("quiescent but write pending for {addr:#x}"));
+            }
+        }
+        if let Some((node, addr)) = self.pending_kill.iter().next() {
+            return Err(format!(
+                "quiescent but deferred kill at {node} for {addr:#x}"
+            ));
+        }
+        for &addr in addrs {
+            // No exclusive state exists in an update protocol, and every
+            // valid copy must be reachable from the recorded roots through
+            // child + zombie edges (or the next update wave misses it).
+            let mut reach = vec![false; nodes as usize];
+            let mut frontier: Vec<NodeId> = self
+                .entries
+                .get(&addr)
+                .map(|e| e.ptrs.iter().flatten().map(|p| p.node).collect())
+                .unwrap_or_default();
+            while let Some(n) = frontier.pop() {
+                if std::mem::replace(&mut reach[n as usize], true) {
+                    continue;
+                }
+                frontier.extend_from_slice(self.children_of(n, addr));
+                if let Some(z) = self.zombies.get(&(n, addr)) {
+                    frontier.extend_from_slice(z);
+                }
+            }
+            for n in 0..nodes {
+                match ctx.line_state(n, addr) {
+                    LineState::E => {
+                        return Err(format!("update protocol holds E at {n} for {addr:#x}"));
+                    }
+                    LineState::V if !reach[n as usize] => {
+                        return Err(format!(
+                            "valid copy at {n} for {addr:#x} unreachable from roots"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -601,6 +836,29 @@ mod tests {
         assert!(!ctx.line_state(1, A).readable());
         assert!(!ctx.line_state(2, A).readable());
         assert_eq!(ctx.line_state(5, A), LineState::V);
+    }
+
+    #[test]
+    fn disband_retains_zombie_edges_until_wave_retraverses() {
+        let mut p = DirTreeUpdate::new(2, 2, ProtocolParams::default());
+        let mut ctx = MockCtx::new(32);
+        for n in 1..=3 {
+            ctx.read(&mut p, n, A);
+        }
+        assert_eq!(p.children_of(3, A), &[1, 2]);
+        ctx.evict(&mut p, 3, A);
+        assert_eq!(
+            p.zombies.get(&(3, A)).map(Vec::as_slice),
+            Some(&[1u32, 2][..]),
+            "disbanded edges are retained as zombies"
+        );
+        do_write(&mut ctx, &mut p, 5);
+        assert!(
+            p.zombies.is_empty(),
+            "the acked update wave consumes zombie edges"
+        );
+        assert!(!ctx.line_state(1, A).readable());
+        assert!(!ctx.line_state(2, A).readable());
     }
 
     #[test]

@@ -55,6 +55,16 @@ impl TxnGate {
         self.busy.contains(&addr)
     }
 
+    /// Any traffic for `addr` at all — an open transaction *or* deferred
+    /// requests awaiting redelivery. This is the adaptive hybrid's drain
+    /// check: between [`TxnGate::finish`] popping one deferred request and
+    /// its redelivery re-admitting, `busy` is clear while later arrivals
+    /// still sit in the queue; flipping the block's mode then would strand
+    /// them in an instance that never retires another transaction.
+    pub fn has_traffic(&self, addr: Addr) -> bool {
+        self.busy.contains(&addr) || self.waiting.contains_key(&addr)
+    }
+
     /// Number of blocks with open transactions (diagnostics / quiescence).
     pub fn open_transactions(&self) -> usize {
         self.busy.len()
@@ -152,6 +162,12 @@ impl AckCollectors {
 
     pub fn open_count(&self) -> usize {
         self.map.len()
+    }
+
+    /// Is a collection in progress for `addr` at *any* node? (Used by the
+    /// adaptive hybrid's transition-drain check.)
+    pub fn open_at_addr(&self, addr: Addr) -> bool {
+        self.map.keys().any(|&(_, a)| a == addr)
     }
 
     /// Canonical digest of all open collections (model-checker support).

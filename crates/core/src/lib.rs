@@ -18,6 +18,7 @@
 //! `dirtree-machine`: unit tests in this crate drive them with a mock
 //! context, and the machine crate drives them with the real network.
 
+pub mod adapt;
 pub mod cache;
 pub mod ctx;
 pub mod dir;

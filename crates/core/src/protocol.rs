@@ -21,6 +21,27 @@ pub struct ProtocolParams {
     /// additionally notifies the home, which clears a matching root pointer
     /// (ablation E12).
     pub dir_tree_silent_replace: bool,
+    /// DirTreeAdaptive: per-block pattern score at which a block flips to
+    /// update mode (Schmitt trigger upper threshold).
+    pub adapt_flip_up: i32,
+    /// DirTreeAdaptive: per-block pattern score at which an update-mode
+    /// block flips back to invalidate mode (Schmitt trigger lower
+    /// threshold). Must be below `adapt_flip_up` or the detector flaps.
+    pub adapt_flip_down: i32,
+    /// DirTreeAdaptive: pattern score saturation bound (scores are clamped
+    /// to `[-adapt_saturation, +adapt_saturation]` so a long-established
+    /// pattern can still be unlearned in bounded time).
+    pub adapt_saturation: i32,
+}
+
+impl ProtocolParams {
+    /// Do the adaptive-protocol fields differ from their defaults? Sweep
+    /// cache keys and config fingerprints only include them when they do,
+    /// so records written before the adaptive protocol existed keep their
+    /// identity (same conditional-extension idiom as the VC fields).
+    pub fn adapt_nondefault(&self) -> bool {
+        self.adapt_flip_up != 2 || self.adapt_flip_down != -2 || self.adapt_saturation != 4
+    }
 }
 
 impl Default for ProtocolParams {
@@ -29,6 +50,9 @@ impl Default for ProtocolParams {
             sw_trap_cycles: 40,
             dir_tree_pairing: true,
             dir_tree_silent_replace: true,
+            adapt_flip_up: 2,
+            adapt_flip_down: -2,
+            adapt_saturation: 4,
         }
     }
 }
@@ -61,6 +85,10 @@ pub enum ProtocolKind {
     /// invalidations (§3 mentions the option; the paper evaluates only
     /// the invalidation variant).
     DirTreeUpdate { pointers: u32, arity: u32 },
+    /// Extension: the hybrid of the title — Dir_iTree_k with a per-block
+    /// sharing-pattern detector at the home that flips individual blocks
+    /// between invalidate and update write policy ([`crate::adapt`]).
+    DirTreeAdaptive { pointers: u32, arity: u32 },
 }
 
 impl ProtocolKind {
@@ -78,6 +106,7 @@ impl ProtocolKind {
             ProtocolKind::SciTree => "scit".into(),
             ProtocolKind::DirTree { pointers, .. } => format!("{pointers}"),
             ProtocolKind::DirTreeUpdate { pointers, .. } => format!("U{pointers}"),
+            ProtocolKind::DirTreeAdaptive { pointers, .. } => format!("A{pointers}"),
             ProtocolKind::Snoop => "snp".into(),
         }
     }
@@ -96,6 +125,9 @@ impl ProtocolKind {
             ProtocolKind::DirTree { pointers, arity } => format!("Dir{pointers}Tree{arity}"),
             ProtocolKind::DirTreeUpdate { pointers, arity } => {
                 format!("Dir{pointers}Tree{arity}U")
+            }
+            ProtocolKind::DirTreeAdaptive { pointers, arity } => {
+                format!("Dir{pointers}Tree{arity}A")
             }
             ProtocolKind::Snoop => "SnoopMSI".into(),
         }
@@ -150,6 +182,42 @@ pub trait Protocol: Send {
     /// machine adjusts its write-hit policy and its witness accordingly).
     fn is_update(&self) -> bool {
         false
+    }
+
+    /// Per-block write policy: does `addr` currently complete writes with
+    /// update semantics? Static protocols answer uniformly ([`is_update`](Protocol::is_update));
+    /// the adaptive hybrid answers per block, and the machine/checker
+    /// consult this at every write retirement.
+    fn is_update_for(&self, addr: Addr) -> bool {
+        let _ = addr;
+        self.is_update()
+    }
+
+    /// Does this protocol want [`note_read_hit`](Protocol::note_read_hit)
+    /// callbacks? Update-mode blocks satisfy reads locally forever, so a
+    /// home-side pattern detector is blind to them unless the machine
+    /// reports read hits. The machine caches this flag and keeps the read
+    /// hit path callback-free when it is false.
+    fn wants_read_hits(&self) -> bool {
+        false
+    }
+
+    /// A processor read hit a valid line in its cache (no message was
+    /// generated). Only called when [`wants_read_hits`](Protocol::wants_read_hits)
+    /// is true. Must not send messages or mutate coherence state — it only
+    /// feeds passive observers such as the sharing-pattern detector.
+    fn note_read_hit(&mut self, node: NodeId, addr: Addr) {
+        let _ = (node, addr);
+    }
+
+    /// The processor-side operation whose completion the protocol signalled
+    /// via [`ProtoCtx::complete`](crate::ctx::ProtoCtx::complete) has now
+    /// retired (the machine's `OpDone`, the checker's retire step). Between
+    /// completion and retirement the write's semantics are still being
+    /// applied, so a mode-switching protocol must not change the block's
+    /// policy in that window; this callback closes it.
+    fn note_op_retired(&mut self, node: NodeId, addr: Addr, op: OpKind) {
+        let _ = (node, addr, op);
     }
 
     /// Snapshot the complete internal protocol state, so the model checker
@@ -210,6 +278,9 @@ pub fn build_protocol(kind: ProtocolKind, params: ProtocolParams) -> Box<dyn Pro
         ProtocolKind::DirTreeUpdate { pointers, arity } => Box::new(
             crate::dir::dir_tree_update::DirTreeUpdate::new(pointers, arity, params),
         ),
+        ProtocolKind::DirTreeAdaptive { pointers, arity } => {
+            Box::new(crate::adapt::DirTreeAdaptive::new(pointers, arity, params))
+        }
         ProtocolKind::Snoop => Box::new(crate::dir::snoop::Snoop::new()),
     }
 }
@@ -272,6 +343,10 @@ mod tests {
                 arity: 2,
             },
             ProtocolKind::DirTreeUpdate {
+                pointers: 4,
+                arity: 2,
+            },
+            ProtocolKind::DirTreeAdaptive {
                 pointers: 4,
                 arity: 2,
             },

@@ -120,6 +120,12 @@ impl MachineConfig {
             self.net.adaptive.hash(&mut h);
             self.net.vc_credits.hash(&mut h);
         }
+        // Same idiom for the adaptive-protocol thresholds.
+        if self.protocol.adapt_nondefault() {
+            self.protocol.adapt_flip_up.hash(&mut h);
+            self.protocol.adapt_flip_down.hash(&mut h);
+            self.protocol.adapt_saturation.hash(&mut h);
+        }
         h.finish()
     }
 }

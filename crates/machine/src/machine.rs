@@ -108,6 +108,9 @@ impl std::error::Error for StallError {}
 pub struct Machine {
     core: MachineCore,
     protocol: Box<dyn Protocol>,
+    /// Cached [`Protocol::wants_read_hits`] so the read-hit fast path pays
+    /// one bool test, not a virtual call, for the common (false) case.
+    wants_read_hits: bool,
     procs: Vec<ProcState>,
     /// Op being retried per processor (allocation stall, transient line).
     retry_op: Vec<Option<DriverOp>>,
@@ -130,6 +133,7 @@ impl Machine {
         let n = config.nodes as usize;
         Self {
             core: MachineCore::new(config),
+            wants_read_hits: protocol.wants_read_hits(),
             protocol,
             procs: vec![ProcState::Running; n],
             retry_op: vec![None; n],
@@ -148,6 +152,7 @@ impl Machine {
     pub fn reset(&mut self) {
         self.core.reset();
         self.protocol = build_protocol(self.protocol.kind(), self.core.config.protocol);
+        self.wants_read_hits = self.protocol.wants_read_hits();
         self.procs.iter_mut().for_each(|p| *p = ProcState::Running);
         self.retry_op.iter_mut().for_each(|r| *r = None);
         self.barriers.clear();
@@ -339,6 +344,9 @@ impl Machine {
                 if state.readable() {
                     self.core.stats.read_hits += 1;
                     self.core.caches[n as usize].touch(addr);
+                    if self.wants_read_hits {
+                        self.protocol.note_read_hit(n, addr);
+                    }
                     if let Some(v) = &self.core.verifier {
                         if let Err(viol) = v.on_read_hit(n, addr) {
                             panic!("{viol} (protocol {:?})", self.protocol.kind());
@@ -447,7 +455,7 @@ impl Machine {
                     self.core
                         .other_holders_into(addr, n, &mut self.holders_scratch);
                     let v = self.core.verifier.as_mut().unwrap();
-                    if self.protocol.is_update() {
+                    if self.protocol.is_update_for(addr) {
                         v.on_write_complete_update(n, addr, &self.holders_scratch);
                     } else if let Err(viol) = v.on_write_complete(n, addr, &self.holders_scratch) {
                         panic!("{viol} (protocol {:?})", self.protocol.kind());
@@ -455,6 +463,7 @@ impl Machine {
                 }
             }
         }
+        self.protocol.note_op_retired(n, addr, op);
         self.procs[n as usize] = ProcState::Running;
         self.reschedule(n, 0);
     }

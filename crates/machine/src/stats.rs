@@ -58,6 +58,17 @@ pub struct MachineStats {
     /// High-water mark of the event queue (deterministic — a property of
     /// the schedule, not the host — so safe in sweep records).
     pub peak_queue_depth: u64,
+    /// Adaptive protocol: write intervals classified per sharing pattern
+    /// (all zero for static protocols).
+    pub pattern_producer_consumer: u64,
+    pub pattern_read_mostly: u64,
+    pub pattern_migratory: u64,
+    pub pattern_write_shared: u64,
+    pub pattern_private: u64,
+    /// Adaptive protocol: blocks switched invalidate → update.
+    pub mode_flips_to_update: u64,
+    /// Adaptive protocol: blocks switched update → invalidate.
+    pub mode_flips_to_invalidate: u64,
 }
 
 impl MachineStats {
@@ -69,6 +80,23 @@ impl MachineStats {
             ProtoEvent::Broadcast => self.broadcasts += 1,
             ProtoEvent::TreeMerge => self.tree_merges += 1,
             ProtoEvent::TreePushDown => self.tree_push_downs += 1,
+            ProtoEvent::PatternSample(p) => {
+                use dirtree_core::adapt::SharingPattern as S;
+                match p {
+                    S::ProducerConsumer => self.pattern_producer_consumer += 1,
+                    S::ReadMostly => self.pattern_read_mostly += 1,
+                    S::Migratory => self.pattern_migratory += 1,
+                    S::WriteShared => self.pattern_write_shared += 1,
+                    S::Private => self.pattern_private += 1,
+                }
+            }
+            ProtoEvent::ModeFlip { to_update } => {
+                if to_update {
+                    self.mode_flips_to_update += 1;
+                } else {
+                    self.mode_flips_to_invalidate += 1;
+                }
+            }
         }
     }
 

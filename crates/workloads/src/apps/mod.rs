@@ -13,4 +13,5 @@ pub mod jacobi;
 pub mod lu;
 pub mod lu_blocked;
 pub mod mp3d;
+pub mod patterns;
 pub mod synthetic;

@@ -1,7 +1,8 @@
 //! Uniform workload construction for the experiment harness.
 
 use crate::apps::{
-    fft::Fft, floyd::Floyd, jacobi::Jacobi, lu::Lu, lu_blocked::LuBlocked, mp3d::Mp3d, synthetic,
+    fft::Fft, floyd::Floyd, jacobi::Jacobi, lu::Lu, lu_blocked::LuBlocked, mp3d::Mp3d, patterns,
+    synthetic,
 };
 use crate::rendezvous::ThreadedWorkload;
 
@@ -26,6 +27,19 @@ pub enum WorkloadKind {
     Migratory { blocks: u64, rounds: u64 },
     /// Synthetic: cache-thrashing replacement storm.
     Storm { words: u64, passes: u64 },
+    /// Pattern: producer–consumer pipeline (best served by updates).
+    PcPipeline { buffers: u64, rounds: u64 },
+    /// Pattern: migratory token ring (best served by invalidation).
+    TokenRing { tokens: u64, laps: u64 },
+    /// Pattern: read-mostly broadcast table (best served by updates).
+    Broadcast {
+        blocks: u64,
+        rounds: u64,
+        scans: u64,
+    },
+    /// Pattern: write-shared ping-pong over once-shared blocks (the update
+    /// protocol's stale-sharer pathology; best served by invalidation).
+    FalseShare { blocks: u64, rounds: u64 },
 }
 
 impl WorkloadKind {
@@ -74,6 +88,18 @@ impl WorkloadKind {
                 format!("Migratory({blocks}b,{rounds}r)")
             }
             WorkloadKind::Storm { words, passes } => format!("Storm({words}w,{passes}p)"),
+            WorkloadKind::PcPipeline { buffers, rounds } => {
+                format!("PcPipeline({buffers}b,{rounds}r)")
+            }
+            WorkloadKind::TokenRing { tokens, laps } => format!("TokenRing({tokens}t,{laps}l)"),
+            WorkloadKind::Broadcast {
+                blocks,
+                rounds,
+                scans,
+            } => format!("Broadcast({blocks}b,{rounds}r,{scans}s)"),
+            WorkloadKind::FalseShare { blocks, rounds } => {
+                format!("FalseShare({blocks}b,{rounds}r)")
+            }
         }
     }
 
@@ -118,6 +144,25 @@ impl WorkloadKind {
             }
             WorkloadKind::Storm { words, passes } => {
                 synthetic::Storm { words, passes }.build(nprocs)
+            }
+            WorkloadKind::PcPipeline { buffers, rounds } => {
+                patterns::PcPipeline { buffers, rounds }.build(nprocs)
+            }
+            WorkloadKind::TokenRing { tokens, laps } => {
+                patterns::TokenRing { tokens, laps }.build(nprocs)
+            }
+            WorkloadKind::Broadcast {
+                blocks,
+                rounds,
+                scans,
+            } => patterns::Broadcast {
+                blocks,
+                rounds,
+                scans,
+            }
+            .build(nprocs),
+            WorkloadKind::FalseShare { blocks, rounds } => {
+                patterns::FalseShare { blocks, rounds }.build(nprocs)
             }
         }
     }

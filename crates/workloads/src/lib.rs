@@ -24,6 +24,7 @@
 pub mod apps;
 pub mod kind;
 pub mod layout;
+pub mod phases;
 pub mod rendezvous;
 pub mod trace;
 

@@ -2,87 +2,77 @@
 //!
 //! The application tests in `protocol_equivalence.rs` compare real
 //! algorithms whose access patterns are highly structured. This suite
-//! drives the nine figure-set protocols with a randomized (but seeded and
-//! phase-structured) trace instead: per phase, a deterministic owner
-//! writes each block, a barrier orders the phase, then every processor
-//! reads a private random subset of blocks and folds the loaded values
-//! into a running checksum. The checksums are the *per-processor read
-//! values* — any protocol that ever serves one stale load diverges.
+//! drives the protocols with a randomized (but seeded and phase-structured)
+//! trace instead — see [`dirtree::workloads::phases::PhasedTrace`] for the
+//! generator: per phase, a deterministic owner writes each block, a barrier
+//! orders the phase, then every processor reads a private random subset of
+//! blocks and folds the loaded values into a running checksum. The
+//! checksums are the *per-processor read values* — any protocol that ever
+//! serves one stale load diverges.
 //!
 //! Dir_nNB (full-map) is the oracle: its final memory image, including
 //! every processor's checksum word, must be matched bit-for-bit by all
-//! eight other members of [`ProtocolKind::figure_set`].
+//! eight other members of [`ProtocolKind::figure_set`], by the update-write
+//! variant, and by the adaptive hybrid (whose per-block mode flips must be
+//! architecturally invisible).
 
 use dirtree::machine::{Machine, MachineConfig};
 use dirtree::prelude::*;
-use dirtree::workloads::rendezvous::AppFn;
-use dirtree::workloads::ThreadedWorkload;
+use dirtree::workloads::phases::PhasedTrace;
 
-const NODES: u32 = 8;
-const BLOCKS: u64 = 24;
-const PHASES: u64 = 4;
-const READS_PER_PHASE: u64 = 12;
-
-/// Which processor writes `block` during `phase` (deterministic, spread
-/// across all processors so ownership migrates between phases).
-fn owner(phase: u64, block: u64) -> u64 {
-    (block.wrapping_mul(7).wrapping_add(phase.wrapping_mul(13))) % NODES as u64
-}
-
-/// The value the owner publishes (protocol-independent by construction).
-fn published(phase: u64, block: u64) -> u64 {
-    phase * 1_000_003 + block * 97 + owner(phase, block)
-}
-
-/// Build the per-thread program for one seeded trace.
-fn program(seed: u64) -> impl FnMut(usize) -> AppFn {
-    move |tid: usize| -> AppFn {
-        Box::new(move |env| {
-            // Each thread draws its read pattern from a private stream, so
-            // the trace is random but identical across protocols.
-            let mut rng = SimRng::new(seed ^ (tid as u64).wrapping_mul(0x9e37_79b9));
-            let mut acc = 0u64;
-            for phase in 0..PHASES {
-                for block in 0..BLOCKS {
-                    if owner(phase, block) == tid as u64 {
-                        env.write(block, published(phase, block));
-                    }
-                }
-                env.barrier();
-                for _ in 0..READS_PER_PHASE {
-                    let block = rng.gen_range(BLOCKS);
-                    acc = acc.wrapping_mul(31).wrapping_add(env.read(block));
-                }
-                env.barrier();
-            }
-            env.write(BLOCKS + tid as u64, acc);
-        })
+fn trace(seed: u64) -> PhasedTrace {
+    PhasedTrace {
+        nodes: 8,
+        blocks: 24,
+        phases: 4,
+        reads_per_phase: 12,
+        seed,
     }
 }
 
 /// Final architectural memory (blocks + per-processor checksum words)
 /// after running the seeded trace under `kind`, with the witness on.
 fn final_memory(kind: ProtocolKind, seed: u64) -> Vec<u64> {
-    let words = BLOCKS + NODES as u64;
-    let mut workload = ThreadedWorkload::new(NODES, words, program(seed));
-    let mut machine = Machine::new(MachineConfig::test_default(NODES), kind);
+    let t = trace(seed);
+    let mut workload = t.build();
+    let mut machine = Machine::new(MachineConfig::test_default(t.nodes), kind);
     machine.run(&mut workload);
     workload.values().to_vec()
 }
 
+/// The figure set plus the write-policy variants this repo adds: the
+/// update-write tree and the adaptive hybrid.
+fn compared_set() -> Vec<ProtocolKind> {
+    let mut kinds = ProtocolKind::figure_set();
+    kinds.push(ProtocolKind::DirTreeUpdate {
+        pointers: 4,
+        arity: 2,
+    });
+    kinds.push(ProtocolKind::DirTreeAdaptive {
+        pointers: 4,
+        arity: 2,
+    });
+    kinds
+}
+
 #[test]
-fn figure_set_protocols_agree_on_a_seeded_random_trace() {
+fn all_protocols_agree_on_a_seeded_random_trace() {
     for seed in [1996, 0xdead_beef] {
+        let t = trace(seed);
         let oracle = final_memory(ProtocolKind::FullMap, seed);
         // Sanity on the oracle itself: the last phase's published values
         // are in memory and every processor produced a checksum.
-        for block in 0..BLOCKS {
-            assert_eq!(oracle[block as usize], published(PHASES - 1, block));
+        for block in 0..t.blocks {
+            assert_eq!(oracle[block as usize], t.published(t.phases - 1, block));
         }
-        for tid in 0..NODES as u64 {
-            assert_ne!(oracle[(BLOCKS + tid) as usize], 0, "tid {tid} read nothing");
+        for tid in 0..t.nodes as u64 {
+            assert_ne!(
+                oracle[t.checksum_addr(tid) as usize],
+                0,
+                "tid {tid} read nothing"
+            );
         }
-        for kind in ProtocolKind::figure_set() {
+        for kind in compared_set() {
             assert_eq!(
                 final_memory(kind, seed),
                 oracle,
