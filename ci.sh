@@ -2,12 +2,16 @@
 # Tier-1 gate: formatting, lints, build, the full workspace test suite
 # (which includes the paper-claims and cross-protocol differential
 # suites), the feature-off observability check, and the model checker's
-# fast tier (every figure-set protocol, exhaustively explored at P=2 with
-# one block). Run from the repository root; fails fast on the first
-# problem.
+# default tier (every roster protocol — figure set, update, adaptive, and
+# the ternary-tree shapes — exhaustively explored at P=2 and P=3, plus as
+# much of the P=4 roster as fits a one-minute wall-clock budget, with
+# per-shape explored/deduped/sleep-pruned state counts printed). Run from
+# the repository root; fails fast on the first problem.
 #
-#   ./ci.sh          fast gate (~seconds of model checking)
-#   ./ci.sh --deep   also model-check P=3 and the two-block shapes
+#   ./ci.sh          default gate (~2-3 min of model checking: P=2, P=3,
+#                    and a time-budgeted P=4 slice)
+#   ./ci.sh --deep   the full P=4 sweep (no time budget) plus the
+#                    two-block P=2/P=3 shapes
 set -euo pipefail
 
 deep=0
@@ -36,7 +40,7 @@ cargo test -q --test paper_claims
 if (( deep )); then
   cargo run --release -p dirtree-check --bin check_all -- --deep
 else
-  cargo run --release -p dirtree-check --bin check_all -- --fast
+  cargo run --release -p dirtree-check --bin check_all -- --budget 60
 fi
 
 # Perf smoke: the P=64 slice of the hot-path scaling study must finish

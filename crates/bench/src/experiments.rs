@@ -899,10 +899,13 @@ pub fn scale_up_vc_report(sizes: &[u32], cells: &[RecordCell]) -> String {
 }
 
 /// The [`vc_default`] machine with credit-bounded injection: each
-/// controller may hold at most this many unacknowledged flit-buffers per
+/// controller may hold at most this many unacknowledged *flits* per
 /// (destination-VC) pool before further sends park. Models finite output
-/// buffering instead of the default infinite-queue idealization.
-pub const VC_CREDITS: u32 = 8;
+/// buffering instead of the default infinite-queue idealization. At the
+/// paper's 8-bit links a header-only message is 8 flits and a data
+/// message 16, so 64 flits ≈ eight control messages (or four data
+/// messages) of buffering per pool.
+pub const VC_CREDITS: u32 = 64;
 
 /// [`vc_default`] plus credit-bounded sends ([`VC_CREDITS`] per pool).
 pub fn vc_credited(nodes: u32) -> MachineConfig {

@@ -5,10 +5,23 @@
 //!
 //! Flags:
 //!   --fast          only P=2 / 1 block (the CI fast tier)
-//!   --deep          additionally P=2 and P=3 with 2 blocks
+//!   --deep          additionally P=2/P=3 with 2 blocks and the *full*
+//!                   P=4 + ternary-P=5 sweep (no time budget)
+//!   --budget SECS   time budget for the default tier's P>=4 slice
+//!                   (default 60; ignored under --fast/--deep)
+//!   --no-sym        disable the processor-permutation symmetry reduction
+//!   --no-por        disable the sleep-set partial-order reduction
 //!   --jobs N        worker threads per exploration (default: all cores)
 //!   --filter STR    only protocols whose name contains STR
 //!   --fuel N        override operations per processor
+//!
+//! The default tier runs every roster entry at P=2 and P=3, then as many
+//! P=4 explorations (plus the ternary i=3 entries at P=5) as fit in the
+//! time budget (in roster order, so the slice is deterministic for a
+//! given machine speed); `--deep` runs the whole P>=4 roster. Each line
+//! reports the reduction statistics: states
+//! actually explored (`apply()` calls), canonical-duplicate hits, sleep-
+//! set-pruned transitions, and the symmetry group size.
 //!
 //! Exit status: 0 all pass, 1 a violation was found, 2 a resource limit
 //! stopped an exploration before exhaustion.
@@ -24,11 +37,17 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut fuel: Option<u32> = None;
     let mut filter: Option<String> = None;
+    let mut budget_secs: u64 = 60;
+    let mut symmetry = true;
+    let mut por = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => fast = true,
             "--deep" => deep = true,
+            "--budget" => budget_secs = expect_arg(&mut it, "--budget"),
+            "--no-sym" => symmetry = false,
+            "--no-por" => por = false,
             "--jobs" => jobs = Some(expect_arg(&mut it, "--jobs")),
             "--fuel" => fuel = Some(expect_arg(&mut it, "--fuel")),
             "--filter" => {
@@ -84,46 +103,121 @@ fn main() {
         arity: 2,
     };
     roster.push((format!("{} up1/dn0", adp1.name()), adp1, aggressive));
+    // Ternary (k=3) tree shapes. Arity only binds at the Figure-6 case-3
+    // merge, which fires when all `i` pointers are full and a new
+    // requester arrives — so it takes i ≥ 3 for a k=3 tree to behave
+    // differently from k=2 at all (for i ≤ 2 at most two equal-height
+    // roots ever merge, and the state graphs are identical). The i=3
+    // entries below are the smallest shapes where a P=4 frontier adopts
+    // *three* equal-height roots in one merge, covering the generalized
+    // wave/adoption fan-out the arity-2 sweep cannot reach.
+    let tree3 = ProtocolKind::DirTree {
+        pointers: 3,
+        arity: 3,
+    };
+    roster.push((tree3.name(), tree3, ProtocolParams::default()));
+    let upd3 = ProtocolKind::DirTreeUpdate {
+        pointers: 3,
+        arity: 3,
+    };
+    roster.push((upd3.name(), upd3, ProtocolParams::default()));
+    let adp3 = ProtocolKind::DirTreeAdaptive {
+        pointers: 3,
+        arity: 3,
+    };
+    roster.push((adp3.name(), adp3, ProtocolParams::default()));
+    roster.push((format!("{} up1/dn0", adp3.name()), adp3, aggressive));
+    // The home node holds no pointer for itself, so an i=3 merge needs
+    // four *remote* requesters — the ternary entries additionally run at
+    // P=5 (below), the smallest population where the three-way adoption
+    // is reachable at all.
+    let p5_names: Vec<String> = vec![
+        tree3.name(),
+        upd3.name(),
+        adp3.name(),
+        format!("{} up1/dn0", adp3.name()),
+    ];
+
+    let roster: Vec<(String, ProtocolKind, ProtocolParams)> = roster
+        .into_iter()
+        .filter(|(name, _, _)| match &filter {
+            Some(f) => name.to_lowercase().contains(&f.to_lowercase()),
+            None => true,
+        })
+        .collect();
 
     let mut passed = 0u32;
     let mut failed = 0u32;
     let mut limited = 0u32;
-    for (name, kind, params) in roster {
-        if let Some(f) = &filter {
-            if !name.to_lowercase().contains(&f.to_lowercase()) {
-                continue;
+    let mut run_one = |name: &str, kind: ProtocolKind, params: ProtocolParams, nodes, blocks| {
+        let mut cfg = CheckConfig::small(nodes, blocks);
+        cfg.symmetry = symmetry;
+        cfg.por = por;
+        if let Some(j) = jobs {
+            cfg.jobs = j.max(1);
+        }
+        if let Some(f) = fuel {
+            cfg.fuel = f;
+        }
+        let factory = || build_protocol(kind, params);
+        let start = std::time::Instant::now();
+        let outcome = explore(&cfg, factory);
+        let elapsed = start.elapsed();
+        let rep = match &outcome {
+            CheckOutcome::Violation(cx) => {
+                failed += 1;
+                Some(replay(&cfg, factory, &cx.choices, 256))
+            }
+            CheckOutcome::Pass { .. } => {
+                passed += 1;
+                None
+            }
+            CheckOutcome::ResourceLimit { .. } => {
+                limited += 1;
+                None
+            }
+        };
+        println!(
+            "{}  [{:.2?}]",
+            report::render(name, &cfg, &outcome, rep.as_ref()).trim_end(),
+            elapsed
+        );
+    };
+    for (name, kind, params) in &roster {
+        for &(nodes, blocks) in &shapes {
+            run_one(name, *kind, *params, nodes, blocks);
+        }
+    }
+    // The P≥4 tier: the order-6 (P=4) / order-24 (P=5) home-fixing
+    // symmetry groups make single-block exhaustion tractable, but the
+    // tier can still cost minutes on a slow machine, so the default run
+    // takes the slice that fits a wall-clock budget (in roster order — a
+    // stable prefix) and defers the rest to --deep. The P=5 leg covers
+    // only the ternary i=3 entries: that is the smallest population
+    // where a directory merge adopts three equal-height roots.
+    if !fast {
+        let slice_start = std::time::Instant::now();
+        let budget = std::time::Duration::from_secs(budget_secs);
+        let mut skipped = 0u32;
+        let mut budgeted = |run: &mut dyn FnMut()| {
+            if !deep && slice_start.elapsed() > budget {
+                skipped += 1;
+            } else {
+                run();
+            }
+        };
+        for (name, kind, params) in &roster {
+            budgeted(&mut || run_one(name, *kind, *params, 4, 1));
+        }
+        for (name, kind, params) in &roster {
+            if p5_names.contains(name) {
+                budgeted(&mut || run_one(name, *kind, *params, 5, 1));
             }
         }
-        for &(nodes, blocks) in &shapes {
-            let mut cfg = CheckConfig::small(nodes, blocks);
-            if let Some(j) = jobs {
-                cfg.jobs = j.max(1);
-            }
-            if let Some(f) = fuel {
-                cfg.fuel = f;
-            }
-            let factory = || build_protocol(kind, params);
-            let start = std::time::Instant::now();
-            let outcome = explore(&cfg, factory);
-            let elapsed = start.elapsed();
-            let rep = match &outcome {
-                CheckOutcome::Violation(cx) => {
-                    failed += 1;
-                    Some(replay(&cfg, factory, &cx.choices, 256))
-                }
-                CheckOutcome::Pass { .. } => {
-                    passed += 1;
-                    None
-                }
-                CheckOutcome::ResourceLimit { .. } => {
-                    limited += 1;
-                    None
-                }
-            };
+        if skipped > 0 {
             println!(
-                "{}  [{:.2?}]",
-                report::render(&name, &cfg, &outcome, rep.as_ref()).trim_end(),
-                elapsed
+                "P>=4 slice: {budget_secs}s budget exhausted, {skipped} shape(s) \
+                 deferred to --deep"
             );
         }
     }
@@ -199,6 +293,9 @@ fn expect_arg<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag:
 
 fn usage(err: &str) -> ! {
     eprintln!("check_all: {err}");
-    eprintln!("usage: check_all [--fast | --deep] [--jobs N] [--fuel N] [--filter STR]");
+    eprintln!(
+        "usage: check_all [--fast | --deep] [--budget SECS] [--no-sym] [--no-por] \
+         [--jobs N] [--fuel N] [--filter STR]"
+    );
     std::process::exit(64);
 }

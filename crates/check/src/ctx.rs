@@ -153,6 +153,56 @@ impl CheckCtx {
         self.send_log.as_deref().unwrap_or(&[])
     }
 
+    /// The context with every node id mapped through `perm`
+    /// (`perm[old] = new`): channel `(s, d)` becomes `(perm[s], perm[d])`
+    /// with its messages relabeled in order, per-node queues and arrays are
+    /// reindexed, cache tags move with their node, and the witness maps its
+    /// copy ownership. `flagged` and `send_log` are exploration-path
+    /// metadata, not state, and start clear in the clone. Used by the model
+    /// checker's symmetry reduction; only meaningful alongside
+    /// [`dirtree_core::protocol::Protocol::relabeled`].
+    pub fn relabeled(&self, perm: &[NodeId]) -> CheckCtx {
+        let n = self.nodes as usize;
+        let mut channels = vec![VecDeque::new(); n * n];
+        for src in 0..n {
+            for dst in 0..n {
+                let q = &self.channels[src * n + dst];
+                if !q.is_empty() {
+                    channels[perm[src] as usize * n + perm[dst] as usize] =
+                        q.iter().map(|m| m.relabeled(perm)).collect();
+                }
+            }
+        }
+        let mut local = vec![VecDeque::new(); n];
+        let mut completion = vec![None; n];
+        let mut outstanding = vec![None; n];
+        let mut fuel = vec![0; n];
+        for node in 0..n {
+            let to = perm[node] as usize;
+            local[to] = self.local[node].iter().map(|m| m.relabeled(perm)).collect();
+            completion[to] = self.completion[node];
+            outstanding[to] = self.outstanding[node];
+            fuel[to] = self.fuel[node];
+        }
+        CheckCtx {
+            nodes: self.nodes,
+            now: self.now,
+            channels,
+            local,
+            lines: self
+                .lines
+                .iter()
+                .map(|(&(node, addr), &st)| ((perm[node as usize], addr), st))
+                .collect(),
+            completion,
+            outstanding,
+            fuel,
+            verifier: self.verifier.relabeled(perm),
+            flagged: None,
+            send_log: None,
+        }
+    }
+
     /// Canonical digest of everything that can influence future behavior.
     /// `now`, `flagged`, and `send_log` are deliberately excluded: the
     /// first never feeds back into the protocols under check, the other

@@ -10,15 +10,44 @@
 //! the probability is ~1e-7, and a collision can only cause a *missed*
 //! path, never a false alarm).
 //!
-//! BFS + in-order merge make the result independent of `jobs` and the
-//! first reported counterexample *minimal* in choice count: a violation
-//! found in layer `d` has no counterexample shorter than `d` steps, and
-//! ties break by the fixed frontier/choice order.
+//! Two sound reductions shrink the search (both on by default, both inert
+//! for protocols that do not certify the required properties):
+//!
+//! * **Processor-permutation symmetry.** States are deduplicated by their
+//!   *canonical* digest: the minimum ordinary digest over the group of
+//!   node renamings that fix every in-play home node
+//!   ([`dirtree_core::fingerprint::home_fixing_perms`]). This is sound
+//!   exactly when the protocol is equivariant — relabeling a state and
+//!   then handling a relabeled message equals handling and then
+//!   relabeling — which protocols certify via
+//!   [`Protocol::relabeled`]; uncertified protocols (including the
+//!   fault-injection mutants, whose bugs may be deliberately asymmetric)
+//!   degrade the group to the identity.
+//!
+//! * **Sleep sets** (partial-order reduction in the Godefroid style).
+//!   Deliveries/ops at different nodes touching different blocks commute
+//!   (certified per protocol via [`Protocol::deliveries_commute`]), so of
+//!   the two orders of an independent pair only one needs its second step
+//!   explored. Each frontier state carries a *sleep mask* of choices whose
+//!   exploration is provably redundant; masks live in canonical
+//!   coordinates in the visited map and follow the classic state-matching
+//!   rule (prune a revisit iff its mask is a superset of the stored one,
+//!   else re-expand with the intersection — which strictly shrinks, so
+//!   the loop terminates). Sleep sets prune *transitions*, never states:
+//!   every reachable state is still visited, so all state predicates
+//!   (witness, invariants, deadlock, quiescence sweep) are checked
+//!   exactly as in the unreduced search.
+//!
+//! BFS + in-order merge make the result independent of `jobs`, and the
+//! first reported counterexample is *minimal* in choice count (under the
+//! reductions: minimal up to commuting-step reordering and node renaming,
+//! both of which preserve trace length).
 
 use crate::state::{CheckState, Choice};
+use dirtree_core::fingerprint::{home_fixing_perms, invert_perm};
 use dirtree_core::protocol::Protocol;
-use dirtree_core::types::Addr;
-use dirtree_sim::FxHashSet;
+use dirtree_core::types::{Addr, NodeId};
+use dirtree_sim::FxHashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -26,8 +55,14 @@ use std::sync::Mutex;
 #[derive(Clone, Debug)]
 pub struct CheckConfig {
     pub nodes: u32,
-    /// Blocks in play: addresses `0..blocks` (homes interleave mod nodes).
+    /// Blocks in play: addresses `0, stride, 2·stride, …` (homes
+    /// interleave mod nodes).
     pub blocks: u64,
+    /// Spacing between in-play addresses (default 1). A stride equal to
+    /// `nodes` puts every block on home 0, which keeps the home-fixing
+    /// symmetry group large while still giving the sleep-set reduction
+    /// multiple blocks to commute across.
+    pub addr_stride: u64,
     /// Processor operations available per node.
     pub fuel: u32,
     /// State budget: exceeding it stops with a structured resource report.
@@ -36,27 +71,61 @@ pub struct CheckConfig {
     pub max_depth: usize,
     /// Worker threads for frontier expansion.
     pub jobs: usize,
+    /// Processor-permutation symmetry reduction (inert unless the protocol
+    /// certifies [`Protocol::relabeled`]).
+    pub symmetry: bool,
+    /// Sleep-set partial-order reduction (inert unless the protocol
+    /// certifies [`Protocol::deliveries_commute`]).
+    pub por: bool,
 }
 
 impl CheckConfig {
     /// Defaults for the small exhaustively-checkable configurations: fuel
-    /// 3 per node at P=2, fuel 2 at P≥3.
+    /// 3 per node at P=2, fuel 2 at P=3, fuel 1 at P≥4 (the update-family
+    /// state spaces at P=4 exceed the default state budget at fuel 2 —
+    /// Dir_1Tree_2U visits >4M states without exhausting — so the P≥4
+    /// tier trades op depth for processor count; the deeper histories are
+    /// covered by the P=2/P=3 tiers). Both reductions on.
     pub fn small(nodes: u32, blocks: u64) -> Self {
         Self {
             nodes,
             blocks,
-            fuel: if nodes <= 2 { 3 } else { 2 },
+            addr_stride: 1,
+            fuel: match nodes {
+                0..=2 => 3,
+                3 => 2,
+                _ => 1,
+            },
             max_states: 4_000_000,
             max_depth: 500,
             jobs: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            symmetry: true,
+            por: true,
         }
     }
 
     pub fn addrs(&self) -> Vec<Addr> {
-        (0..self.blocks).collect()
+        let stride = self.addr_stride.max(1);
+        (0..self.blocks).map(|i| i * stride).collect()
     }
+}
+
+/// Work counters for one exploration — the measure the reductions shrink.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Successor computations (`apply` calls). This is the unit of work:
+    /// symmetry divides the number of expanded states, sleep sets cut
+    /// choices per expansion, and both show up here.
+    pub explored: u64,
+    /// Successors dropped because their canonical digest was already
+    /// visited with a covering sleep mask.
+    pub deduped: u64,
+    /// Enabled choices skipped by the sleep-set reduction.
+    pub sleep_pruned: u64,
+    /// Symmetry group order (1 = reduction inert for this protocol).
+    pub sym_group: u64,
 }
 
 /// The shortest path to a violating state.
@@ -76,7 +145,11 @@ pub struct Counterexample {
 #[derive(Clone, Debug)]
 pub enum CheckOutcome {
     /// Every reachable state checked out; the graph is exhausted.
-    Pass { states: u64, depth: usize },
+    Pass {
+        states: u64,
+        depth: usize,
+        stats: ExploreStats,
+    },
     /// A violating state was found (shortest path attached).
     Violation(Counterexample),
     /// A budget stopped the search before exhaustion — reported as data,
@@ -85,6 +158,7 @@ pub enum CheckOutcome {
         states: u64,
         depth: usize,
         reason: String,
+        stats: ExploreStats,
     },
 }
 
@@ -101,33 +175,119 @@ impl CheckOutcome {
             CheckOutcome::Violation(cx) => cx.states,
         }
     }
+
+    /// Work counters (`None` for violations, which stop mid-layer).
+    pub fn stats(&self) -> Option<ExploreStats> {
+        match self {
+            CheckOutcome::Pass { stats, .. } | CheckOutcome::ResourceLimit { stats, .. } => {
+                Some(*stats)
+            }
+            CheckOutcome::Violation(_) => None,
+        }
+    }
 }
 
 /// Sentinel arena index for the initial state.
 const ROOT: usize = usize::MAX;
 
+struct Succ {
+    choice: Choice,
+    state: CheckState,
+    /// Canonical digest (minimum over the symmetry group).
+    canon: u64,
+    /// Sleep mask in canonical coordinates: the intersection of the
+    /// concrete mask's images under every digest-minimizing permutation,
+    /// which makes it invariant under the canonical state's automorphisms
+    /// and therefore consistently translatable by *any* arrival (see
+    /// [`CheckState::canonicalize`]). The frontier entry expands with
+    /// exactly this mask mapped back through `argmin`'s inverse, so the
+    /// visited map always records what the expansion truly slept with.
+    canon_mask: u64,
+    /// Index into the group of the (first) canonicalizing permutation.
+    argmin: usize,
+}
+
 struct Expanded {
     arena_idx: usize,
     /// First violating choice (in choice order) out of this state.
     violation: Option<(Choice, String)>,
-    succs: Vec<(Choice, CheckState, u64)>,
+    succs: Vec<Succ>,
+    explored: u64,
+    sleep_pruned: u64,
 }
 
-fn expand(arena_idx: usize, state: &CheckState) -> Expanded {
+/// A frontier entry awaiting expansion. `argmin` is kept so a same-layer
+/// duplicate arrival can shrink `mask` in place (mapping the intersected
+/// canonical mask back through this state's own canonicalizing
+/// permutation) instead of forcing a second expansion.
+struct Pending {
+    arena_idx: usize,
+    state: CheckState,
+    /// Sleep mask in this state's concrete coordinates.
+    mask: u64,
+    argmin: usize,
+}
+
+fn expand(
+    arena_idx: usize,
+    state: &CheckState,
+    sleep: u64,
+    perms: &[Vec<NodeId>],
+    commute: bool,
+) -> Expanded {
     let choices = state.enabled_choices();
+    let mut explored = 0u64;
+    let mut sleep_pruned = 0u64;
     let mut succs = Vec::with_capacity(choices.len());
-    for &choice in &choices {
+    // Bit position and (node, block) footprint per enabled choice.
+    let info: Vec<(u32, (NodeId, Addr))> = choices
+        .iter()
+        .map(|&c| (state.choice_bit(c), state.choice_footprint(c)))
+        .collect();
+    for (i, &choice) in choices.iter().enumerate() {
+        let (bit_i, fp_i) = info[i];
+        if commute && sleep & (1u64 << bit_i) != 0 {
+            // Provably redundant: an equivalent trace taking this choice
+            // first was (or will be) explored from an earlier sibling.
+            sleep_pruned += 1;
+            continue;
+        }
+        explored += 1;
         let mut s = state.clone();
         match s.apply(choice) {
             Ok(()) => {
-                let digest = s.digest();
-                succs.push((choice, s, digest));
+                // Successor sleep set: everything already asleep here plus
+                // the siblings explored before `choice`, filtered down to
+                // the choices independent of `choice` (different node AND
+                // different block — the certified commutation condition).
+                let mut mask = 0u64;
+                if commute {
+                    for (j, &(bit_j, fp_j)) in info.iter().enumerate() {
+                        if j == i {
+                            continue;
+                        }
+                        let candidate = j < i || sleep & (1u64 << bit_j) != 0;
+                        if candidate && fp_i.0 != fp_j.0 && fp_i.1 != fp_j.1 {
+                            mask |= 1u64 << bit_j;
+                        }
+                    }
+                }
+                let (canon, argmin, canon_mask) = s.canonicalize(perms, mask);
+                succs.push(Succ {
+                    choice,
+                    state: s,
+                    canon,
+                    canon_mask,
+                    argmin,
+                });
             }
             Err(violation) => {
                 return Expanded {
                     arena_idx,
                     violation: Some((choice, violation)),
                     succs: Vec::new(),
+                    explored,
+                    sleep_pruned,
                 }
             }
         }
@@ -136,6 +296,8 @@ fn expand(arena_idx: usize, state: &CheckState) -> Expanded {
         arena_idx,
         violation: None,
         succs,
+        explored,
+        sleep_pruned,
     }
 }
 
@@ -154,18 +316,51 @@ where
             states: 1,
         });
     }
-    let mut visited: FxHashSet<u64> = FxHashSet::default();
-    visited.insert(root.digest());
+    // Build the symmetry group. The identity probe asks the protocol
+    // whether it certifies equivariance at all; `None` leaves the group
+    // trivial (canonical digest = ordinary digest, zero overhead beyond
+    // one comparison).
+    let ident: Vec<NodeId> = (0..cfg.nodes).collect();
+    let perms: Vec<Vec<NodeId>> = if cfg.symmetry && root.proto.relabeled(&ident).is_some() {
+        let homes: Vec<NodeId> = cfg
+            .addrs()
+            .iter()
+            .map(|&a| (a % cfg.nodes as u64) as NodeId)
+            .collect();
+        home_fixing_perms(cfg.nodes, &homes)
+    } else {
+        vec![ident]
+    };
+    let inverses: Vec<Vec<NodeId>> = perms.iter().map(|p| invert_perm(p)).collect();
+    // Sleep sets need one mask bit per choice slot; huge shapes fall back
+    // to the unreduced search rather than a wider mask type.
+    let commute = cfg.por && root.proto.deliveries_commute() && root.sleep_bits() <= 64;
+    let mut stats = ExploreStats {
+        sym_group: perms.len() as u64,
+        ..Default::default()
+    };
+
+    // Visited: canonical digest -> sleep mask (canonical coordinates) the
+    // state was last expanded with. An empty mask means "fully expanded".
+    let mut visited: FxHashMap<u64, u64> = FxHashMap::default();
+    let (root_canon, _, _) = root.canonicalize(&perms, 0);
+    visited.insert(root_canon, 0);
     // (parent arena index, producing choice) per non-root state ever put
     // on a frontier; counterexamples walk this chain back to the root.
     let mut arena: Vec<(usize, Choice)> = Vec::new();
-    let mut frontier: Vec<(usize, CheckState)> = vec![(ROOT, root)];
+    let mut frontier: Vec<Pending> = vec![Pending {
+        arena_idx: ROOT,
+        state: root,
+        mask: 0,
+        argmin: 0,
+    }];
     let mut depth = 0usize;
     loop {
         if frontier.is_empty() {
             return CheckOutcome::Pass {
                 states: visited.len() as u64,
                 depth,
+                stats,
             };
         }
         if depth >= cfg.max_depth {
@@ -177,6 +372,7 @@ where
                     cfg.max_depth,
                     frontier.len()
                 ),
+                stats,
             };
         }
         if visited.len() > cfg.max_states {
@@ -184,6 +380,7 @@ where
                 states: visited.len() as u64,
                 depth,
                 reason: format!("state budget of {} exceeded", cfg.max_states),
+                stats,
             };
         }
 
@@ -191,7 +388,7 @@ where
         // the merge below is deterministic regardless of which worker
         // finished when.
         let items = frontier.len();
-        let in_slots: Vec<Mutex<Option<(usize, CheckState)>>> =
+        let in_slots: Vec<Mutex<Option<Pending>>> =
             frontier.drain(..).map(|x| Mutex::new(Some(x))).collect();
         let out_slots: Vec<Mutex<Option<Expanded>>> =
             (0..items).map(|_| Mutex::new(None)).collect();
@@ -204,8 +401,9 @@ where
                     if t >= items {
                         break;
                     }
-                    let (arena_idx, state) = in_slots[t].lock().unwrap().take().unwrap();
-                    *out_slots[t].lock().unwrap() = Some(expand(arena_idx, &state));
+                    let p = in_slots[t].lock().unwrap().take().unwrap();
+                    *out_slots[t].lock().unwrap() =
+                        Some(expand(p.arena_idx, &p.state, p.mask, &perms, commute));
                 });
             }
         });
@@ -218,6 +416,8 @@ where
         // taking the first in frontier order keeps the result independent
         // of the worker schedule.
         for exp in &expanded {
+            stats.explored += exp.explored;
+            stats.sleep_pruned += exp.sleep_pruned;
             if let Some((choice, violation)) = &exp.violation {
                 let mut choices = vec![*choice];
                 let mut idx = exp.arena_idx;
@@ -234,11 +434,58 @@ where
                 });
             }
         }
+        // Same-layer duplicate arrivals intersect their sleep masks into
+        // the pending frontier entry instead of queueing a second
+        // expansion of the same state — without this, convergent graphs
+        // (many same-depth predecessors per state) re-expand constantly
+        // and the sleep-set reduction costs more work than it saves.
+        let mut layer: FxHashMap<u64, usize> = FxHashMap::default();
         for exp in expanded {
-            for (choice, state, digest) in exp.succs {
-                if visited.insert(digest) {
-                    arena.push((exp.arena_idx, choice));
-                    frontier.push((arena.len() - 1, state));
+            for succ in exp.succs {
+                match visited.get(&succ.canon).copied() {
+                    None => {
+                        visited.insert(succ.canon, succ.canon_mask);
+                        arena.push((exp.arena_idx, succ.choice));
+                        layer.insert(succ.canon, frontier.len());
+                        let mask = succ.state.map_mask(succ.canon_mask, &inverses[succ.argmin]);
+                        frontier.push(Pending {
+                            arena_idx: arena.len() - 1,
+                            state: succ.state,
+                            mask,
+                            argmin: succ.argmin,
+                        });
+                    }
+                    Some(stored) => {
+                        // State-matching sleep rule: the earlier expansion
+                        // (skipping `stored`) covers this arrival iff it
+                        // explored at least everything this arrival needs,
+                        // i.e. stored ⊆ canon_mask. Otherwise re-expand
+                        // with the intersection (strictly smaller than
+                        // `stored`, so re-expansion terminates).
+                        if stored & !succ.canon_mask == 0 {
+                            stats.deduped += 1;
+                            continue;
+                        }
+                        let inter = stored & succ.canon_mask;
+                        visited.insert(succ.canon, inter);
+                        if let Some(&pos) = layer.get(&succ.canon) {
+                            // Still pending in this layer: shrink its mask
+                            // in place (its own coordinates).
+                            let p = &mut frontier[pos];
+                            p.mask = p.state.map_mask(inter, &inverses[p.argmin]);
+                            stats.deduped += 1;
+                        } else {
+                            let concrete = succ.state.map_mask(inter, &inverses[succ.argmin]);
+                            arena.push((exp.arena_idx, succ.choice));
+                            layer.insert(succ.canon, frontier.len());
+                            frontier.push(Pending {
+                                arena_idx: arena.len() - 1,
+                                state: succ.state,
+                                mask: concrete,
+                                argmin: succ.argmin,
+                            });
+                        }
+                    }
                 }
             }
         }

@@ -2,7 +2,7 @@
 //!
 //! Drives any [`dirtree_core::protocol::Protocol`] through **all**
 //! interleavings of pending messages and processor actions for small
-//! configurations (2–3 processors, 1–2 blocks, a few operations per
+//! configurations (2–5 processors, 1–2 blocks, a few operations per
 //! processor), checking at every reachable state:
 //!
 //! * the **single-writer / data-freshness witness** shared with the
@@ -24,6 +24,18 @@
 //! counterexample (BFS = shortest choice sequence) that
 //! [`replay`](replay::replay) re-executes deterministically into a
 //! message-level trace.
+//!
+//! Two sound reductions keep the larger shapes tractable (see
+//! [`explore`] for the soundness arguments): a **processor-permutation
+//! symmetry reduction** that canonicalizes each state digest over the
+//! home-fixing renamings of certified-equivariant protocols, and a
+//! **sleep-set partial-order reduction** that skips commuting delivery
+//! orders (different executing node *and* different block) without
+//! losing any reachable state. Both are per-protocol opt-in
+//! ([`dirtree_core::protocol::Protocol::relabeled`] /
+//! [`deliveries_commute`](dirtree_core::protocol::Protocol::deliveries_commute)),
+//! so uncertified protocols — including the deliberately buggy
+//! [`mutants::Mutated`] wrappers — are explored unreduced.
 //!
 //! Entry points: [`explore::explore`] for one protocol/configuration,
 //! the `check_all` binary for the full figure-set sweep

@@ -31,6 +31,17 @@ pub enum MutantKind {
     /// `dir_tree` were reused without being cleared. The real target's
     /// copy survives the write.
     StaleWaveScratch,
+    /// Swallow (and forge the ack for) every directory-originated `Inv`
+    /// addressed to processor 2 *specifically*; other targets invalidate
+    /// normally. The bug keys on a node id's magnitude, so it is
+    /// deliberately **asymmetric**: relabeling processors moves it. It
+    /// exists to pin the soundness contract of the checker's symmetry
+    /// reduction — [`Mutated`] does not implement `Protocol::relabeled`,
+    /// so the group must degenerate to the identity and exploration with
+    /// reductions enabled must still report this bug (a checker that
+    /// wrongly canonicalized over uncertified protocols could merge the
+    /// buggy orbit member with a clean one and mask it).
+    AsymmetricDropInv,
 }
 
 /// A correct protocol with one injected bug.
@@ -97,7 +108,10 @@ impl ProtoCtx for MutCtx<'_> {
     fn send(&mut self, dst: NodeId, msg: Msg) {
         if !*self.tripped {
             match (self.kind, &msg.kind) {
-                (MutantKind::DropInv, MsgKind::Inv { from_dir: true, .. }) => {
+                (MutantKind::DropInv, MsgKind::Inv { from_dir: true, .. })
+                | (MutantKind::AsymmetricDropInv, MsgKind::Inv { from_dir: true, .. })
+                    if self.kind == MutantKind::DropInv || dst == 2 =>
+                {
                     // Swallow the invalidation; forge the ack to its sender.
                     *self.tripped = true;
                     let src = msg.src;

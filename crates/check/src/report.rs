@@ -14,14 +14,27 @@ pub fn render(
 ) -> String {
     let shape = format!("{name} P={} B={} fuel={}", cfg.nodes, cfg.blocks, cfg.fuel);
     match outcome {
-        CheckOutcome::Pass { states, depth } => {
-            format!("PASS  {shape}: {states} states exhausted, max depth {depth}")
+        CheckOutcome::Pass {
+            states,
+            depth,
+            stats,
+        } => {
+            format!(
+                "PASS  {shape}: {states} states exhausted, max depth {depth} \
+                 (explored {} dedup {} sleep-pruned {} |G|={})",
+                stats.explored, stats.deduped, stats.sleep_pruned, stats.sym_group
+            )
         }
         CheckOutcome::ResourceLimit {
             states,
             depth,
             reason,
-        } => format!("LIMIT {shape}: {reason} (visited {states} states, depth {depth})"),
+            stats,
+        } => format!(
+            "LIMIT {shape}: {reason} (visited {states} states, depth {depth}, \
+             explored {} dedup {} sleep-pruned {})",
+            stats.explored, stats.deduped, stats.sleep_pruned
+        ),
         CheckOutcome::Violation(cx) => {
             let mut out = format!("FAIL  {shape}: {}\n", cx.violation);
             out.push_str(&render_counterexample(cx, replay));

@@ -84,6 +84,161 @@ impl CheckState {
         h.finish()
     }
 
+    /// The state with every node id mapped through `perm`, or `None` if
+    /// the protocol does not certify equivariance
+    /// ([`Protocol::relabeled`]). Symmetry-reduction support.
+    pub fn relabeled(&self, perm: &[NodeId]) -> Option<CheckState> {
+        let proto = self.proto.relabeled(perm)?;
+        Some(CheckState {
+            ctx: self.ctx.relabeled(perm),
+            proto,
+            addrs: self.addrs.clone(),
+        })
+    }
+
+    /// Canonicalize this state (and a concrete-coordinates sleep mask)
+    /// over a symmetry group: the canonical digest is the minimum
+    /// ordinary digest across `perms` (which must start with the
+    /// identity), and the canonical mask is the **intersection** of the
+    /// mask's images under *every* permutation achieving that minimum.
+    /// Returns `(digest, argmin index, canonical mask)`.
+    ///
+    /// Two permutations tie exactly when the canonical state has a
+    /// nontrivial automorphism (64-bit digest collisions aside). The
+    /// intersection makes the canonical mask invariant under that
+    /// automorphism group — the images of the mask under the tying
+    /// permutations differ by automorphisms, and intersecting over the
+    /// whole coset is a group-closed operation — so *any* arrival at this
+    /// canonical class can translate the stored mask back through its own
+    /// argmin inverse and get a consistent (and, being an intersection, a
+    /// conservative subset) sleep set. Without this, automorphic states
+    /// would have to fall back to a full expansion, which in practice
+    /// guts the sleep-set reduction at P = 4 where lightly-differentiated
+    /// states (several idle, interchangeable processors) dominate.
+    ///
+    /// Panics if the protocol does not certify [`Protocol::relabeled`]
+    /// and `perms` has more than the identity (the explorer only builds a
+    /// nontrivial group after probing the protocol).
+    pub fn canonicalize(&self, perms: &[Vec<NodeId>], mask: u64) -> (u64, usize, u64) {
+        if perms.len() == 1 {
+            return (self.digest(), 0, mask);
+        }
+        let mut digests = Vec::with_capacity(perms.len());
+        digests.push(self.digest());
+        for perm in &perms[1..] {
+            digests.push(
+                self.relabeled(perm)
+                    .expect("symmetry group built for a protocol without relabeled()")
+                    .digest(),
+            );
+        }
+        let best = *digests.iter().min().expect("identity is always present");
+        let mut argmin = usize::MAX;
+        let mut canon_mask = u64::MAX;
+        for (i, &d) in digests.iter().enumerate() {
+            if d == best {
+                if argmin == usize::MAX {
+                    argmin = i;
+                }
+                canon_mask &= self.map_mask(mask, &perms[i]);
+            }
+        }
+        (best, argmin, canon_mask)
+    }
+
+    /// The `(executing node, block)` footprint of a choice in this state:
+    /// the node whose controller runs and the single address whose
+    /// protocol/witness state the step may touch. Two choices with
+    /// different nodes *and* different blocks commute for protocols that
+    /// certify [`Protocol::deliveries_commute`].
+    pub fn choice_footprint(&self, choice: Choice) -> (NodeId, Addr) {
+        match choice {
+            Choice::Deliver { src, dst } => {
+                let m = self
+                    .ctx
+                    .peek_channel(src, dst)
+                    .expect("footprint of a Deliver on an empty channel");
+                (dst, m.addr)
+            }
+            Choice::Local { node } => {
+                let m = self
+                    .ctx
+                    .peek_local(node)
+                    .expect("footprint of a Local on an empty queue");
+                (node, m.addr)
+            }
+            Choice::Op { node, op } => match op {
+                ProcOp::Read(a) | ProcOp::Write(a) | ProcOp::Evict(a) => (node, a),
+            },
+        }
+    }
+
+    /// Total number of distinct sleep-mask bit positions for this shape
+    /// (`n²` channels + `n` local queues + `n·|addrs|·3` processor ops).
+    /// The explorer disables the sleep-set reduction when this exceeds 64.
+    pub fn sleep_bits(&self) -> u32 {
+        let n = self.ctx.nodes();
+        n * n + n + n * self.addrs.len() as u32 * 3
+    }
+
+    /// Stable bit position identifying a choice in a sleep mask. The
+    /// encoding names the *queue or op slot*, not the message: a sleeping
+    /// `Deliver{src,dst}` bit keeps denoting the same head message because
+    /// only that very choice can pop the channel (appends land behind the
+    /// head), and likewise for `Local`.
+    pub fn choice_bit(&self, choice: Choice) -> u32 {
+        let n = self.ctx.nodes();
+        match choice {
+            Choice::Deliver { src, dst } => src * n + dst,
+            Choice::Local { node } => n * n + node,
+            Choice::Op { node, op } => {
+                let (addr, kind) = match op {
+                    ProcOp::Read(a) => (a, 0),
+                    ProcOp::Write(a) => (a, 1),
+                    ProcOp::Evict(a) => (a, 2),
+                };
+                let a_idx = self
+                    .addrs
+                    .iter()
+                    .position(|&a| a == addr)
+                    .expect("op on an address outside the configured set")
+                    as u32;
+                n * n + n + (node * self.addrs.len() as u32 + a_idx) * 3 + kind
+            }
+        }
+    }
+
+    /// Map a sleep mask through a node relabeling: each set bit is decoded
+    /// to its choice slot, the slot's node ids are mapped through `perm`,
+    /// and the bit is re-encoded. Block indices and op kinds are fixed
+    /// points (the symmetry group never moves addresses).
+    pub fn map_mask(&self, mask: u64, perm: &[NodeId]) -> u64 {
+        if mask == 0 {
+            return 0;
+        }
+        let n = self.ctx.nodes();
+        let na = self.addrs.len() as u32;
+        let mut out = 0u64;
+        let mut rest = mask;
+        while rest != 0 {
+            let bit = rest.trailing_zeros();
+            rest &= rest - 1;
+            let new_bit = if bit < n * n {
+                let (src, dst) = (bit / n, bit % n);
+                perm[src as usize] * n + perm[dst as usize]
+            } else if bit < n * n + n {
+                n * n + perm[(bit - n * n) as usize]
+            } else {
+                let idx = bit - n * n - n;
+                let (slot, kind) = (idx / 3, idx % 3);
+                let (node, a_idx) = (slot / na, slot % na);
+                n * n + n + (perm[node as usize] * na + a_idx) * 3 + kind
+            };
+            out |= 1u64 << new_bit;
+        }
+        out
+    }
+
     /// Every choice enabled in this state, in a fixed deterministic order
     /// (channels by (src, dst), then locals, completions, and processor
     /// ops by node and block).

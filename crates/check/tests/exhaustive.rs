@@ -3,8 +3,11 @@
 //! deterministic regardless of worker count, and budgets come back as
 //! structured resource reports instead of hangs.
 
-use dirtree_check::{explore, replay, CheckConfig, CheckOutcome, MutantKind, Mutated};
+use dirtree_check::{
+    explore, replay, CheckConfig, CheckOutcome, CheckState, Choice, MutantKind, Mutated,
+};
 use dirtree_core::protocol::{build_protocol, ProtocolKind, ProtocolParams};
+use dirtree_core::types::NodeId;
 
 /// Every protocol of the paper's figure set survives exhaustive
 /// exploration at P = 2, one block (the CI fast tier; `check_all` covers
@@ -132,4 +135,206 @@ fn dir1tree2_evict_then_write_race_stays_closed() {
         outcome.is_pass(),
         "Dir_1Tree_2 regressed (the PR-2 replacement race?): {outcome:?}"
     );
+}
+
+/// Symmetry-soundness mutant: `AsymmetricDropInv` keys on a processor
+/// id's magnitude (it only swallows invalidations aimed at node 2), so
+/// canonicalizing over node renamings would be *unsound* for it.
+/// [`Mutated`] deliberately does not certify `Protocol::relabeled`; the
+/// group must degenerate to the identity and exploration with both
+/// reductions enabled must report the bug — with exactly the
+/// counterexample the unreduced search finds.
+#[test]
+fn asymmetric_mutant_is_caught_with_reductions_enabled() {
+    let factory = Mutated::factory(
+        ProtocolKind::FullMap,
+        ProtocolParams::default(),
+        MutantKind::AsymmetricDropInv,
+    );
+    let cfg = CheckConfig::small(3, 1);
+    assert!(cfg.symmetry && cfg.por, "reductions must default on");
+    let CheckOutcome::Violation(reduced) = explore(&cfg, &factory) else {
+        panic!("asymmetric mutant survived exploration with reductions on");
+    };
+    let mut off = cfg.clone();
+    off.symmetry = false;
+    off.por = false;
+    let CheckOutcome::Violation(unreduced) = explore(&off, &factory) else {
+        panic!("asymmetric mutant survived unreduced exploration");
+    };
+    assert_eq!(reduced.choices, unreduced.choices);
+    assert_eq!(reduced.violation, unreduced.violation);
+    assert_eq!(reduced.states, unreduced.states);
+    let rep = replay(&cfg, &factory, &reduced.choices, 256);
+    assert_eq!(rep.violation.as_deref(), Some(reduced.violation.as_str()));
+}
+
+/// Sleep sets prune *transitions*, never states: with symmetry off, the
+/// POR-reduced search must visit exactly the unreduced reachable-state
+/// set (same count, same verdict) while doing strictly less successor
+/// work.
+#[test]
+fn sleep_sets_preserve_the_reachable_state_set() {
+    let factory = || build_protocol(ProtocolKind::FullMap, ProtocolParams::default());
+    let mut cfg = CheckConfig::small(2, 2);
+    cfg.fuel = 2;
+    cfg.symmetry = false;
+    let por = explore(&cfg, factory);
+    cfg.por = false;
+    let full = explore(&cfg, factory);
+    assert!(por.is_pass(), "{por:?}");
+    assert!(full.is_pass(), "{full:?}");
+    assert_eq!(por.states(), full.states());
+    let (ps, fs) = (por.stats().unwrap(), full.stats().unwrap());
+    assert!(
+        ps.sleep_pruned > 0,
+        "two blocks must give POR something to prune"
+    );
+    assert!(ps.explored < fs.explored);
+    assert_eq!(fs.sleep_pruned, 0);
+}
+
+/// The symmetry reduction visits one representative per orbit: the
+/// verdict is unchanged and the unreduced state count is bounded by the
+/// group order times the reduced count.
+#[test]
+fn symmetry_quotients_states_without_changing_the_verdict() {
+    let factory = || build_protocol(ProtocolKind::FullMap, ProtocolParams::default());
+    let mut cfg = CheckConfig::small(3, 1);
+    cfg.por = false;
+    let sym = explore(&cfg, factory);
+    cfg.symmetry = false;
+    let full = explore(&cfg, factory);
+    assert!(sym.is_pass(), "{sym:?}");
+    assert!(full.is_pass(), "{full:?}");
+    let ss = sym.stats().unwrap();
+    assert_eq!(ss.sym_group, 2, "P=3, home 0 fixed: {{id, swap(1,2)}}");
+    assert!(sym.states() < full.states());
+    assert!(full.states() <= ss.sym_group * sym.states());
+}
+
+/// The acceptance bar for the reductions: on a shape where both the
+/// reduced and unreduced searches can run to exhaustion — P = 5 with one
+/// block homed at node 0, so the home-fixing group is the full S₄ on the
+/// other processors (order 24) — the search with both reductions enabled
+/// must do at least 10× fewer successor computations than the unreduced
+/// one, with the same verdict. (With a single block every pair of
+/// choices shares a footprint, so the sleep sets are inert here; their
+/// pruning and state-set preservation are pinned by the two tests
+/// above.)
+#[test]
+fn reductions_cut_explored_work_by_an_order_of_magnitude() {
+    let factory = || build_protocol(ProtocolKind::FullMap, ProtocolParams::default());
+    let mut cfg = CheckConfig::small(5, 1);
+    assert!(cfg.symmetry && cfg.por, "reductions must default on");
+    let on = explore(&cfg, factory);
+    cfg.symmetry = false;
+    cfg.por = false;
+    let off = explore(&cfg, factory);
+    assert!(on.is_pass(), "{on:?}");
+    assert!(off.is_pass(), "{off:?}");
+    let (s_on, s_off) = (on.stats().unwrap(), off.stats().unwrap());
+    assert_eq!(s_on.sym_group, 24, "P=5, home 0 fixed: S4 on nodes 1..=4");
+    assert!(
+        s_off.explored >= 10 * s_on.explored,
+        "expected >=10x: unreduced explored {} vs reduced {}",
+        s_off.explored,
+        s_on.explored
+    );
+}
+
+/// The ternary (k=3) roster entries are not vacuous: arity only binds at
+/// the Figure-6 case-3 merge, which needs all `i` pointers full plus a
+/// new *remote* requester — with i=3 that takes four remotes, i.e. P=5.
+/// There, an arity-3 tree must genuinely diverge from the arity-2 tree
+/// (three equal-height roots adopted in one merge), and both must stay
+/// exhaustively clean.
+#[test]
+fn ternary_merge_diverges_from_binary_at_p5() {
+    let cfg = CheckConfig::small(5, 1);
+    let run = |arity| {
+        explore(&cfg, || {
+            build_protocol(
+                ProtocolKind::DirTree { pointers: 3, arity },
+                ProtocolParams::default(),
+            )
+        })
+    };
+    let ternary = run(3);
+    let binary = run(2);
+    assert!(ternary.is_pass(), "{ternary:?}");
+    assert!(binary.is_pass(), "{binary:?}");
+    assert_ne!(
+        ternary.states(),
+        binary.states(),
+        "arity never bound: the k=3 sweep would be re-checking the k=2 graphs"
+    );
+}
+
+/// With both reductions enabled, the layer-synchronous merge keeps the
+/// P=4 exploration bit-identical regardless of worker count: verdict,
+/// state count, and every work counter must match between 1 and 8 jobs.
+#[test]
+fn p4_reduced_exploration_is_deterministic_across_jobs() {
+    let factory = || build_protocol(ProtocolKind::FullMap, ProtocolParams::default());
+    let mut cfg = CheckConfig::small(4, 1);
+    assert!(cfg.symmetry && cfg.por, "reductions must default on");
+    cfg.jobs = 1;
+    let serial = explore(&cfg, factory);
+    cfg.jobs = 8;
+    let parallel = explore(&cfg, factory);
+    assert!(serial.is_pass(), "{serial:?}");
+    assert_eq!(serial.states(), parallel.states());
+    assert_eq!(serial.stats(), parallel.stats());
+}
+
+/// Empirical equivariance check behind the symmetry reduction's soundness
+/// argument: running a choice sequence and then relabeling the state must
+/// equal relabeling first and running the renamed sequence. Walked over a
+/// deterministic pseudo-random path through Dir_1Tree_2's choice graph,
+/// comparing full state digests at every step.
+#[test]
+fn relabeling_commutes_with_execution() {
+    let params = ProtocolParams::default();
+    let kind = ProtocolKind::DirTree {
+        pointers: 1,
+        arity: 2,
+    };
+    let perm: Vec<NodeId> = vec![0, 2, 1];
+    let map_choice = |c: Choice| match c {
+        Choice::Deliver { src, dst } => Choice::Deliver {
+            src: perm[src as usize],
+            dst: perm[dst as usize],
+        },
+        Choice::Local { node } => Choice::Local {
+            node: perm[node as usize],
+        },
+        Choice::Op { node, op } => Choice::Op {
+            node: perm[node as usize],
+            op,
+        },
+    };
+    let mut a = CheckState::new(3, 2, vec![0], build_protocol(kind, params));
+    let mut b = CheckState::new(3, 2, vec![0], build_protocol(kind, params));
+    for step in 0..60usize {
+        let choices = a.enabled_choices();
+        if choices.is_empty() {
+            assert!(step > 10, "walk quiesced suspiciously early");
+            break;
+        }
+        // A deterministic scramble so the walk leaves the lockstep paths.
+        let c = choices[(step * 7 + 3) % choices.len()];
+        a.apply(c)
+            .unwrap_or_else(|v| panic!("walk hit a violation: {v}"));
+        b.apply(map_choice(c))
+            .unwrap_or_else(|v| panic!("renamed walk diverged into a violation: {v}"));
+        let ra = a
+            .relabeled(&perm)
+            .expect("DirTree certifies Protocol::relabeled");
+        assert_eq!(
+            ra.digest(),
+            b.digest(),
+            "relabel(run(s)) != run(relabel(s)) at step {step}"
+        );
+    }
 }

@@ -346,6 +346,28 @@ impl Protocol for DirTreeAdaptive {
         self.detector.digest(h);
     }
 
+    fn relabeled(&self, perm: &[NodeId]) -> Option<Box<dyn Protocol>> {
+        // Mode membership, in-flight counts and retire counts are keyed by
+        // address only; the node-bearing state lives in the two inner
+        // protocol instances and the detector, all of which certify
+        // equivariance concretely.
+        Some(Box::new(DirTreeAdaptive {
+            pointers: self.pointers,
+            arity: self.arity,
+            inv: self.inv.relabeled_concrete(perm),
+            upd: self.upd.relabeled_concrete(perm),
+            update_mode: self.update_mode.clone(),
+            detector: self.detector.relabeled(perm),
+            inflight: self.inflight.clone(),
+            pending_retire: self.pending_retire.clone(),
+            nodes: self.nodes,
+        }))
+    }
+
+    fn deliveries_commute(&self) -> bool {
+        true
+    }
+
     fn check_invariants(
         &self,
         ctx: &dyn ProtoCtx,

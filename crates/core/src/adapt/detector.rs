@@ -146,6 +146,32 @@ impl PatternDetector {
     pub fn digest(&self, h: &mut dyn std::hash::Hasher) {
         digest_map(h, &self.blocks);
     }
+
+    /// The detector with every observed node id mapped through `perm`
+    /// (`perm[old] = new`) — classification depends only on reader-set
+    /// cardinality and writer identity *equality*, never on id magnitude,
+    /// so this is an exact equivariance (checker symmetry support).
+    pub fn relabeled(&self, perm: &[NodeId]) -> PatternDetector {
+        PatternDetector {
+            flip_up: self.flip_up,
+            flip_down: self.flip_down,
+            saturation: self.saturation,
+            blocks: self
+                .blocks
+                .iter()
+                .map(|(&a, b)| {
+                    (
+                        a,
+                        BlockState {
+                            readers: b.readers.relabeled(perm),
+                            last_writer: b.last_writer.map(|n| perm[n as usize]),
+                            score: b.score,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

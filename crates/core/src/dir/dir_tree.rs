@@ -996,6 +996,14 @@ impl Protocol for DirTree {
         digest_map(h, &self.pending_wb);
     }
 
+    fn relabeled(&self, perm: &[NodeId]) -> Option<Box<dyn Protocol>> {
+        Some(Box::new(self.relabeled_concrete(perm)))
+    }
+
+    fn deliveries_commute(&self) -> bool {
+        true
+    }
+
     /// Dir_iTree_k structural invariants (§3 well-formedness).
     ///
     /// Checked at **every** state:
@@ -1178,6 +1186,73 @@ impl Protocol for DirTree {
             }
         }
         Ok(())
+    }
+}
+
+/// Relabel a per-`(node, addr)` edge map (children / zombies) through
+/// `perm`, preserving each edge list's order.
+pub(crate) fn relabel_edges(
+    map: &FxHashMap<(NodeId, Addr), Vec<NodeId>>,
+    perm: &[NodeId],
+) -> FxHashMap<(NodeId, Addr), Vec<NodeId>> {
+    map.iter()
+        .map(|(&(n, a), kids)| {
+            (
+                (perm[n as usize], a),
+                kids.iter().map(|&k| perm[k as usize]).collect(),
+            )
+        })
+        .collect()
+}
+
+impl DirTree {
+    /// Node-relabeled clone ([`Protocol::relabeled`]). Every decision the
+    /// protocol makes — slot selection, level comparison, wave pairing
+    /// (`slot += 2`), push-down target — is a function of slot indices and
+    /// levels, never of node-id magnitude, so element-wise mapping of ids
+    /// (preserving slot and edge-list order) is an exact equivariance.
+    /// `wave_scratch` is cleared before every use and is not protocol
+    /// state, so the clone starts with it empty.
+    pub(crate) fn relabeled_concrete(&self, perm: &[NodeId]) -> DirTree {
+        let relabel_ptr = |p: &Option<Ptr>| {
+            p.map(|p| Ptr {
+                node: perm[p.node as usize],
+                level: p.level,
+            })
+        };
+        DirTree {
+            pointers: self.pointers,
+            arity: self.arity,
+            params: self.params,
+            entries: self
+                .entries
+                .iter()
+                .map(|(&a, e)| {
+                    (
+                        a,
+                        Entry {
+                            dirty: e.dirty,
+                            owner: perm[e.owner as usize],
+                            ptrs: e.ptrs.iter().map(relabel_ptr).collect(),
+                            pending: e.pending.map(|(n, op)| (perm[n as usize], op)),
+                            wait_acks: e.wait_acks,
+                            wait_wb: e.wait_wb,
+                            grant_self_root: e.grant_self_root,
+                        },
+                    )
+                })
+                .collect(),
+            gate: self.gate.relabeled(perm),
+            children: relabel_edges(&self.children, perm),
+            zombies: relabel_edges(&self.zombies, perm),
+            collectors: self.collectors.relabeled(perm),
+            pending_wb: self
+                .pending_wb
+                .iter()
+                .map(|(&(n, a), &(op, req))| ((perm[n as usize], a), (op, perm[req as usize])))
+                .collect(),
+            wave_scratch: Vec::new(),
+        }
     }
 }
 

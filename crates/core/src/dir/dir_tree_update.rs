@@ -615,6 +615,14 @@ impl Protocol for DirTreeUpdate {
         self.collectors.digest(h);
     }
 
+    fn relabeled(&self, perm: &[NodeId]) -> Option<Box<dyn Protocol>> {
+        Some(Box::new(self.relabeled_concrete(perm)))
+    }
+
+    fn deliveries_commute(&self) -> bool {
+        true
+    }
+
     fn check_invariants(
         &self,
         ctx: &dyn ProtoCtx,
@@ -729,6 +737,49 @@ impl Protocol for DirTreeUpdate {
             }
         }
         Ok(())
+    }
+}
+
+impl DirTreeUpdate {
+    /// Node-relabeled clone ([`Protocol::relabeled`]) — same argument as
+    /// [`crate::dir::dir_tree::DirTree::relabeled_concrete`]: all decisions
+    /// are slot/level/order based, so element-wise id mapping (preserving
+    /// slot and edge-list order) commutes with execution.
+    pub(crate) fn relabeled_concrete(&self, perm: &[NodeId]) -> DirTreeUpdate {
+        let relabel_ptr = |p: &Option<Ptr>| {
+            p.map(|p| Ptr {
+                node: perm[p.node as usize],
+                level: p.level,
+            })
+        };
+        DirTreeUpdate {
+            pointers: self.pointers,
+            arity: self.arity,
+            params: self.params,
+            entries: self
+                .entries
+                .iter()
+                .map(|(&a, e)| {
+                    (
+                        a,
+                        Entry {
+                            ptrs: e.ptrs.iter().map(relabel_ptr).collect(),
+                            pending_writer: e.pending_writer.map(|n| perm[n as usize]),
+                            wait_acks: e.wait_acks,
+                        },
+                    )
+                })
+                .collect(),
+            gate: self.gate.relabeled(perm),
+            children: crate::dir::dir_tree::relabel_edges(&self.children, perm),
+            zombies: crate::dir::dir_tree::relabel_edges(&self.zombies, perm),
+            pending_kill: self
+                .pending_kill
+                .iter()
+                .map(|&(n, a)| (perm[n as usize], a))
+                .collect(),
+            collectors: self.collectors.relabeled(perm),
+        }
     }
 }
 

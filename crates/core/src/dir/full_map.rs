@@ -312,6 +312,44 @@ impl Protocol for FullMap {
         crate::fingerprint::digest_map(h, &self.entries);
         self.gate.digest(h);
     }
+
+    fn relabeled(&self, perm: &[NodeId]) -> Option<Box<dyn Protocol>> {
+        Some(Box::new(self.relabeled_concrete(perm)))
+    }
+
+    fn deliveries_commute(&self) -> bool {
+        true
+    }
+}
+
+impl FullMap {
+    /// Node-relabeled clone ([`Protocol::relabeled`]). All directory
+    /// decisions here are functions of set membership and per-address
+    /// metadata, never of node-id magnitude, so element-wise mapping is an
+    /// exact equivariance.
+    pub(crate) fn relabeled_concrete(&self, perm: &[NodeId]) -> FullMap {
+        FullMap {
+            entries: self
+                .entries
+                .iter()
+                .map(|(&a, e)| {
+                    (
+                        a,
+                        Entry {
+                            dirty: e.dirty,
+                            owner: perm[e.owner as usize],
+                            sharers: e.sharers.as_ref().map(|s| s.relabeled(perm)),
+                            pending: e.pending.map(|(n, op)| (perm[n as usize], op)),
+                            wait_acks: e.wait_acks,
+                            wait_wb: e.wait_wb,
+                        },
+                    )
+                })
+                .collect(),
+            gate: self.gate.relabeled(perm),
+            cache: FlatCacheSide::new(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -360,6 +360,47 @@ impl Protocol for Limited {
         crate::fingerprint::digest_map(h, &self.entries);
         self.gate.digest(h);
     }
+
+    fn relabeled(&self, perm: &[NodeId]) -> Option<Box<dyn Protocol>> {
+        Some(Box::new(self.relabeled_concrete(perm)))
+    }
+
+    fn deliveries_commute(&self) -> bool {
+        true
+    }
+}
+
+impl Limited {
+    /// Node-relabeled clone ([`Protocol::relabeled`]). Pointer-victim
+    /// selection is positional (`sharers[0]`), so preserving vector order
+    /// while mapping elements keeps the relabeled execution in lock-step.
+    pub(crate) fn relabeled_concrete(&self, perm: &[NodeId]) -> Limited {
+        Limited {
+            pointers: self.pointers,
+            broadcast: self.broadcast,
+            entries: self
+                .entries
+                .iter()
+                .map(|(&a, e)| {
+                    (
+                        a,
+                        Entry {
+                            dirty: e.dirty,
+                            owner: perm[e.owner as usize],
+                            sharers: e.sharers.iter().map(|&n| perm[n as usize]).collect(),
+                            overflow: e.overflow,
+                            pending: e.pending.map(|(n, op)| (perm[n as usize], op)),
+                            wait_acks: e.wait_acks,
+                            wait_wb: e.wait_wb,
+                            victim_swap: e.victim_swap.map(|n| perm[n as usize]),
+                        },
+                    )
+                })
+                .collect(),
+            gate: self.gate.relabeled(perm),
+            cache: FlatCacheSide::new(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -75,6 +75,20 @@ impl TxnGate {
         crate::fingerprint::digest_map(h, &self.waiting);
         crate::fingerprint::digest_set(h, &self.busy);
     }
+
+    /// The gate with deferred requests relabeled through `perm`
+    /// (`perm[old] = new`); per-block busy flags are node-free. Queue order
+    /// is preserved — a relabeled execution defers in the same order.
+    pub fn relabeled(&self, perm: &[NodeId]) -> TxnGate {
+        TxnGate {
+            waiting: self
+                .waiting
+                .iter()
+                .map(|(&a, q)| (a, q.iter().map(|m| m.relabeled(perm)).collect()))
+                .collect(),
+            busy: self.busy.clone(),
+        }
+    }
 }
 
 /// Cache-side invalidation-ack collector for tree protocols.
@@ -173,6 +187,30 @@ impl AckCollectors {
     /// Canonical digest of all open collections (model-checker support).
     pub fn digest(&self, h: &mut dyn std::hash::Hasher) {
         crate::fingerprint::digest_map(h, &self.map);
+    }
+
+    /// The collectors with every node id (keys and ack targets) mapped
+    /// through `perm` (`perm[old] = new`). Target order is preserved.
+    pub fn relabeled(&self, perm: &[NodeId]) -> AckCollectors {
+        AckCollectors {
+            map: self
+                .map
+                .iter()
+                .map(|(&(n, a), c)| {
+                    (
+                        (perm[n as usize], a),
+                        Collector {
+                            targets: c
+                                .targets
+                                .iter()
+                                .map(|&(t, d)| (perm[t as usize], d))
+                                .collect(),
+                            remaining: c.remaining,
+                        },
+                    )
+                })
+                .collect(),
+        }
     }
 }
 
@@ -346,6 +384,15 @@ impl NodeSet {
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
         self.len = 0;
+    }
+
+    /// The set with every member mapped through `perm` (`perm[old] = new`).
+    pub fn relabeled(&self, perm: &[NodeId]) -> NodeSet {
+        let mut out = NodeSet::new(self.words.len() as u32 * 64);
+        for n in self.iter() {
+            out.insert(perm[n as usize]);
+        }
+        out
     }
 
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {

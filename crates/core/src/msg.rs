@@ -20,6 +20,18 @@ pub struct Msg {
     pub kind: MsgKind,
 }
 
+impl Msg {
+    /// The message with every node id (sender and kind payload) mapped
+    /// through `perm` (`perm[old] = new`). See [`MsgKind::relabeled`].
+    pub fn relabeled(&self, perm: &[NodeId]) -> Msg {
+        Msg {
+            addr: self.addr,
+            src: perm[self.src as usize],
+            kind: self.kind.relabeled(perm),
+        }
+    }
+}
+
 /// Every message kind used by any of the nine protocols.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum MsgKind {
@@ -301,6 +313,128 @@ impl MsgKind {
             | MsgKind::StpLeaveDone
             | MsgKind::SctFixup { .. }
             | MsgKind::SctLeave => MsgClass::Mgmt,
+        }
+    }
+
+    /// The same message with every embedded node id mapped through `perm`
+    /// (`perm[old] = new`); addresses and flags are untouched. This is the
+    /// message half of the model checker's processor-permutation symmetry:
+    /// relabeling a state must relabel the in-flight traffic too.
+    pub fn relabeled(&self, perm: &[NodeId]) -> MsgKind {
+        let p = |n: NodeId| perm[n as usize];
+        let po = |n: Option<NodeId>| n.map(|n| perm[n as usize]);
+        let pv = |v: &Vec<NodeId>| v.iter().map(|&n| perm[n as usize]).collect();
+        match self {
+            MsgKind::ReadReq { requester } => MsgKind::ReadReq {
+                requester: p(*requester),
+            },
+            MsgKind::WriteReq { requester } => MsgKind::WriteReq {
+                requester: p(*requester),
+            },
+            MsgKind::ReadReply { adopt } => MsgKind::ReadReply { adopt: pv(adopt) },
+            MsgKind::Inv { also, from_dir } => MsgKind::Inv {
+                also: po(*also),
+                from_dir: *from_dir,
+            },
+            MsgKind::Update { also, from_dir } => MsgKind::Update {
+                also: po(*also),
+                from_dir: *from_dir,
+            },
+            MsgKind::UpdateGrant { adopt } => MsgKind::UpdateGrant { adopt: pv(adopt) },
+            MsgKind::WbReq { for_op, requester } => MsgKind::WbReq {
+                for_op: *for_op,
+                requester: p(*requester),
+            },
+            MsgKind::WbData { for_op, requester } => MsgKind::WbData {
+                for_op: *for_op,
+                requester: p(*requester),
+            },
+            MsgKind::BusRead { requester } => MsgKind::BusRead {
+                requester: p(*requester),
+            },
+            MsgKind::BusReadX { requester } => MsgKind::BusReadX {
+                requester: p(*requester),
+            },
+            MsgKind::BusWindow {
+                requester,
+                exclusive,
+            } => MsgKind::BusWindow {
+                requester: p(*requester),
+                exclusive: *exclusive,
+            },
+            MsgKind::SllSupply { requester } => MsgKind::SllSupply {
+                requester: p(*requester),
+            },
+            MsgKind::SllInv { writer } => MsgKind::SllInv { writer: p(*writer) },
+            MsgKind::SllChainDone { writer } => MsgKind::SllChainDone { writer: p(*writer) },
+            MsgKind::SllSupplyFail { requester } => MsgKind::SllSupplyFail {
+                requester: p(*requester),
+            },
+            MsgKind::SciReadResp { old_head } => MsgKind::SciReadResp {
+                old_head: po(*old_head),
+            },
+            MsgKind::SciWriteResp { old_head } => MsgKind::SciWriteResp {
+                old_head: po(*old_head),
+            },
+            MsgKind::SciPurgeResp { next } => MsgKind::SciPurgeResp { next: po(*next) },
+            MsgKind::SciPurgeDone { writer } => MsgKind::SciPurgeDone { writer: p(*writer) },
+            MsgKind::SciUnlinkPrev { new_next } => MsgKind::SciUnlinkPrev {
+                new_next: po(*new_next),
+            },
+            MsgKind::SciUnlinkNext { new_prev } => MsgKind::SciUnlinkNext {
+                new_prev: po(*new_prev),
+            },
+            MsgKind::SciNewHead { new_head } => MsgKind::SciNewHead {
+                new_head: po(*new_head),
+            },
+            MsgKind::StpJoinResp { parent } => MsgKind::StpJoinResp {
+                parent: po(*parent),
+            },
+            MsgKind::StpMove {
+                replacing,
+                new_parent,
+                new_children,
+            } => MsgKind::StpMove {
+                replacing: p(*replacing),
+                new_parent: po(*new_parent),
+                new_children: pv(new_children),
+            },
+            MsgKind::StpFixup {
+                remove,
+                add,
+                from_home,
+            } => MsgKind::StpFixup {
+                remove: po(*remove),
+                add: po(*add),
+                from_home: *from_home,
+            },
+            MsgKind::SctDescend { requester, path } => MsgKind::SctDescend {
+                requester: p(*requester),
+                path: pv(path),
+            },
+            MsgKind::SctFixup { children } => MsgKind::SctFixup {
+                children: pv(children),
+            },
+            // Kinds with no embedded node ids.
+            MsgKind::WriteReply { .. }
+            | MsgKind::InvAck { .. }
+            | MsgKind::UpdateAck { .. }
+            | MsgKind::ReplaceInv
+            | MsgKind::ReplNotify
+            | MsgKind::WbEvict
+            | MsgKind::FillAck
+            | MsgKind::BusData { .. }
+            | MsgKind::SllData
+            | MsgKind::SciAttachReq
+            | MsgKind::SciAttachResp
+            | MsgKind::SciPurgeReq
+            | MsgKind::StpAttach
+            | MsgKind::StpAttachAck
+            | MsgKind::StpLeave
+            | MsgKind::StpFixupAck { .. }
+            | MsgKind::StpLeaveDone
+            | MsgKind::SctInsertResp
+            | MsgKind::SctLeave => self.clone(),
         }
     }
 

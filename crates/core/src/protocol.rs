@@ -232,6 +232,32 @@ pub trait Protocol: Send {
     /// pruned.
     fn fingerprint(&self, h: &mut dyn std::hash::Hasher);
 
+    /// A clone of the complete protocol state with every node id mapped
+    /// through `perm` (`perm[old] = new`), or `None` if this protocol does
+    /// not certify *equivariance* — the property that handling a relabeled
+    /// message in the relabeled state does exactly what relabeling the
+    /// original execution would. The model checker's processor-permutation
+    /// symmetry reduction canonicalizes state digests over the orbit of
+    /// home-fixing renamings, which is only sound for equivariant
+    /// protocols; the answer must therefore depend only on the protocol
+    /// *type*, never on its current state. The default opts out and leaves
+    /// the reduction inert (group = identity), which is also what keeps the
+    /// checker sound for deliberately asymmetric fault-injection mutants.
+    fn relabeled(&self, perm: &[NodeId]) -> Option<Box<dyn Protocol>> {
+        let _ = perm;
+        None
+    }
+
+    /// Certifies that delivering a message only reads and writes state
+    /// belonging to the handling node or keyed by the message's block
+    /// (per-address directory entries, gates, collectors, trees), so that
+    /// two deliveries at different nodes for different blocks commute. This
+    /// enables the model checker's sleep-set partial-order reduction; the
+    /// default opts out and leaves it inert.
+    fn deliveries_commute(&self) -> bool {
+        false
+    }
+
     /// Protocol-specific structural invariants, checked by the model
     /// checker at every explored state. `ctx` exposes cache line states,
     /// `addrs` is the blocks in play, and `quiescent` is true when no

@@ -149,6 +149,20 @@ impl Verifier {
         digest_map(h, &self.version);
         digest_map(h, &self.copy_version);
     }
+
+    /// The witness with every node id mapped through `perm`
+    /// (`perm[old] = new`), for the checker's symmetry reduction. Versions
+    /// are per-block and unaffected; only copy ownership moves.
+    pub fn relabeled(&self, perm: &[NodeId]) -> Verifier {
+        Verifier {
+            version: self.version.clone(),
+            copy_version: self
+                .copy_version
+                .iter()
+                .map(|(&(n, a), &v)| ((perm[n as usize], a), v))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,10 @@ struct ParkedSend {
     dst: NodeId,
     msg: Msg,
     vc: u32,
+    /// Flit-granularity credit cost of the message
+    /// ([`dirtree_net::NetworkConfig::flit_cost`]); the send dispatches
+    /// only when the channel pool can cover all of it.
+    cost: u32,
     /// Whether the send was issued by a controller handler (inside the
     /// `ctrl_take`/`ctrl_finish` bracket). A handler with parked output
     /// gates its controller: it holds its input message — and that
@@ -69,20 +73,25 @@ pub struct MachineCore {
     ctrl_extra: Cycle,
     /// Total busy cycles per controller (hot-spot diagnostics).
     ctrl_busy: Vec<Cycle>,
-    /// Per-(node, VC) injection credits, laid out `node * vcs + vc`; empty
-    /// when sends are unbounded (`net.vc_credits == 0`, the default).
+    /// Per-(node, VC) injection credits in *flits*, laid out
+    /// `node * vcs + vc`; empty when sends are unbounded
+    /// (`net.vc_credits == 0`, the default). A send debits its
+    /// [`dirtree_net::NetworkConfig::flit_cost`], so a block-carrying
+    /// packet occupies buffer space proportional to its length instead of
+    /// counting as one unit like a header-only control message.
     credits: Vec<u32>,
-    /// Sends parked per node, waiting for a credit on their channel.
+    /// Sends parked per node, waiting for enough credit on their channel.
     parked: Vec<VecDeque<ParkedSend>>,
     /// Handler-originated parked sends per node; while > 0 the node's
     /// controller is gated (see [`ParkedSend::from_handler`]).
     handler_parked: Vec<u32>,
-    /// Credit release deferred by a gated controller: the `(src, vc)` of
-    /// the message whose handling finished while its output was parked.
-    deferred_release: Vec<Option<(NodeId, u32)>>,
-    /// `(src, vc)` of the message currently inside each node's
+    /// Credit release deferred by a gated controller: the
+    /// `(src, vc, cost)` of the message whose handling finished while its
+    /// output was parked.
+    deferred_release: Vec<Option<(NodeId, u32, u32)>>,
+    /// `(src, vc, cost)` of the message currently inside each node's
     /// `ctrl_take`/`ctrl_finish` bracket, credited back at finish.
-    in_flight: Vec<Option<(NodeId, u32)>>,
+    in_flight: Vec<Option<(NodeId, u32, u32)>>,
     /// Node whose controller handler is currently executing (distinguishes
     /// handler sends from processor-side sends for parking).
     current_ctrl: Option<NodeId>,
@@ -216,10 +225,19 @@ impl MachineCore {
                 // released when the handler finishes (or deferred if the
                 // handler's own output parks).
                 let vc = vc_for(msg.kind.class(), self.config.net.vcs);
-                self.in_flight[n] = Some((msg.src, vc));
+                self.in_flight[n] = Some((msg.src, vc, self.flit_cost(&msg)));
             }
         }
         msg
+    }
+
+    /// Flit-granularity credit cost of a message (only meaningful when
+    /// sends are credit-bounded).
+    fn flit_cost(&self, msg: &Msg) -> u32 {
+        let bytes = msg
+            .kind
+            .wire_bytes(self.config.header_bytes, self.config.block_bytes);
+        self.config.net.flit_cost(bytes)
     }
 
     /// Charge occupancy requested by a handler that ran *outside* the
@@ -258,23 +276,32 @@ impl MachineCore {
                 self.deferred_release[n] = release;
                 return;
             }
-            if let Some((src, vc)) = release {
-                self.release_credit(src, vc);
+            if let Some((src, vc, cost)) = release {
+                self.release_credit(src, vc, cost);
             }
         }
         self.schedule_ctrl(node);
     }
 
-    /// Return one `(node, vc)` credit, first offering it to that node's
-    /// oldest parked send on the channel. Dispatching a parked handler
-    /// send can un-gate its controller and trigger *its* deferred release,
-    /// so the cascade runs on an explicit worklist.
-    fn release_credit(&mut self, node: NodeId, vc: u32) {
+    /// Return `cost` flits of `(node, vc)` credit, then drain that node's
+    /// parked sends on the channel — oldest first, stopping at the first
+    /// one the pool cannot cover, so per-channel FIFO order (and the
+    /// per-(src, dst) delivery order protocols rely on) is preserved.
+    /// Dispatching a parked handler send can un-gate its controller and
+    /// trigger *its* deferred release, so the cascade runs on an explicit
+    /// worklist.
+    fn release_credit(&mut self, node: NodeId, vc: u32, cost: u32) {
         let vcs = self.config.net.vc_count() as usize;
-        let mut work = vec![(node, vc)];
-        while let Some((node, vc)) = work.pop() {
+        let mut work = vec![(node, vc, cost)];
+        while let Some((node, vc, cost)) = work.pop() {
             let n = node as usize;
-            if let Some(pos) = self.parked[n].iter().position(|p| p.vc == vc) {
+            self.credits[n * vcs + vc as usize] += cost;
+            while let Some(pos) = self.parked[n].iter().position(|p| p.vc == vc) {
+                let pool = &mut self.credits[n * vcs + vc as usize];
+                if *pool < self.parked[n][pos].cost {
+                    break;
+                }
+                *pool -= self.parked[n][pos].cost;
                 let p = self.parked[n].remove(pos).expect("position() is in range");
                 if p.from_handler {
                     self.handler_parked[n] -= 1;
@@ -285,22 +312,20 @@ impl MachineCore {
                         self.schedule_ctrl(node);
                     }
                 }
-                // The unparked send consumes the freed credit directly.
                 self.dispatch_send(p.dst, p.msg, p.vc);
-            } else {
-                self.credits[n * vcs + vc as usize] += 1;
             }
         }
     }
 
-    /// Take one `(node, vc)` send credit if available.
-    fn try_take_credit(&mut self, node: NodeId, vc: u32) -> bool {
+    /// Take `cost` flits of `(node, vc)` send credit if the pool covers
+    /// all of them.
+    fn try_take_credit(&mut self, node: NodeId, vc: u32, cost: u32) -> bool {
         let vcs = self.config.net.vc_count() as usize;
         let c = &mut self.credits[node as usize * vcs + vc as usize];
-        if *c == 0 {
+        if *c < cost {
             false
         } else {
-            *c -= 1;
+            *c -= cost;
             true
         }
     }
@@ -449,21 +474,30 @@ impl ProtoCtx for MachineCore {
 
     fn send(&mut self, dst: NodeId, msg: Msg) {
         let vc = vc_for(msg.kind.class(), self.config.net.vcs);
-        if !self.credits.is_empty() && msg.src != dst && !self.try_take_credit(msg.src, vc) {
-            // Bounded channel is full: park the send. A park from inside a
-            // handler additionally gates the node's controller — the
-            // handler cannot retire until its output is on the wire.
-            let from_handler = self.current_ctrl == Some(msg.src);
-            if from_handler {
-                self.handler_parked[msg.src as usize] += 1;
+        if !self.credits.is_empty() && msg.src != dst {
+            // A send must park when the pool cannot cover its flit cost —
+            // and also when older sends are already parked on the channel,
+            // so a short message never overtakes a longer parked one
+            // (per-channel FIFO keeps the (src, dst) delivery order
+            // protocols rely on). A park from inside a handler
+            // additionally gates the node's controller — the handler
+            // cannot retire until its output is on the wire.
+            let cost = self.flit_cost(&msg);
+            let queued = self.parked[msg.src as usize].iter().any(|p| p.vc == vc);
+            if queued || !self.try_take_credit(msg.src, vc, cost) {
+                let from_handler = self.current_ctrl == Some(msg.src);
+                if from_handler {
+                    self.handler_parked[msg.src as usize] += 1;
+                }
+                self.parked[msg.src as usize].push_back(ParkedSend {
+                    dst,
+                    msg,
+                    vc,
+                    cost,
+                    from_handler,
+                });
+                return;
             }
-            self.parked[msg.src as usize].push_back(ParkedSend {
-                dst,
-                msg,
-                vc,
-                from_handler,
-            });
-            return;
         }
         self.dispatch_send(dst, msg, vc);
     }
@@ -526,5 +560,91 @@ impl ProtoCtx for MachineCore {
 
     fn note(&mut self, event: ProtoEvent) {
         self.stats.note(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2-node core with 64-bit links so an 8-byte control header is one
+    /// flit and a 16-byte data packet is two, and a `credits`-flit pool.
+    fn core_with_credits(credits: u32) -> MachineCore {
+        let mut cfg = MachineConfig::paper_default(2);
+        cfg.net.link_width_bits = 64;
+        cfg.net.vc_credits = credits;
+        MachineCore::new(cfg)
+    }
+
+    fn control(src: NodeId) -> Msg {
+        Msg {
+            addr: 0,
+            src,
+            kind: MsgKind::ReadReq { requester: src },
+        }
+    }
+
+    fn data(src: NodeId) -> Msg {
+        Msg {
+            addr: 0,
+            src,
+            kind: MsgKind::WbEvict,
+        }
+    }
+
+    #[test]
+    fn flit_cost_scales_with_length_and_clamps_to_pool() {
+        let core = core_with_credits(2);
+        assert_eq!(core.flit_cost(&control(0)), 1);
+        assert_eq!(core.flit_cost(&data(0)), 2);
+        // A packet longer than the whole pool takes the full pool.
+        assert_eq!(core_with_credits(1).flit_cost(&data(0)), 1);
+    }
+
+    #[test]
+    fn long_packet_cannot_overcommit_a_credited_channel() {
+        // Pool of 2 flits: one control send leaves 1 flit, which cannot
+        // cover a 2-flit data packet — under the old whole-message
+        // accounting both would have been dispatched.
+        let mut core = core_with_credits(2);
+        core.send(1, control(0));
+        assert_eq!(core.stats.messages, 1);
+        core.send(1, data(0));
+        assert_eq!(
+            core.stats.messages, 1,
+            "2-flit send into 1 free flit must park"
+        );
+        assert_eq!(core.parked_summary().len(), 1);
+        // Returning the control flit makes the data packet affordable.
+        core.release_credit(0, 0, 1);
+        assert_eq!(core.stats.messages, 2);
+        assert!(core.parked_summary().is_empty());
+        assert_eq!(
+            core.credits[0], 0,
+            "pool exactly drained by the 2-flit packet"
+        );
+    }
+
+    #[test]
+    fn short_send_does_not_overtake_a_parked_long_one() {
+        let mut core = core_with_credits(2);
+        core.send(1, data(0)); // dispatched, pool 0
+        core.send(1, data(0)); // parks (cost 2)
+        core.send(1, control(0)); // must queue behind it, not sneak into a freed flit
+        assert_eq!(core.stats.messages, 1);
+        assert_eq!(core.parked_summary().len(), 2);
+        core.release_credit(0, 0, 1);
+        assert_eq!(
+            core.stats.messages, 1,
+            "1 free flit covers the control send but the older 2-flit park goes first"
+        );
+        core.release_credit(0, 0, 1);
+        assert_eq!(
+            core.stats.messages, 2,
+            "2 free flits cover exactly the older data packet"
+        );
+        core.release_credit(0, 0, 1);
+        assert_eq!(core.stats.messages, 3, "the control send drains last");
+        assert_eq!(core.credits[0], 0);
     }
 }

@@ -95,6 +95,22 @@ impl NetworkConfig {
     pub fn vc_nondefault(&self) -> bool {
         self.vc_count() > 1 || self.adaptive || self.vc_credits > 0
     }
+
+    /// Credit cost of a `bytes`-byte message in flits: `⌈8·bytes/W⌉`, the
+    /// same quantization [`Network::serialization_cycles`] charges for link
+    /// time, clamped to the pool size `vc_credits` so a packet longer than
+    /// the whole buffer occupies the full pool but can still make progress
+    /// (a cost greater than the pool could never be granted). With
+    /// `vc_credits = 1` every message therefore costs exactly one credit —
+    /// the historical message-granularity accounting.
+    #[inline]
+    pub fn flit_cost(&self, bytes: u32) -> u32 {
+        debug_assert!(self.vc_credits > 0, "flit_cost with unbounded credits");
+        let flits = (bytes as u64 * 8)
+            .div_ceil(self.link_width_bits.max(1) as u64)
+            .max(1);
+        (flits.min(self.vc_credits as u64)) as u32
+    }
 }
 
 /// Aggregate traffic statistics.
